@@ -1,0 +1,22 @@
+"""Ablation benches over the design choices DESIGN.md calls out."""
+
+from repro.experiments import (
+    ablation_check_overlap,
+    ablation_device_sweep,
+    ablation_thread_tile,
+)
+
+
+def bench_ablation_check_overlap(benchmark, emit):
+    table = benchmark(ablation_check_overlap)
+    emit("ablation_check_overlap", table)
+
+
+def bench_ablation_thread_tile(benchmark, emit):
+    table = benchmark(ablation_thread_tile)
+    emit("ablation_thread_tile", table)
+
+
+def bench_ablation_device_sweep(benchmark, emit):
+    table = benchmark(ablation_device_sweep)
+    emit("ablation_device_sweep", table)

@@ -1,0 +1,17 @@
+"""Fig. 4 — FP16 aggregate arithmetic intensity of eight CNNs.
+
+Regenerates the bar series (model -> aggregate AI) and checks every
+measured value against the paper's printed number.
+"""
+
+from repro.experiments import fig04_aggregate_intensity
+from repro.experiments.fig04_intensity import PAPER_VALUES
+from repro.nn import build_model
+
+
+def bench_fig04(benchmark, emit):
+    table = benchmark(fig04_aggregate_intensity)
+    emit("fig04_aggregate_intensity", table)
+    for name, paper in PAPER_VALUES.items():
+        measured = build_model(name).aggregate_intensity()
+        assert abs(measured - paper) / paper < 0.01, (name, measured, paper)

@@ -1,0 +1,16 @@
+"""Fig. 5 — per-layer arithmetic intensity of ResNet-50 on HD inputs.
+
+Regenerates the scatter series (layer index -> AI) and checks the
+paper's range of ~1 to ~511.
+"""
+
+from repro.experiments import fig05_resnet_layer_intensity
+from repro.experiments.fig05_layers import fig05_summary
+
+
+def bench_fig05(benchmark, emit):
+    table = benchmark(fig05_resnet_layer_intensity)
+    emit("fig05_resnet_layer_intensity", table)
+    summary = fig05_summary()
+    assert abs(summary["min"] - 1.0) < 0.05
+    assert abs(summary["max"] - 511) / 511 < 0.01

@@ -1,0 +1,30 @@
+"""Fig. 8 — overhead of global vs intensity-guided ABFT, all 14 NNs.
+
+Checks the paper's headline invariants: guided never loses to global,
+the reduction envelope is 1x-6x with a >2x spread, and the largest
+gains land on the low-intensity models.
+"""
+
+from repro.core import IntensityGuidedABFT
+from repro.experiments import fig08_all_models
+from repro.gpu import T4
+from repro.nn import build_model, list_models
+
+
+def bench_fig08(benchmark, emit):
+    table = benchmark(fig08_all_models)
+    emit("fig08_all_models", table)
+
+    guided = IntensityGuidedABFT(T4)
+    factors = {}
+    for name in list_models():
+        sel = guided.select_for_model(build_model(name))
+        g = sel.scheme_overhead_percent("global")
+        i = sel.guided_overhead_percent
+        assert i <= g + 1e-9, name  # guided never worse than global
+        factors[name] = g / i
+    assert 1.0 <= min(factors.values())
+    assert max(factors.values()) <= 6.0
+    assert min(factors["mlp_bottom"], factors["mlp_top"]) > max(
+        factors["alexnet"], factors["vgg16"]
+    )

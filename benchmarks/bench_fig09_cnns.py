@@ -1,0 +1,30 @@
+"""Fig. 9 and §6.4.1 — overhead on the general-purpose CNNs at HD and 224p.
+
+Checks that the reduction factors grow when the input resolution drops
+(lower aggregate intensity -> more bandwidth-bound layers).
+"""
+
+from repro.experiments import fig09_general_cnns
+from repro.experiments.fig09_cnns import resolution_effect_summary
+
+
+def bench_fig09_hd(benchmark, emit):
+    table = benchmark(fig09_general_cnns)
+    emit("fig09_cnns_hd", table)
+
+
+def bench_fig09_224(benchmark, emit):
+    table = benchmark(lambda: fig09_general_cnns(h=224, w=224))
+    emit("fig09_cnns_224", table)
+
+
+def bench_sec641_resolution_effect(benchmark, emit):
+    summary = benchmark(resolution_effect_summary)
+    from repro.utils import Table
+
+    table = Table(["resolution", "mean reduction vs global"],
+                  title="§6.4.1 — resolution effect on reduction factors")
+    table.add_row(["1080x1920", summary["hd"]])
+    table.add_row(["224x224", summary["224"]])
+    emit("sec641_resolution_effect", table)
+    assert summary["224"] > summary["hd"]

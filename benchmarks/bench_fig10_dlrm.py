@@ -1,0 +1,24 @@
+"""Fig. 10 — DLRM MLPs at batch 1 and 2048.
+
+Checks the paper's batch-size story: large reductions at batch 1, a
+narrowing thread-vs-global gap for MLP-Top at batch 2048, and
+thread-level ABFT still winning for MLP-Bottom at batch 2048.
+"""
+
+from repro.core import IntensityGuidedABFT
+from repro.experiments import fig10_dlrm
+from repro.gpu import T4
+from repro.nn import build_model
+
+
+def bench_fig10(benchmark, emit):
+    table = benchmark(fig10_dlrm)
+    emit("fig10_dlrm", table)
+
+    guided = IntensityGuidedABFT(T4)
+    b1 = guided.select_for_model(build_model("mlp_bottom", batch=1))
+    assert (
+        b1.scheme_overhead_percent("global") / b1.guided_overhead_percent > 2.5
+    )
+    big = guided.select_for_model(build_model("mlp_bottom", batch=2048))
+    assert big.scheme_overhead_percent("thread_onesided") < big.scheme_overhead_percent("global")

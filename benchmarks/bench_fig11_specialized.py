@@ -1,0 +1,24 @@
+"""Fig. 11 — specialized CNNs at batch 64.
+
+Checks that intensity-guided ABFT beats global on every specialized CNN
+and that these low-intensity models choose thread-level ABFT for their
+convolutions.
+"""
+
+from repro.core import IntensityGuidedABFT
+from repro.experiments import fig11_specialized
+from repro.gpu import T4
+from repro.nn import build_model
+from repro.nn.models.registry import SPECIALIZED_CNNS
+
+
+def bench_fig11(benchmark, emit):
+    table = benchmark(fig11_specialized)
+    emit("fig11_specialized", table)
+
+    guided = IntensityGuidedABFT(T4)
+    for name in SPECIALIZED_CNNS:
+        sel = guided.select_for_model(build_model(name))
+        assert sel.guided_overhead_percent < sel.scheme_overhead_percent("global"), name
+        # These low-intensity models assign most layers to thread-level.
+        assert sel.selection_counts.get("thread_onesided", 0) > len(sel.layers) / 2

@@ -1,0 +1,35 @@
+"""Fig. 12 — all schemes on square GEMMs from 32 to 2048.
+
+Checks the shape claims: the thread/global crossover falls where AI
+crosses the T4's CMR (between 512 and 1024), one-sided beats two-sided
+nearly everywhere, and replication exceeds 70% for the last two sizes.
+"""
+
+from repro.core.profiler import PredeploymentProfiler
+from repro.experiments import fig12_square_sweep
+from repro.experiments.fig12_square import FIG12_SCHEMES
+from repro.gemm import GemmProblem
+from repro.gpu import T4
+
+
+def bench_fig12(benchmark, emit):
+    table = benchmark(fig12_square_sweep)
+    emit("fig12_square_sweep", table)
+
+    prof = PredeploymentProfiler(T4, schemes=FIG12_SCHEMES)
+    overhead = {}
+    for size in (32, 256, 512, 1024, 2048):
+        entries = prof.profile(GemmProblem(size, size, size))
+        base = entries["none"].time_s
+        overhead[size] = {
+            k: (v.time_s / base - 1) * 100 for k, v in entries.items() if k != "none"
+        }
+    # Crossover between 512 (AI 171 < CMR) and 1024 (AI 341 > CMR).
+    assert overhead[512]["thread_onesided"] < overhead[512]["global"]
+    assert overhead[1024]["global"] < overhead[1024]["thread_onesided"]
+    # Replication spike.
+    assert overhead[1024]["replication_single"] > 70
+    assert overhead[2048]["replication_single"] > 70
+    # One-sided <= two-sided at every probed size.
+    for size, row in overhead.items():
+        assert row["thread_onesided"] <= row["thread_twosided"] + 1e-9, size

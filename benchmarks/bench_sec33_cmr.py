@@ -1,0 +1,15 @@
+"""§3.3 — compute-to-memory-bandwidth ratios of the discussed GPUs."""
+
+import pytest
+
+from repro.experiments import sec33_cmr_table
+from repro.experiments.sec33_cmr import PAPER_CMRS
+from repro.gpu import get_gpu
+
+
+def bench_sec33_cmr(benchmark, emit):
+    table = benchmark(sec33_cmr_table)
+    emit("sec33_cmr", table)
+    for name, paper in PAPER_CMRS.items():
+        # The paper rounds its quoted CMRs (e.g. P4 "58" from 57.3).
+        assert get_gpu(name).cmr == pytest.approx(paper, rel=0.02)

@@ -1,0 +1,31 @@
+"""Table 1 — per-K-step redundant work of the thread-level schemes.
+
+The measured columns are recovered from the implemented cost plans; the
+MMA counts must equal the paper's formulas exactly (Mt*Nt/2, 1, Mt/2
+per step against an Mt*Nt/2 mainloop).
+"""
+
+import pytest
+
+from repro.abft import get_scheme
+from repro.experiments import table1_op_counts
+from repro.gemm import GemmProblem, TileConfig, mainloop_cost
+
+
+def bench_table1(benchmark, emit):
+    table = benchmark(table1_op_counts)
+    emit("table1_op_counts", table)
+
+    tile = TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+    problem = GemmProblem(tile.mb, tile.nb, 4096)
+    base = mainloop_cost(problem, tile).tc_flops
+    expected = {
+        "replication_single": tile.mt * tile.nt / 2,
+        "thread_twosided": 1.0,
+        "thread_onesided": tile.mt / 2,
+    }
+    for name, mmas_per_step in expected.items():
+        plan = get_scheme(name).plan(problem, tile)
+        extra = plan.kernels[0].work.matmul_flops - base
+        measured = extra / base * tile.mmas_per_thread_step
+        assert measured == pytest.approx(mmas_per_step), name

@@ -1,0 +1,28 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4 for the index) and prints the same rows/series the paper
+reports.  Rendered tables are also written to ``benchmarks/results/``
+so they can be inspected after a captured pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, table) -> None:
+        text = table.render()
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Protected DLRM recommendation inference (numeric, end to end).
+
+Builds a runnable DLRM MLP-Bottom (13 dense features -> 512 -> 256 ->
+64), assigns each layer the scheme intensity-guided ABFT picks for a
+T4 at batch 1 (they are all bandwidth bound, so thread-level ABFT wins
+everywhere — Fig. 10), runs real FP16 inference, then injects a soft
+error into the middle layer and shows the per-layer checks catching it.
+"""
+
+import numpy as np
+
+import repro
+from repro.nn.inference import Linear, ReLU, SequentialModel
+from repro.nn.layers import LinearSpec
+
+
+def build_runnable_mlp_bottom(rng: np.random.Generator) -> SequentialModel:
+    """A numerically runnable MLP-Bottom with random FP16 weights."""
+    dims = [13, 512, 256, 64]
+    ops = []
+    for i, (fin, fout) in enumerate(zip(dims, dims[1:])):
+        spec = LinearSpec(fin, fout)
+        ops.append(Linear(spec, SequentialModel.random_weights_linear(spec, rng),
+                          name=f"fc{i}"))
+        if i < len(dims) - 2:
+            ops.append(ReLU())
+    return SequentialModel(ops, name="mlp_bottom")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    t4 = repro.get_gpu("T4")
+
+    # --- what would intensity-guided ABFT deploy? ----------------------
+    shape_model = repro.build_model("mlp_bottom", batch=1)
+    guided = repro.IntensityGuidedABFT(t4)
+    selection = guided.select_for_model(shape_model)
+    print("per-layer choices for DLRM MLP-Bottom on T4 (batch 1):")
+    for layer in selection.layers:
+        print(f"  {layer.layer_name:6s} AI={layer.intensity:6.1f} "
+              f"-> {layer.chosen}")
+    print(f"global ABFT overhead      : "
+          f"{selection.scheme_overhead_percent('global'):.2f}%")
+    print(f"intensity-guided overhead : {selection.guided_overhead_percent:.2f}%")
+
+    # --- run it numerically, with per-layer scheme assignment ----------
+    model = build_runnable_mlp_bottom(rng)
+    schemes = {
+        layer.layer_name.split("/")[-1]: repro.get_scheme(layer.chosen)
+        for layer in selection.layers
+    }
+    engine = repro.ProtectedInference(model, schemes)
+
+    features = (rng.standard_normal((1, 13)) * 0.5).astype(np.float16)
+    clean = engine.run(features)
+    print(f"\nclean inference: detected={clean.detected}, "
+          f"embedding norm={np.linalg.norm(clean.output.astype(np.float32)):.3f}")
+
+    # --- inject a soft error into the 512->256 layer -------------------
+    fault = repro.FaultSpec(row=0, col=100, kind=repro.FaultKind.ADD, value=40.0)
+    faulty = engine.run(features, faults={"fc1": [fault]})
+    flagged = [rec.name for rec in faulty.layer_outcomes if rec.detected]
+    print(f"faulty inference: detected={faulty.detected}, flagged layers={flagged}")
+    assert faulty.detected and flagged == ["fc1"]
+    print("the corrupted layer was localized; the request can be re-executed.")
+
+
+if __name__ == "__main__":
+    main()

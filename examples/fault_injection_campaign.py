@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fault-injection campaign: measure detection coverage per scheme.
+
+Runs randomized single-fault campaigns (the paper's §2.3 fault model —
+one corrupted output value per GEMM) against every protecting scheme
+and prints detection coverage, plus a demonstration of the numerical
+sensitivity hierarchy between global and thread-level checks.
+"""
+
+import numpy as np
+
+import repro
+from repro.faults import FaultCampaign, FaultKind, FaultSpec
+from repro.utils import Table
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    a = (rng.standard_normal((128, 96)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((96, 64)) * 0.5).astype(np.float16)
+
+    table = Table(
+        ["scheme", "trials", "significant", "coverage", "sensitivity floor"],
+        title="Single-fault campaigns (128x64x96 FP16 GEMM, 80 trials each)",
+    )
+    for name in repro.list_schemes():
+        scheme = repro.get_scheme(name)
+        if not scheme.protects:
+            continue
+        campaign = FaultCampaign(scheme, a, b, seed=21)
+        result = campaign.run(80)
+        table.add_row([
+            name, result.n_trials, result.n_significant,
+            f"{result.coverage * 100:.1f}%", campaign._tolerance_scale,
+        ])
+        assert result.coverage == 1.0
+    print(table.render())
+
+    # Sensitivity hierarchy: a small corruption below the global scalar
+    # check's rounding-noise floor is still caught per-tile.
+    small = FaultSpec(row=5, col=5, kind=FaultKind.ADD, value=0.8)
+    global_hit = repro.get_scheme("global").execute(a, b, faults=[small]).detected
+    thread_hit = repro.get_scheme("thread_onesided").execute(a, b, faults=[small]).detected
+    print(f"\nsmall fault (+0.8): global detected={global_hit}, "
+          f"thread-level detected={thread_hit}")
+    print("thread-level ABFT's per-tile checks resolve corruptions the "
+          "whole-output scalar check cannot — a numerical bonus on top of "
+          "its performance advantage for bandwidth-bound layers.")
+
+
+if __name__ == "__main__":
+    main()

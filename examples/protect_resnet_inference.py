@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Intensity-guided ABFT deployment plan for ResNet-50 on a T4.
+
+Reproduces the paper's §5.3 pre-deployment workflow: profile every
+linear layer of ResNet-50 (HD inputs, batch 1) under global and
+thread-level ABFT, pick the cheaper scheme per layer, and report the
+whole-model overhead against both uniform baselines — the ResNet-50
+column of Fig. 9.
+"""
+
+import repro
+from repro.core import layer_selection_table
+
+
+def main() -> None:
+    t4 = repro.get_gpu("T4")
+    model = repro.build_model("resnet50", h=1080, w=1920)
+    print(f"ResNet-50 @ 1080x1920: {len(model)} linear layers, "
+          f"aggregate AI = {model.aggregate_intensity():.1f} "
+          f"(T4 CMR = {t4.cmr:.0f})")
+
+    guided = repro.IntensityGuidedABFT(t4)
+    selection = guided.select_for_model(model)
+
+    print(f"\nper-layer selection counts: {selection.selection_counts}")
+    print(f"thread-level ABFT overhead : "
+          f"{selection.scheme_overhead_percent('thread_onesided'):6.2f}%")
+    print(f"global ABFT overhead       : "
+          f"{selection.scheme_overhead_percent('global'):6.2f}%")
+    print(f"intensity-guided overhead  : "
+          f"{selection.guided_overhead_percent:6.2f}%")
+    reduction = (
+        selection.scheme_overhead_percent("global")
+        / selection.guided_overhead_percent
+    )
+    print(f"reduction vs global        : {reduction:6.2f}x")
+
+    # The first/last few layers, with intensity and the per-layer winner.
+    print()
+    print(layer_selection_table(selection, max_rows=12).render())
+    print("... (remaining layers omitted)")
+
+
+if __name__ == "__main__":
+    main()

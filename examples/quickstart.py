@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: protect one GEMM with ABFT and catch an injected fault.
+
+Walks the paper's Fig. 1 idea end to end on real numbers:
+
+1. run an FP16 GEMM through one-sided thread-level ABFT,
+2. inject a soft-error bit flip into one output accumulator,
+3. watch the checksum comparison flag it,
+4. ask intensity-guided ABFT which scheme this GEMM should use on a T4.
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    m, n, k = 96, 64, 80
+    a = (rng.standard_normal((m, k)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((k, n)) * 0.5).astype(np.float16)
+
+    # --- 1. a clean protected GEMM ------------------------------------
+    scheme = repro.ThreadLevelOneSided()
+    clean = scheme.execute(a, b)
+    print(f"clean run:   detected={clean.detected}  "
+          f"(checks evaluated: {clean.verdict.checks})")
+
+    # --- 2./3. inject a single soft error -----------------------------
+    fault = repro.FaultSpec(row=10, col=20, kind=repro.FaultKind.BITFLIP_FP32, bit=26)
+    faulty = scheme.execute(a, b, faults=[fault])
+    print(f"faulty run:  detected={faulty.detected}  "
+          f"violated checks: {faulty.verdict.violations}")
+    assert faulty.detected, "a flipped exponent bit must not escape ABFT"
+
+    # --- 4. which scheme does intensity-guided ABFT pick? -------------
+    t4 = repro.get_gpu("T4")
+    problem = repro.GemmProblem(m, n, k)
+    guided = repro.IntensityGuidedABFT(t4)
+    selection = guided.select_for_problem(problem, name="quickstart-gemm")
+    print(f"\nGEMM {m}x{n}x{k}: arithmetic intensity = {selection.intensity:.1f} "
+          f"vs T4 CMR = {t4.cmr:.0f}")
+    for scheme_name, time_s in selection.scheme_times_s.items():
+        overhead = selection.overhead_percent(scheme_name)
+        print(f"  {scheme_name:16s} modeled time {time_s * 1e6:7.2f} us "
+              f"(overhead {overhead:5.1f}%)")
+    print(f"  -> chosen: {selection.chosen} "
+          f"(bandwidth-bound layers prefer thread-level ABFT)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for legacy editable installs (offline environments
+without the ``wheel`` package, where PEP 660 editable wheels are
+unavailable).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

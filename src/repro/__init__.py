@@ -1,0 +1,116 @@
+"""repro: Arithmetic-Intensity-Guided Fault Tolerance for NN Inference.
+
+A full-system reproduction of Kosaian & Rashmi, SC '21 (see DESIGN.md
+for the system inventory and the documented GPU-simulation substitution).
+
+Quickstart
+----------
+>>> import repro
+>>> model = repro.build_model("resnet50", h=224, w=224)
+>>> guided = repro.IntensityGuidedABFT(repro.get_gpu("T4"))
+>>> result = guided.select_for_model(model)
+>>> result.guided_overhead_percent <= result.scheme_overhead_percent("global")
+True
+"""
+
+from .config import DEFAULT_CONSTANTS, DEFAULT_DETECTION, DetectionConstants, ModelConstants
+from .errors import (
+    ConfigurationError,
+    DetectionError,
+    FaultInjectionError,
+    ModelZooError,
+    OccupancyError,
+    ProfilingError,
+    ReproError,
+    ShapeError,
+    TilingError,
+)
+from .gpu import GPUSpec, get_gpu, list_gpus
+from .gemm import GemmProblem, TileConfig, TiledGemm, select_tile
+from .abft import (
+    GlobalABFT,
+    MultiChecksumGlobalABFT,
+    NoProtection,
+    ReplicationSingleAccumulator,
+    ReplicationTraditional,
+    Scheme,
+    ThreadLevelOneSided,
+    ThreadLevelTwoSided,
+    get_scheme,
+    list_schemes,
+)
+from .faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
+from .roofline import aggregate_intensity, classify_problem, cmr_table, layer_intensities
+from .nn import ModelGraph, ProtectedInference, SequentialModel, build_model, list_models
+from .core import (
+    IntensityGuidedABFT,
+    ModelSelection,
+    PredeploymentProfiler,
+    analytical_choice,
+    overhead_percent,
+    reduction_factor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "DEFAULT_CONSTANTS",
+    "DEFAULT_DETECTION",
+    "ModelConstants",
+    "DetectionConstants",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "TilingError",
+    "OccupancyError",
+    "FaultInjectionError",
+    "DetectionError",
+    "ProfilingError",
+    "ModelZooError",
+    # gpu
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    # gemm
+    "GemmProblem",
+    "TileConfig",
+    "TiledGemm",
+    "select_tile",
+    # abft
+    "Scheme",
+    "NoProtection",
+    "GlobalABFT",
+    "ThreadLevelOneSided",
+    "ThreadLevelTwoSided",
+    "ReplicationTraditional",
+    "ReplicationSingleAccumulator",
+    "MultiChecksumGlobalABFT",
+    "get_scheme",
+    "list_schemes",
+    # faults
+    "FaultSpec",
+    "FaultKind",
+    "FaultPath",
+    "FaultCampaign",
+    # roofline
+    "aggregate_intensity",
+    "layer_intensities",
+    "classify_problem",
+    "cmr_table",
+    # nn
+    "ModelGraph",
+    "build_model",
+    "list_models",
+    "SequentialModel",
+    "ProtectedInference",
+    # core
+    "IntensityGuidedABFT",
+    "PredeploymentProfiler",
+    "ModelSelection",
+    "analytical_choice",
+    "overhead_percent",
+    "reduction_factor",
+]

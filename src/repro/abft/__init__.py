@@ -1,0 +1,65 @@
+"""ABFT schemes: global, thread-level (one/two-sided), replication.
+
+Every scheme implements the :class:`~repro.abft.base.Scheme` interface:
+
+* ``plan`` — the scheme's resource footprint (kernels with extra
+  Tensor-Core FLOPs, ALU ops, bytes, registers, launches) used by the
+  latency model to price execution-time overhead;
+* ``execute`` — numeric protected GEMM over real data, applying injected
+  faults and evaluating the scheme's consistency checks.
+"""
+
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .detection import CheckVerdict, compare_checksums
+from .none import NoProtection
+from .global_abft import GlobalABFT
+from .thread_onesided import ThreadLevelOneSided
+from .thread_twosided import ThreadLevelTwoSided
+from .replication import ReplicationSingleAccumulator, ReplicationTraditional
+from .multi_fault import MultiChecksumGlobalABFT
+
+_SCHEME_CLASSES = (
+    NoProtection,
+    GlobalABFT,
+    ThreadLevelOneSided,
+    ThreadLevelTwoSided,
+    ReplicationTraditional,
+    ReplicationSingleAccumulator,
+)
+
+
+def get_scheme(name: str) -> Scheme:
+    """Instantiate a scheme by its registry name."""
+    from ..errors import ConfigurationError
+
+    table = {cls.name: cls for cls in _SCHEME_CLASSES}
+    try:
+        return table[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ABFT scheme {name!r}; known: {sorted(table)}"
+        ) from None
+
+
+def list_schemes() -> list[str]:
+    """Registry names of all concrete schemes."""
+    return sorted(cls.name for cls in _SCHEME_CLASSES)
+
+
+__all__ = [
+    "Scheme",
+    "SchemePlan",
+    "PlannedKernel",
+    "ExecutionOutcome",
+    "CheckVerdict",
+    "compare_checksums",
+    "NoProtection",
+    "GlobalABFT",
+    "ThreadLevelOneSided",
+    "ThreadLevelTwoSided",
+    "ReplicationTraditional",
+    "ReplicationSingleAccumulator",
+    "MultiChecksumGlobalABFT",
+    "get_scheme",
+    "list_schemes",
+]

@@ -1,0 +1,206 @@
+"""Scheme interface shared by all redundant-execution approaches.
+
+A scheme answers two questions:
+
+* ``plan`` — *what would it cost?*  Returns the kernels the scheme
+  launches with their resource demands, which ``repro.gpu.timing``
+  prices on a device.  This is the path every benchmark uses.
+* ``execute`` — *does it actually detect faults?*  Runs the protected
+  GEMM numerically on real data (optionally with injected faults) and
+  evaluates the scheme's consistency checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..errors import ShapeError
+from ..faults.model import FaultPath, FaultSpec
+from ..gemm.executor import TiledGemm
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import TileConfig, select_tile
+from ..gpu.specs import GPUSpec
+from ..gpu.timing import KernelWork, time_kernel
+from .detection import CheckVerdict
+
+
+@dataclass(frozen=True)
+class PlannedKernel:
+    """One kernel launch in a scheme's execution plan.
+
+    Attributes
+    ----------
+    label:
+        Human-readable role, e.g. ``"mainloop"`` or ``"abft-check"``.
+    work:
+        Resource demands for the latency model.
+    visible_fraction:
+        Fraction of this kernel's time that lands on the layer's
+        critical path.  Global ABFT's check kernel overlaps the next
+        layer (paper §2.5 step 5), so only part of it is visible.
+    time_multiplier:
+        Small fixed relative cost not captured by the counters (e.g.
+        thread-level ABFT's final per-thread check serialization).
+    """
+
+    label: str
+    work: KernelWork
+    visible_fraction: float = 1.0
+    time_multiplier: float = 1.0
+
+
+@dataclass(frozen=True)
+class SchemePlan:
+    """All kernels a scheme launches to execute one protected GEMM."""
+
+    scheme: str
+    problem: GemmProblem
+    tile: TileConfig
+    kernels: tuple[PlannedKernel, ...]
+
+    def modeled_time(
+        self,
+        spec: GPUSpec,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> float:
+        """Visible execution time of the whole plan on ``spec``, seconds."""
+        total = 0.0
+        for kernel in self.kernels:
+            timing = time_kernel(spec, kernel.work, constants)
+            total += timing.total_s * kernel.visible_fraction * kernel.time_multiplier
+        return total
+
+    def kernel_timings(
+        self,
+        spec: GPUSpec,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> dict[str, float]:
+        """Visible time per kernel label (diagnostics)."""
+        out: dict[str, float] = {}
+        for kernel in self.kernels:
+            timing = time_kernel(spec, kernel.work, constants)
+            out[kernel.label] = (
+                timing.total_s * kernel.visible_fraction * kernel.time_multiplier
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of numerically executing a protected GEMM.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme registry name.
+    c:
+        Logical ``M x N`` output quantized to FP16 (what the next layer
+        consumes).
+    c_accumulator:
+        Padded FP32 accumulator grid after fault application.
+    verdict:
+        Consistency-check outcome (None for the unprotected scheme).
+    injected:
+        The fault specs that were applied.
+    """
+
+    scheme: str
+    c: np.ndarray
+    c_accumulator: np.ndarray
+    verdict: CheckVerdict | None
+    injected: tuple[FaultSpec, ...] = ()
+
+    @property
+    def detected(self) -> bool:
+        """True if the scheme's checks flagged an inconsistency."""
+        return bool(self.verdict is not None and self.verdict.detected)
+
+
+class Scheme(abc.ABC):
+    """Abstract redundant-execution scheme."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether the scheme performs any checking at all.
+    protects: bool = True
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        """Resource plan for one protected GEMM under this scheme."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        """Numerically execute the protected GEMM with optional faults."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _setup(
+        a: np.ndarray, b: np.ndarray, tile: TileConfig | None
+    ) -> tuple[GemmProblem, TileConfig, TiledGemm, np.ndarray, np.ndarray, np.ndarray]:
+        """Validate operands, pick a tile, execute the clean GEMM."""
+        if a.ndim != 2 or b.ndim != 2:
+            raise ShapeError("operands must be 2-D matrices")
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+        problem = GemmProblem(a.shape[0], b.shape[1], a.shape[1])
+        chosen = tile if tile is not None else select_tile(problem)
+        executor = TiledGemm(problem, chosen)
+        a_pad = executor.pad_a(a)
+        b_pad = executor.pad_b(b)
+        c_clean = executor.multiply(a_pad, b_pad)
+        return problem, chosen, executor, a_pad, b_pad, c_clean
+
+    @staticmethod
+    def _apply_original_faults(
+        c_clean: np.ndarray, faults: Iterable[FaultSpec]
+    ) -> np.ndarray:
+        """Copy of the accumulator with original-path faults applied."""
+        from ..faults.injector import apply_fault_to_accumulator
+
+        c_faulty = c_clean.copy()
+        for spec in faults:
+            if spec.path is FaultPath.ORIGINAL:
+                apply_fault_to_accumulator(c_faulty, spec)
+        return c_faulty
+
+    @staticmethod
+    def _checksum_faults(faults: Iterable[FaultSpec]) -> list[FaultSpec]:
+        return [f for f in faults if f.path is FaultPath.CHECKSUM]
+
+    @staticmethod
+    def _to_fp16(values: np.ndarray) -> np.ndarray:
+        """Quantize the epilogue output to FP16 storage.
+
+        Faults can push accumulator values past the FP16 range; the
+        resulting inf is the value the hardware would store, so the
+        overflow is expected rather than a numerical error.
+        """
+        with np.errstate(over="ignore"):
+            return values.astype(np.float16)

@@ -1,0 +1,177 @@
+"""Checksum mathematics for global and thread-level ABFT.
+
+Conventions (paper §2.4, Figs. 1, 6, 7):
+
+* The **column checksum** of ``A`` (M x K) sums each column over the M
+  rows, yielding a ``1 x K`` vector — the *activation checksum*.
+* The **row checksum** of ``B`` (K x N) sums each row over the N
+  columns, yielding a ``K x 1`` vector — the *weight checksum*.
+* Their dot product equals, absent faults, the summation of all entries
+  of ``C``.
+
+Thread-level schemes apply the same identities per ``Mt x Nt`` thread
+fragment: one-sided checks ``At @ w_t == rowsums(Ct)`` (Mt equalities
+per thread), two-sided checks the single scalar
+``(1^T At) @ w_t == sum(Ct)``.
+
+All functions also compute the matching *magnitude* arrays (same
+reductions over absolute values), which feed the rounding-noise
+tolerance in :mod:`repro.abft.detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..gemm.executor import TiledGemm
+
+
+def _as_f32(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+# ----------------------------------------------------------------------
+# Global ABFT
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GlobalChecksums:
+    """Checksum-side quantities of global ABFT for one GEMM.
+
+    ``reference`` is the checksum dot product that must equal
+    ``sum(C)``; ``magnitude`` bounds the absolute values accumulated on
+    either side.
+    """
+
+    activation_checksum: np.ndarray  # (K,)
+    weight_checksum: np.ndarray  # (K,)
+    reference: float
+    magnitude: float
+
+
+def global_checksums(a_pad: np.ndarray, b_pad: np.ndarray) -> GlobalChecksums:
+    """Column checksum of A, row checksum of B, and their dot product."""
+    if a_pad.ndim != 2 or b_pad.ndim != 2 or a_pad.shape[1] != b_pad.shape[0]:
+        raise ShapeError(f"bad operand shapes {a_pad.shape} @ {b_pad.shape}")
+    a32 = _as_f32(a_pad)
+    b32 = _as_f32(b_pad)
+    col_a = a32.sum(axis=0)  # (K,)
+    row_b = b32.sum(axis=1)  # (K,)
+    reference = float(col_a @ row_b)
+    magnitude = float(np.abs(a32).sum(axis=0) @ np.abs(b32).sum(axis=1))
+    return GlobalChecksums(
+        activation_checksum=col_a,
+        weight_checksum=row_b,
+        reference=reference,
+        magnitude=magnitude,
+    )
+
+
+def output_summation(c_pad: np.ndarray) -> float:
+    """Fused output summation (paper §2.5 step 2): sum of all of ``C``."""
+    return float(_as_f32(c_pad).sum(dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# Thread-level ABFT
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OneSidedChecksums:
+    """Checksum side of one-sided thread-level ABFT.
+
+    ``reference[i, tj]`` is the ABFT MMA accumulator for output row
+    ``i`` of the thread column-tile ``tj``:  ``A[i, :] @ w[:, tj]``
+    where ``w[:, tj]`` is the weight checksum of that tile's ``Bt``.
+    Must equal the row-sum of the corresponding ``Ct`` rows.
+    """
+
+    weight_checksums: np.ndarray  # (K, n_tiles)
+    reference: np.ndarray  # (m_full, n_tiles)
+    magnitude: np.ndarray  # (m_full, n_tiles)
+
+
+def one_sided_checksums(
+    executor: TiledGemm, a_pad: np.ndarray, b_pad: np.ndarray
+) -> OneSidedChecksums:
+    """Per-thread-tile one-sided checksums, vectorized over all threads.
+
+    The per-thread computation (paper Fig. 7, right): accumulate the row
+    checksum of the ``Bt`` chunk, multiply by the full ``At`` chunk via
+    ``Mt/2`` extra MMAs.  Across the whole kernel this is exactly
+    ``A @ W`` where column ``tj`` of ``W`` sums the ``Nt`` columns of
+    ``B`` owned by thread-column ``tj``.
+    """
+    nt = executor.tile.nt
+    a32 = _as_f32(a_pad)
+    b32 = _as_f32(b_pad)
+    if b32.shape != (executor.k_full, executor.n_full):
+        raise ShapeError(f"padded B must be {executor.k_full}x{executor.n_full}")
+    w = b32.reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    reference = a32 @ w
+    magnitude = np.abs(a32) @ np.abs(b32).reshape(
+        executor.k_full, executor.n_tiles, nt
+    ).sum(axis=2)
+    return OneSidedChecksums(weight_checksums=w, reference=reference, magnitude=magnitude)
+
+
+def one_sided_output_rowsums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
+    """Row-sums of ``C`` within each thread column-tile: (m_full, n_tiles)."""
+    view = executor.thread_tile_view(c_pad)  # (m_tiles, mt, n_tiles, nt)
+    sums = view.sum(axis=3, dtype=np.float64)  # (m_tiles, mt, n_tiles)
+    return sums.reshape(executor.m_full, executor.n_tiles)
+
+
+@dataclass(frozen=True)
+class TwoSidedChecksums:
+    """Checksum side of two-sided thread-level ABFT (one scalar per thread)."""
+
+    reference: np.ndarray  # (m_tiles, n_tiles)
+    magnitude: np.ndarray  # (m_tiles, n_tiles)
+
+
+def two_sided_checksums(
+    executor: TiledGemm, a_pad: np.ndarray, b_pad: np.ndarray
+) -> TwoSidedChecksums:
+    """Per-thread scalar checks: ``(1^T At) @ (Bt 1) == sum(Ct)``."""
+    mt, nt = executor.tile.mt, executor.tile.nt
+    a32 = _as_f32(a_pad)
+    b32 = _as_f32(b_pad)
+    # Column checksum of each thread's At: (m_tiles, K).
+    col_a = a32.reshape(executor.m_tiles, mt, executor.k_full).sum(axis=1)
+    # Row checksum of each thread's Bt: (K, n_tiles).
+    row_b = b32.reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    reference = col_a @ row_b
+    magnitude = (
+        np.abs(a32).reshape(executor.m_tiles, mt, executor.k_full).sum(axis=1)
+        @ np.abs(b32).reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    )
+    return TwoSidedChecksums(reference=reference, magnitude=magnitude)
+
+
+def thread_tile_sums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
+    """Sum of each thread's ``Ct`` fragment: (m_tiles, n_tiles)."""
+    view = executor.thread_tile_view(c_pad)
+    return view.sum(axis=(1, 3), dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Multi-fault checksum weights
+# ----------------------------------------------------------------------
+def vandermonde_weights(length: int, count: int) -> np.ndarray:
+    """``count`` independent checksum weight vectors of ``length``.
+
+    Rows are ``[1, alpha, alpha^2, ...]`` evaluated at distinct small
+    alphas (1, 2, 3, ...) — any ``count`` of them are linearly
+    independent, so ``count`` simultaneous checks can detect up to
+    ``count`` faults (paper §2.4).  Weights are kept small to avoid FP16
+    dynamic-range blowup; callers should keep ``count`` modest.
+    """
+    if length <= 0 or count <= 0:
+        raise ShapeError("vandermonde_weights needs positive length and count")
+    alphas = np.arange(1, count + 1, dtype=np.float64)
+    exponents = np.arange(length, dtype=np.float64)
+    # Normalize each row so its largest weight is 1.0 (numerical hygiene).
+    rows = alphas[:, None] ** (exponents[None, :] / max(length - 1, 1))
+    return (rows / rows.max(axis=1, keepdims=True)).astype(np.float32)

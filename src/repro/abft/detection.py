@@ -1,0 +1,100 @@
+"""Tolerance-aware checksum comparison.
+
+ABFT in floating point cannot demand bitwise equality: the checksum dot
+product and the output summation accumulate the same terms in different
+orders.  Comparisons therefore use the summation forward-error bound
+from :class:`repro.config.DetectionConstants`: a mismatch is a fault
+only if it exceeds the rounding noise that the reduction length and the
+accumulated magnitude can explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..errors import DetectionError
+
+
+@dataclass(frozen=True)
+class CheckVerdict:
+    """Outcome of evaluating one family of ABFT checks.
+
+    Attributes
+    ----------
+    detected:
+        True if any individual check exceeded its tolerance.
+    violations:
+        Indices (into the flattened check array) of failed checks —
+        thread-level schemes use these to localize the faulty region.
+    max_residual:
+        Largest ``|lhs - rhs|`` observed.
+    tolerance:
+        The largest tolerance applied (diagnostic).
+    checks:
+        Number of individual equality checks evaluated.
+    """
+
+    detected: bool
+    violations: tuple[int, ...]
+    max_residual: float
+    tolerance: float
+    checks: int
+
+
+def compare_checksums(
+    checksum_side: np.ndarray,
+    output_side: np.ndarray,
+    *,
+    n_terms: int,
+    magnitudes: np.ndarray | float,
+    constants: DetectionConstants = DEFAULT_DETECTION,
+) -> CheckVerdict:
+    """Compare the redundant-path values against the output-path values.
+
+    Parameters
+    ----------
+    checksum_side:
+        Values produced by the redundant (checksum) computation.
+    output_side:
+        Values produced by summing the actual output.
+    n_terms:
+        Length of the longest accumulation feeding either side; scales
+        the rounding-noise tolerance.
+    magnitudes:
+        Per-check accumulated-magnitude proxy (same shape as the check
+        arrays, or a scalar bound).
+
+    Notes
+    -----
+    Non-finite residuals (a fault flipped an exponent bit into inf/NaN)
+    always count as detections.
+    """
+    lhs = np.asarray(checksum_side, dtype=np.float64)
+    rhs = np.asarray(output_side, dtype=np.float64)
+    if lhs.shape != rhs.shape:
+        raise DetectionError(
+            f"checksum comparison shape mismatch: {lhs.shape} vs {rhs.shape}"
+        )
+    mags = np.broadcast_to(np.asarray(magnitudes, dtype=np.float64), lhs.shape)
+
+    residual = np.abs(lhs - rhs)
+    n = max(int(n_terms), 2)
+    gamma = (np.log2(n) + 1.0) * constants.fp32_unit_roundoff
+    tol = np.maximum(constants.atol_floor, constants.rtol_slack * gamma * np.abs(mags))
+
+    bad = ~np.isfinite(residual) | (residual > tol)
+    violations = tuple(int(i) for i in np.flatnonzero(bad.ravel()))
+    finite = residual[np.isfinite(residual)]
+    max_residual = float(finite.max()) if finite.size else float("inf")
+    if not np.all(np.isfinite(residual)):
+        max_residual = float("inf")
+    return CheckVerdict(
+        detected=bool(bad.any()),
+        violations=violations,
+        max_residual=max_residual,
+        tolerance=float(tol.max()) if tol.size else 0.0,
+        checks=int(lhs.size),
+    )

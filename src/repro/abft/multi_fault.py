@@ -1,0 +1,149 @@
+"""Multi-fault detection via multiple independent checksum combinations.
+
+The paper (§2.4) notes that ABFT extends to detecting multiple faults by
+generating several checksum rows/columns from *independent linear
+combinations* of the matrix rows/columns, each with its own output
+check.  This module implements that extension for the global scheme:
+``r`` weighted column checksums of ``A`` and row checksums of ``B``
+(Vandermonde-style weights), giving ``r`` simultaneous scalar checks
+that jointly detect up to ``r`` faulty output values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..errors import ConfigurationError
+from ..faults.injector import corrupted_value
+from ..faults.model import FaultSpec
+from ..gemm.counters import BYTES_PER_MEM_INSTR, LANES_PER_ALU_INSTR, mainloop_cost
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import TileConfig
+from ..gpu.timing import KernelWork
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .checksums import vandermonde_weights
+from .detection import compare_checksums
+
+
+class MultiChecksumGlobalABFT(Scheme):
+    """Global ABFT with ``r`` independent weighted checksums."""
+
+    name = "global_multi"
+
+    def __init__(self, num_checksums: int = 2) -> None:
+        if num_checksums < 1:
+            raise ConfigurationError(
+                f"num_checksums must be >= 1, got {num_checksums}"
+            )
+        self.num_checksums = num_checksums
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        r = self.num_checksums
+        cost = mainloop_cost(problem, tile, constants)
+        outputs = problem.m_pad * problem.n_pad
+
+        # r weighted output summations + r next-layer activation
+        # checksums fused in the epilogue (each a multiply-add now, not
+        # just an add: weighted combination).
+        epilogue_alu = 2.0 * r * outputs * (constants.epilogue_alu_per_output + 0.5)
+        epilogue_bytes = r * (
+            4.0 * cost.blocks
+            + constants.fp16_bytes * problem.n_pad
+            + constants.global_epilogue_c_traffic
+            * constants.fp16_bytes
+            * problem.m_pad
+            * problem.n_pad
+        )
+        main = PlannedKernel(
+            label="mainloop+fused-epilogue",
+            work=cost.to_kernel_work(
+                extra_alu_ops=epilogue_alu,
+                extra_bytes=epilogue_bytes,
+                extra_registers=4 * r,
+                constants=constants,
+            ),
+        )
+
+        check_alu = r * (2.0 * problem.k_pad + cost.blocks + 8.0)
+        check_bytes = r * (
+            2.0 * constants.fp16_bytes * problem.k_pad + 4.0 * cost.blocks + 8.0
+        )
+        check = PlannedKernel(
+            label="abft-check",
+            work=KernelWork(
+                matmul_flops=0.0,
+                alu_ops=check_alu,
+                dram_bytes=check_bytes,
+                issue_slots=check_alu / LANES_PER_ALU_INSTR
+                + check_bytes / BYTES_PER_MEM_INSTR,
+                blocks=1,
+                threads_per_block=128,
+                registers_per_thread=32,
+                launches=1,
+            ),
+            visible_fraction=1.0 - constants.check_kernel_overlap,
+        )
+        return SchemePlan(self.name, problem, tile, (main, check))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+
+        a32 = a_pad.astype(np.float32)
+        b32 = b_pad.astype(np.float32)
+        # Row weights act on A's rows (length M); column weights on B's
+        # columns (length N).  Check s: (w_m^s A) (B w_n^s) == w_m^s C w_n^s.
+        w_m = vandermonde_weights(executor.m_full, self.num_checksums)
+        w_n = vandermonde_weights(executor.n_full, self.num_checksums)
+
+        references = np.empty(self.num_checksums, dtype=np.float64)
+        out_sums = np.empty(self.num_checksums, dtype=np.float64)
+        magnitudes = np.empty(self.num_checksums, dtype=np.float64)
+        abs_a, abs_b = np.abs(a32), np.abs(b32)
+        c64 = c_faulty.astype(np.float64)
+        for s in range(self.num_checksums):
+            col_a = w_m[s] @ a32  # (K,)
+            row_b = b32 @ w_n[s]  # (K,)
+            references[s] = float(col_a @ row_b)
+            out_sums[s] = float(w_m[s].astype(np.float64) @ c64 @ w_n[s].astype(np.float64))
+            magnitudes[s] = float((np.abs(w_m[s]) @ abs_a) @ (abs_b @ np.abs(w_n[s])))
+
+        for spec in self._checksum_faults(faults):
+            idx = spec.row % self.num_checksums
+            references[idx] = corrupted_value(float(references[idx]), spec)
+
+        verdict = compare_checksums(
+            references,
+            out_sums,
+            n_terms=executor.m_full * executor.n_full + executor.k_full,
+            magnitudes=magnitudes,
+            constants=detection,
+        )
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=verdict,
+            injected=tuple(faults),
+        )

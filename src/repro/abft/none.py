@@ -1,0 +1,62 @@
+"""The unprotected baseline: plain GEMM, no redundant execution.
+
+Every overhead number in the paper is relative to this scheme's
+execution time (``T_o`` in §6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..faults.model import FaultSpec
+from ..gemm.counters import mainloop_cost
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import TileConfig
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+
+
+class NoProtection(Scheme):
+    """Plain GEMM with no fault detection."""
+
+    name = "none"
+    protects = False
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        cost = mainloop_cost(problem, tile, constants)
+        kernel = PlannedKernel(
+            label="mainloop",
+            work=cost.to_kernel_work(constants=constants),
+        )
+        return SchemePlan(self.name, problem, tile, (kernel,))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        _, _, executor, _, _, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=None,
+            injected=tuple(faults),
+        )

@@ -1,0 +1,172 @@
+"""Thread-level replication baselines (paper §4).
+
+Two variants the paper explored before settling on ABFT:
+
+* **Traditional replication**: every MMA is executed twice and the two
+  accumulator sets compared element by element.  Doubling the ``Mt*Nt``
+  output registers per thread wrecks occupancy, which serializes memory
+  latency — the paper found "significant slowdowns" from exactly this.
+* **Replicated MMA, single accumulation**: the redundant MMAs all
+  accumulate into a *single* set of four registers whose final sum must
+  equal the sum of the original ``Mt*Nt`` accumulators.  Occupancy is
+  preserved, but the doubled Tensor-Core work still costs heavily on
+  compute-bound layers (Fig. 12's replication spike beyond size 512).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..faults.injector import apply_fault_to_accumulator, corrupted_value
+from ..faults.model import FaultSpec
+from ..gemm.counters import mainloop_cost
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import TileConfig
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .checksums import thread_tile_sums
+from .detection import compare_checksums
+
+
+class ReplicationTraditional(Scheme):
+    """Duplicate MMAs into a second full accumulator set; compare all."""
+
+    name = "replication_traditional"
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        cost = mainloop_cost(problem, tile, constants)
+        # Mt*Nt/2 extra MMAs per step: Tensor-Core work doubles.
+        extra_tc = cost.tc_flops
+        # Final element-wise compare of the two accumulator sets.
+        final_check_alu = cost.threads_total * (tile.mt * tile.nt)
+        kernel = PlannedKernel(
+            label="mainloop+replication",
+            work=cost.to_kernel_work(
+                extra_tc_flops=extra_tc,
+                extra_alu_ops=final_check_alu,
+                # The second accumulator set: the occupancy killer.
+                extra_registers=tile.mt * tile.nt,
+                constants=constants,
+            ),
+            time_multiplier=1.0 + constants.thread_abft_fixed_fraction,
+        )
+        return SchemePlan(self.name, problem, tile, (kernel,))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+
+        # The replica runs the identical MMA sequence on the identical
+        # fragments, so absent faults it reproduces the accumulator
+        # exactly; checksum-path faults corrupt the replica instead.
+        replica = c_clean.copy()
+        for spec in self._checksum_faults(faults):
+            apply_fault_to_accumulator(replica, spec)
+
+        # Identical operation orders on both sides: tolerance only needs
+        # to cover non-associativity-free comparison, i.e. none — but we
+        # keep the standard machinery with a magnitude bound from |C|.
+        magnitudes = np.maximum(np.abs(replica), np.abs(c_faulty))
+        verdict = compare_checksums(
+            replica,
+            c_faulty,
+            n_terms=1,
+            magnitudes=magnitudes,
+            constants=detection,
+        )
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=verdict,
+            injected=tuple(faults),
+        )
+
+
+class ReplicationSingleAccumulator(Scheme):
+    """Duplicate MMAs into one 4-register accumulator; compare sums."""
+
+    name = "replication_single"
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        cost = mainloop_cost(problem, tile, constants)
+        extra_tc = cost.tc_flops
+        # Final check: sum Mt*Nt original registers + 4 replica
+        # registers, one compare.
+        final_check_alu = cost.threads_total * (tile.mt * tile.nt + 4 + 1)
+        kernel = PlannedKernel(
+            label="mainloop+replication",
+            work=cost.to_kernel_work(
+                extra_tc_flops=extra_tc,
+                extra_alu_ops=final_check_alu,
+                extra_registers=4,
+                constants=constants,
+            ),
+            time_multiplier=1.0 + constants.thread_abft_fixed_fraction,
+        )
+        return SchemePlan(self.name, problem, tile, (kernel,))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+
+        # The replica's 4-register sum equals the clean per-tile sum;
+        # checksum-path faults corrupt the replica accumulator.
+        replica_sums = thread_tile_sums(executor, c_clean).astype(np.float64)
+        for spec in self._checksum_faults(faults):
+            tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
+            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+            replica_sums[tile_row, tile_col] = corrupted_value(
+                float(replica_sums[tile_row, tile_col]), spec
+            )
+
+        original_sums = thread_tile_sums(executor, c_faulty)
+        view = executor.thread_tile_view(np.abs(c_clean))
+        magnitudes = view.sum(axis=(1, 3), dtype=np.float64)
+        verdict = compare_checksums(
+            replica_sums,
+            original_sums,
+            n_terms=chosen.mt * chosen.nt,
+            magnitudes=magnitudes,
+            constants=detection,
+        )
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=verdict,
+            injected=tuple(faults),
+        )

@@ -1,0 +1,118 @@
+"""One-sided thread-level ABFT (paper §5.2.2, right side of Fig. 7).
+
+Each thread generates a running row checksum of its ``Bt`` fragment
+(``O(Nt)`` CUDA-core adds per K-step) and multiplies the *entirety* of
+its ``At`` fragment by that checksum via ``Mt/2`` extra MMAs per K-step,
+accumulating into ``Mt`` extra registers.  At the end, the ``Mt`` ABFT
+accumulators must equal the row-sums of the thread's ``Mt x Nt``
+output fragment.
+
+Why this shape: it deliberately shifts redundant work *onto the
+Tensor-Core pipe* — the resource bandwidth-bound layers leave idle —
+while keeping the CUDA-core (checksum) work minimal, because CUDA cores
+are already busy with address math and loop bookkeeping (paper §5.2.2).
+It also shares every load with the mainloop and writes nothing extra:
+zero additional DRAM traffic, per the §3.5 design principle.  The weight
+checksum is *recomputed online* (not loaded), again to avoid loads
+(§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..faults.injector import apply_fault_to_accumulator
+from ..faults.model import FaultSpec
+from ..gemm.counters import mainloop_cost
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import KSTEP, TileConfig
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .checksums import one_sided_checksums, one_sided_output_rowsums
+from .detection import compare_checksums
+
+
+class ThreadLevelOneSided(Scheme):
+    """Per-thread one-sided ABFT fused into the GEMM mainloop."""
+
+    name = "thread_onesided"
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        cost = mainloop_cost(problem, tile, constants)
+
+        # Mt/2 extra MMAs per K-step versus Mt*Nt/2 mainloop MMAs:
+        # a 1/Nt relative increase in Tensor-Core work (Table 1).
+        extra_tc = cost.tc_flops / tile.nt
+
+        # O(Nt) checksum adds per K-step: the running row checksum of
+        # the 2 x Nt Bt chunk costs ~2*Nt FP16-lane adds.
+        mainloop_checksum_alu = (
+            cost.threads_total * cost.ksteps * (KSTEP * tile.nt)
+        )
+        # Final per-thread check: row-sum the Mt x Nt output fragment
+        # (Mt*Nt adds) and compare Mt values.
+        final_check_alu = cost.threads_total * (tile.mt * tile.nt + tile.mt)
+
+        kernel = PlannedKernel(
+            label="mainloop+thread-abft",
+            work=cost.to_kernel_work(
+                extra_tc_flops=extra_tc,
+                extra_alu_ops=mainloop_checksum_alu + final_check_alu,
+                extra_registers=tile.mt + 2,
+                constants=constants,
+            ),
+            time_multiplier=1.0 + constants.thread_abft_fixed_fraction,
+        )
+        return SchemePlan(self.name, problem, tile, (kernel,))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+
+        chks = one_sided_checksums(executor, a_pad, b_pad)
+        reference = chks.reference.copy()
+        for spec in self._checksum_faults(faults):
+            # A checksum-path fault corrupts the thread's ABFT
+            # accumulator for the row/tile addressed by the spec.
+            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+            row = min(spec.row, executor.m_full - 1)
+            apply_fault_to_accumulator(
+                reference, type(spec)(row=row, col=tile_col, kind=spec.kind,
+                                      bit=spec.bit, value=spec.value, path=spec.path)
+            )
+
+        rowsums = one_sided_output_rowsums(executor, c_faulty)
+        verdict = compare_checksums(
+            reference,
+            rowsums,
+            n_terms=executor.k_full + chosen.nt,
+            magnitudes=chks.magnitude,
+            constants=detection,
+        )
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=verdict,
+            injected=tuple(faults),
+        )

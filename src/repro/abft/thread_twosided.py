@@ -1,0 +1,113 @@
+"""Two-sided thread-level ABFT (paper §5.2.2, left side of Fig. 7).
+
+Each thread generates checksums of *both* its ``At`` chunk (column
+checksum, ``O(Mt)`` adds) and its ``Bt`` chunk (row checksum, ``O(Nt)``
+adds) per K-step, then performs a *single* extra MMA over the checksums,
+accumulating one scalar invariant: at the end, the ABFT scalar must
+equal the sum of the thread's entire ``Mt x Nt`` output fragment.
+
+This minimizes redundant Tensor-Core work (1 extra MMA vs the
+mainloop's ``Mt*Nt/2`` per step) but maximizes CUDA-core checksum work
+(``O(Mt+Nt)`` per step).  Because CUDA cores are *not* idle in
+bandwidth-bound GEMMs (address math, loop bookkeeping), this trade is
+usually worse than one-sided's (paper Table 1, Fig. 12) — reproducing
+that comparison is the point of implementing this scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from ..faults.injector import apply_fault_to_accumulator
+from ..faults.model import FaultSpec
+from ..gemm.counters import mainloop_cost
+from ..gemm.problem import GemmProblem
+from ..gemm.tiles import KSTEP, TileConfig
+from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .checksums import thread_tile_sums, two_sided_checksums
+from .detection import compare_checksums
+
+
+class ThreadLevelTwoSided(Scheme):
+    """Per-thread two-sided ABFT fused into the GEMM mainloop."""
+
+    name = "thread_twosided"
+
+    def plan(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> SchemePlan:
+        cost = mainloop_cost(problem, tile, constants)
+
+        # One extra MMA per K-step versus Mt*Nt/2 mainloop MMAs.
+        extra_tc = cost.tc_flops * 2.0 / (tile.mt * tile.nt)
+
+        # O(Mt + Nt) checksum adds per K-step: column checksum of the
+        # Mt x 2 At chunk (~2*Mt lane-adds) plus row checksum of the
+        # 2 x Nt Bt chunk (~2*Nt lane-adds).
+        mainloop_checksum_alu = (
+            cost.threads_total * cost.ksteps * KSTEP * (tile.mt + tile.nt)
+        )
+        # Final per-thread check: sum the Mt x Nt fragment, one compare.
+        final_check_alu = cost.threads_total * (tile.mt * tile.nt + 4)
+
+        kernel = PlannedKernel(
+            label="mainloop+thread-abft",
+            work=cost.to_kernel_work(
+                extra_tc_flops=extra_tc,
+                extra_alu_ops=mainloop_checksum_alu + final_check_alu,
+                extra_registers=4,
+                constants=constants,
+            ),
+            time_multiplier=1.0 + constants.thread_abft_fixed_fraction,
+        )
+        return SchemePlan(self.name, problem, tile, (kernel,))
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        faults: Sequence[FaultSpec] = (),
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> ExecutionOutcome:
+        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
+        c_faulty = self._apply_original_faults(c_clean, faults)
+
+        chks = two_sided_checksums(executor, a_pad, b_pad)
+        reference = chks.reference.copy()
+        for spec in self._checksum_faults(faults):
+            tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
+            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+            apply_fault_to_accumulator(
+                reference,
+                type(spec)(row=tile_row, col=tile_col, kind=spec.kind,
+                           bit=spec.bit, value=spec.value, path=spec.path),
+            )
+
+        tile_sums = thread_tile_sums(executor, c_faulty)
+        verdict = compare_checksums(
+            reference,
+            tile_sums,
+            n_terms=executor.k_full * chosen.mt + chosen.mt * chosen.nt,
+            magnitudes=chks.magnitude,
+            constants=detection,
+        )
+        return ExecutionOutcome(
+            scheme=self.name,
+            c=self._to_fp16(executor.crop(c_faulty)),
+            c_accumulator=c_faulty,
+            verdict=verdict,
+            injected=tuple(faults),
+        )

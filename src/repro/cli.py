@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands mirror the deployment workflow:
+
+* ``models`` / ``devices`` — list what is available.
+* ``intensity MODEL`` — per-layer and aggregate arithmetic intensity.
+* ``select MODEL`` — run the intensity-guided selection on a device and
+  print (or ``--json``-export) the per-layer plan.
+* ``sweep`` — the Fig. 12 square-GEMM sweep on a device.
+* ``experiments [NAME...]`` — regenerate paper artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import IntensityGuidedABFT, layer_selection_table
+from .errors import ReproError
+from .gpu import get_gpu, list_gpus
+from .nn import build_model, list_models
+from .roofline import layer_intensities
+from .utils import Table
+from .utils.serde import model_selection_to_json
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    for name in list_models():
+        print(name)
+    return 0
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    for name in list_gpus():
+        spec = get_gpu(name)
+        print(f"{spec.name}: CMR {spec.cmr:.0f} "
+              f"({spec.matmul_flops / 1e12:.0f} TFLOPs/s, "
+              f"{spec.mem_bandwidth / 1e9:.0f} GB/s)")
+    return 0
+
+
+def _cmd_intensity(args: argparse.Namespace) -> int:
+    model = build_model(args.model, batch=args.batch, h=args.height, w=args.width)
+    table = Table(
+        ["layer", "M", "N", "K", "AI"],
+        title=f"{model.name} ({model.input_desc}, batch {model.batch}) — "
+              f"aggregate AI {model.aggregate_intensity():.1f}",
+    )
+    for layer, brk in zip(model, layer_intensities(model.problems)):
+        table.add_row([layer.name, layer.problem.m, layer.problem.n,
+                       layer.problem.k, brk.intensity])
+    print(table.render())
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.device)
+    model = build_model(args.model, batch=args.batch, h=args.height, w=args.width)
+    selection = IntensityGuidedABFT(spec).select_for_model(model)
+    if args.json:
+        print(model_selection_to_json(selection))
+        return 0
+    print(layer_selection_table(selection).render())
+    print()
+    print(f"thread-level overhead : "
+          f"{selection.scheme_overhead_percent('thread_onesided'):6.2f}%")
+    print(f"global overhead       : "
+          f"{selection.scheme_overhead_percent('global'):6.2f}%")
+    print(f"intensity-guided      : {selection.guided_overhead_percent:6.2f}%")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import fig12_square_sweep
+
+    print(fig12_square_sweep(get_gpu(args.device)).render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import EXPERIMENTS
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"\n===== {name} =====")
+        print(EXPERIMENTS[name]().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arithmetic-intensity-guided ABFT reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list evaluation models").set_defaults(fn=_cmd_models)
+    sub.add_parser("devices", help="list device specs").set_defaults(fn=_cmd_devices)
+
+    def _model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", choices=list_models())
+        p.add_argument("--batch", type=int, default=None,
+                       help="batch size (model-specific default)")
+        p.add_argument("--height", type=int, default=1080)
+        p.add_argument("--width", type=int, default=1920)
+
+    p_int = sub.add_parser("intensity", help="per-layer arithmetic intensity")
+    _model_args(p_int)
+    p_int.set_defaults(fn=_cmd_intensity)
+
+    p_sel = sub.add_parser("select", help="intensity-guided per-layer selection")
+    _model_args(p_sel)
+    p_sel.add_argument("--device", default="T4", choices=list_gpus())
+    p_sel.add_argument("--json", action="store_true",
+                       help="emit the machine-readable deployment plan")
+    p_sel.set_defaults(fn=_cmd_select)
+
+    p_sweep = sub.add_parser("sweep", help="Fig. 12 square-GEMM sweep")
+    p_sweep.add_argument("--device", default="T4", choices=list_gpus())
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p_exp.add_argument("names", nargs="*",
+                       help="artifact names (default: all)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""Intensity-guided ABFT: per-layer adaptive scheme selection (paper §5.3).
+
+For every linear layer of a NN, profile the candidate ABFT schemes and
+choose the one with the lowest execution time.  The winner correlates
+with the layer's arithmetic intensity relative to the device CMR —
+bandwidth-bound layers pick thread-level ABFT, compute-bound layers pick
+global ABFT — which is the paper's core observation and gives the
+approach its name.
+
+By construction the selection is never slower than the best uniform
+scheme ("intensity-guided ABFT, by design, always performs at least as
+well as global ABFT", §6.2), and the tests pin that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..config import DEFAULT_CONSTANTS, ModelConstants
+from ..errors import ProfilingError
+from ..gemm.problem import GemmProblem
+from ..gpu.specs import GPUSpec
+from ..nn.graph import ModelGraph
+from .overhead import overhead_percent
+from .profiler import PredeploymentProfiler
+
+#: The two schemes intensity-guided ABFT arbitrates between (paper §5.3).
+DEFAULT_CANDIDATES: tuple[str, ...] = ("global", "thread_onesided")
+
+
+def analytical_choice(problem: GemmProblem, spec: GPUSpec) -> str:
+    """Model-free selection rule (paper §7.2): compare AI to CMR.
+
+    Layers with arithmetic intensity below the device CMR are
+    bandwidth bound and predicted to prefer thread-level ABFT; the rest
+    prefer global ABFT.  The empirical profiler refines this; the
+    agreement between the two is itself an experiment (see benchmarks).
+    """
+    intensity = problem.arithmetic_intensity(padded=True)
+    return "thread_onesided" if intensity <= spec.cmr else "global"
+
+
+@dataclass(frozen=True)
+class LayerSelection:
+    """Per-layer profiling result and the guided choice."""
+
+    layer_name: str
+    problem: GemmProblem
+    intensity: float
+    baseline_s: float
+    scheme_times_s: Mapping[str, float]
+    chosen: str
+
+    @property
+    def chosen_time_s(self) -> float:
+        return self.scheme_times_s[self.chosen]
+
+    def overhead_percent(self, scheme: str) -> float:
+        """Per-layer overhead of one candidate scheme."""
+        return overhead_percent(self.scheme_times_s[scheme], self.baseline_s)
+
+
+@dataclass(frozen=True)
+class ModelSelection:
+    """Whole-model result of intensity-guided selection.
+
+    Per-layer times are summed across linear layers (paper §6.2: layers
+    execute sequentially, so the sum represents the NN's execution).
+    """
+
+    model_name: str
+    device: str
+    layers: tuple[LayerSelection, ...]
+
+    # ------------------------------------------------------------------
+    @property
+    def baseline_s(self) -> float:
+        """Unprotected execution time of the whole model."""
+        return sum(sel.baseline_s for sel in self.layers)
+
+    def scheme_total_s(self, scheme: str) -> float:
+        """Total time under one uniform scheme."""
+        return sum(sel.scheme_times_s[scheme] for sel in self.layers)
+
+    @property
+    def guided_total_s(self) -> float:
+        """Total time under the per-layer guided selection."""
+        return sum(sel.chosen_time_s for sel in self.layers)
+
+    def scheme_overhead_percent(self, scheme: str) -> float:
+        """Whole-model overhead of one uniform scheme (the paper's bars)."""
+        return overhead_percent(self.scheme_total_s(scheme), self.baseline_s)
+
+    @property
+    def guided_overhead_percent(self) -> float:
+        """Whole-model overhead of intensity-guided ABFT."""
+        return overhead_percent(self.guided_total_s, self.baseline_s)
+
+    @property
+    def selection_counts(self) -> dict[str, int]:
+        """How many layers chose each scheme."""
+        counts: dict[str, int] = {}
+        for sel in self.layers:
+            counts[sel.chosen] = counts.get(sel.chosen, 0) + 1
+        return counts
+
+
+class IntensityGuidedABFT:
+    """Per-layer adaptive ABFT selection for a model on a device.
+
+    Parameters
+    ----------
+    spec:
+        Target device.
+    candidates:
+        Scheme registry names to arbitrate between; defaults to the
+        paper's pair (global, one-sided thread-level).
+    constants:
+        Latency-model constants.
+    profiler:
+        Optionally inject a pre-built profiler (shares its cache).
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        *,
+        candidates: Sequence[str] = DEFAULT_CANDIDATES,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+        profiler: PredeploymentProfiler | None = None,
+    ) -> None:
+        if not candidates:
+            raise ProfilingError("intensity-guided ABFT needs candidate schemes")
+        self.spec = spec
+        self.candidates = tuple(candidates)
+        self.constants = constants
+        self.profiler = profiler or PredeploymentProfiler(
+            spec, schemes=self.candidates, constants=constants
+        )
+
+    # ------------------------------------------------------------------
+    def select_for_problem(self, problem: GemmProblem, *, name: str = "") -> LayerSelection:
+        """Profile one layer and choose its cheapest protection."""
+        entries = self.profiler.profile(problem)
+        times = {s: entries[s].time_s for s in self.candidates}
+        chosen = min(times, key=lambda s: times[s])
+        return LayerSelection(
+            layer_name=name or problem.label or str(problem),
+            problem=problem,
+            intensity=problem.arithmetic_intensity(padded=True),
+            baseline_s=entries["none"].time_s,
+            scheme_times_s=times,
+            chosen=chosen,
+        )
+
+    def select_for_model(self, graph: ModelGraph) -> ModelSelection:
+        """Run the per-layer selection over a whole model."""
+        layers = tuple(
+            self.select_for_problem(layer.problem, name=layer.name)
+            for layer in graph
+        )
+        return ModelSelection(
+            model_name=graph.name, device=self.spec.name, layers=layers
+        )

@@ -1,0 +1,34 @@
+"""The paper's execution-time-overhead metric (§6.2).
+
+For a layer (or a whole NN, summing per-layer times), the overhead of a
+redundant scheme with execution time ``T_r`` over the unprotected time
+``T_o`` is ``(T_r - T_o) / T_o * 100`` percent.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProfilingError
+
+
+def overhead_percent(t_redundant: float, t_original: float) -> float:
+    """Percentage increase in execution time (paper §6.2)."""
+    if t_original <= 0:
+        raise ProfilingError(f"baseline time must be positive, got {t_original}")
+    if t_redundant < 0:
+        raise ProfilingError(f"redundant time must be non-negative, got {t_redundant}")
+    return (t_redundant - t_original) / t_original * 100.0
+
+
+def reduction_factor(overhead_a: float, overhead_b: float) -> float:
+    """How many times smaller ``overhead_b`` is than ``overhead_a``.
+
+    The paper reports e.g. "intensity-guided ABFT reduces execution-time
+    overhead by 5.3x compared to global ABFT": that is
+    ``reduction_factor(global_pct, guided_pct)``.
+    """
+    if overhead_b <= 0:
+        raise ProfilingError(
+            f"cannot form a reduction factor against non-positive overhead "
+            f"{overhead_b}"
+        )
+    return overhead_a / overhead_b

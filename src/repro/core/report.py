@@ -1,0 +1,75 @@
+"""Table renderers for experiment results (what the benchmarks print)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..utils import Table
+from .intensity_guided import ModelSelection
+from .overhead import reduction_factor
+
+
+def model_overhead_table(
+    selections: Sequence[ModelSelection],
+    *,
+    schemes: Sequence[str] = ("thread_onesided", "global"),
+    title: str = "Execution-time overhead (%)",
+    include_intensity: bool = True,
+) -> Table:
+    """One row per model: per-scheme overhead, guided overhead, reduction.
+
+    Mirrors the layout of the paper's Figs. 8-11: models in order, the
+    uniform schemes' overheads, intensity-guided ABFT's overhead, and
+    the global-vs-guided reduction factor annotated above the bars.
+    """
+    columns = ["model"]
+    if include_intensity:
+        columns.append("agg AI")
+    columns += [f"{s} (%)" for s in schemes]
+    columns += ["intensity-guided (%)", "reduction vs global"]
+    table = Table(columns, title=title)
+    for sel in selections:
+        row: list[object] = [sel.model_name]
+        if include_intensity:
+            total_flops = sum(l.problem.flops(padded=True) for l in sel.layers)
+            total_bytes = sum(l.problem.bytes_moved(padded=True) for l in sel.layers)
+            row.append(total_flops / total_bytes)
+        for scheme in schemes:
+            row.append(sel.scheme_overhead_percent(scheme))
+        guided = sel.guided_overhead_percent
+        row.append(guided)
+        if "global" in schemes and guided > 0:
+            row.append(reduction_factor(sel.scheme_overhead_percent("global"), guided))
+        else:
+            row.append(float("nan"))
+        table.add_row(row)
+    return table
+
+
+def layer_selection_table(
+    selection: ModelSelection,
+    *,
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> Table:
+    """Per-layer detail: intensity, per-scheme overhead, winner."""
+    schemes = list(selection.layers[0].scheme_times_s) if selection.layers else []
+    columns = ["layer", "M", "N", "K", "AI"] + [f"{s} (%)" for s in schemes] + ["chosen"]
+    table = Table(
+        columns,
+        title=title or f"{selection.model_name} on {selection.device}: per-layer selection",
+    )
+    rows = selection.layers[:max_rows] if max_rows else selection.layers
+    for sel in rows:
+        row: list[object] = [
+            sel.layer_name,
+            sel.problem.m,
+            sel.problem.n,
+            sel.problem.k,
+            sel.intensity,
+        ]
+        for scheme in schemes:
+            row.append(sel.overhead_percent(scheme))
+        row.append(sel.chosen)
+        table.add_row(row)
+    return table

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with one ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid model constant, device spec, or tile configuration."""
+
+
+class ShapeError(ReproError):
+    """A matrix/tensor shape is inconsistent with the requested operation."""
+
+
+class TilingError(ReproError):
+    """A tile configuration cannot legally decompose the given problem."""
+
+
+class OccupancyError(ReproError):
+    """A kernel configuration cannot be scheduled on the device at all.
+
+    Raised when a single threadblock exceeds a per-SM hardware limit
+    (registers, shared memory, or threads), meaning occupancy is zero.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault site does not exist in the execution being instrumented."""
+
+
+class DetectionError(ReproError):
+    """An ABFT consistency check could not be evaluated."""
+
+
+class ProfilingError(ReproError):
+    """The pre-deployment profiler was given nothing it can rank."""
+
+
+class ModelZooError(ReproError):
+    """An unknown model name or an architecture that fails shape propagation."""

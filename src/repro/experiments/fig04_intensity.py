@@ -1,0 +1,46 @@
+"""Fig. 4: FP16 aggregate arithmetic intensity of eight CNNs.
+
+Paper setting: images of 1080x1920 at batch size one.  Reported values
+(read off the figure / §3.2): SqueezeNet 71.1, ShuffleNet 76.6,
+DenseNet-161 79.0, ResNet-50 122.0, AlexNet 125.5, VGG-16 155.5,
+ResNeXt-50 220.8, Wide-ResNet-50 220.8.
+"""
+
+from __future__ import annotations
+
+from ..nn import build_model
+from ..nn.models.registry import GENERAL_CNNS
+from ..utils import Table
+
+#: Values the paper prints under each bar (Figs. 4 and 8).
+PAPER_VALUES: dict[str, float] = {
+    "squeezenet1_0": 71.1,
+    "shufflenet_v2_x1_0": 76.6,
+    "densenet161": 79.0,
+    "resnet50": 122.0,
+    "alexnet": 125.5,
+    "vgg16": 155.5,
+    "resnext50_32x4d": 220.8,
+    "wide_resnet50_2": 220.8,
+}
+
+
+def fig04_aggregate_intensity(*, h: int = 1080, w: int = 1920, batch: int = 1) -> Table:
+    """Regenerate Fig. 4's series: model -> aggregate intensity."""
+    table = Table(
+        ["model", "layers", "GFLOPs", "MB moved", "agg AI (measured)", "agg AI (paper)"],
+        title=f"Fig. 4 — FP16 aggregate arithmetic intensity ({h}x{w}, batch {batch})",
+    )
+    for name in GENERAL_CNNS:
+        model = build_model(name, batch=batch, h=h, w=w)
+        table.add_row(
+            [
+                name,
+                len(model),
+                model.total_flops() / 1e9,
+                model.total_bytes() / 1e6,
+                model.aggregate_intensity(),
+                PAPER_VALUES[name],
+            ]
+        )
+    return table

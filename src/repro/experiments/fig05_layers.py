@@ -1,0 +1,38 @@
+"""Fig. 5: per-layer FP16 arithmetic intensity of ResNet-50 on HD images.
+
+The paper shows a scatter over layer index with values ranging from ~1
+(the batch-1 fully-connected classifier) to ~511 (the stage-4
+downsample convolution).  This driver regenerates the full series plus
+the summary statistics.
+"""
+
+from __future__ import annotations
+
+from ..nn import build_model
+from ..roofline import layer_intensities
+from ..utils import Table
+
+
+def fig05_resnet_layer_intensity(*, h: int = 1080, w: int = 1920) -> Table:
+    """Regenerate Fig. 5's series: layer index -> arithmetic intensity."""
+    model = build_model("resnet50", h=h, w=w)
+    # Fig. 5 plots the unpadded per-layer view (its minimum of ~1 is the
+    # unpadded batch-1 FC layer).
+    breakdowns = layer_intensities(model.problems, padded=False)
+    table = Table(
+        ["idx", "layer", "M", "N", "K", "AI"],
+        title=f"Fig. 5 — ResNet-50 per-layer arithmetic intensity ({h}x{w}, batch 1)",
+    )
+    for idx, (layer, brk) in enumerate(zip(model, breakdowns)):
+        table.add_row(
+            [idx, layer.name, layer.problem.m, layer.problem.n, layer.problem.k,
+             brk.intensity]
+        )
+    return table
+
+
+def fig05_summary(*, h: int = 1080, w: int = 1920) -> dict[str, float]:
+    """Min/max/range of the Fig. 5 series (paper: ~1 to ~511)."""
+    model = build_model("resnet50", h=h, w=w)
+    values = [p.arithmetic_intensity(padded=False) for p in model.problems]
+    return {"min": min(values), "max": max(values), "layers": float(len(values))}

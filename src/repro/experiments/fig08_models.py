@@ -1,0 +1,70 @@
+"""Fig. 8: execution-time overhead of global vs intensity-guided ABFT
+across all fourteen evaluated NNs.
+
+Paper headline: intensity-guided ABFT reduces overhead by 1.09-5.3x,
+with labeled reductions MLP-Bottom 4.6x, MLP-Top 3.2x, Coral 3.7x,
+Roundabout 5.3x, Taipei 2.0x, Amsterdam 1.6x, SqueezeNet 2.4x,
+ShuffleNet 2.8x.
+"""
+
+from __future__ import annotations
+
+from ..core import IntensityGuidedABFT, ModelSelection
+from ..gpu import T4, GPUSpec
+from ..nn import build_model, list_models
+from ..utils import Table
+
+#: Reduction factors the paper labels above Fig. 8's bars (plus the WRN
+#: value stated in §6.3); None where the paper gives no number.
+PAPER_REDUCTIONS: dict[str, float | None] = {
+    "mlp_bottom": 4.55,
+    "mlp_top": 3.24,
+    "coral": 3.7,
+    "roundabout": 5.3,
+    "taipei": 2.0,
+    "amsterdam": 1.6,
+    "squeezenet1_0": 2.4,
+    "shufflenet_v2_x1_0": 2.75,
+    "densenet161": None,
+    "resnet50": None,
+    "alexnet": None,
+    "vgg16": None,
+    "resnext50_32x4d": None,
+    "wide_resnet50_2": 1.5,
+}
+
+
+def fig08_selections(spec: GPUSpec = T4) -> dict[str, ModelSelection]:
+    """Per-model intensity-guided selections for all fourteen NNs."""
+    guided = IntensityGuidedABFT(spec)
+    return {name: guided.select_for_model(build_model(name)) for name in list_models()}
+
+
+def fig08_all_models(spec: GPUSpec = T4) -> Table:
+    """Regenerate Fig. 8's series for every model, in the paper's order."""
+    table = Table(
+        [
+            "model",
+            "agg AI",
+            "global (%)",
+            "intensity-guided (%)",
+            "reduction (measured)",
+            "reduction (paper)",
+        ],
+        title=f"Fig. 8 — execution-time overhead on {spec.name} (global vs intensity-guided)",
+    )
+    for name, sel in fig08_selections(spec).items():
+        global_pct = sel.scheme_overhead_percent("global")
+        guided_pct = sel.guided_overhead_percent
+        paper = PAPER_REDUCTIONS[name]
+        table.add_row(
+            [
+                name,
+                build_model(name).aggregate_intensity(),
+                global_pct,
+                guided_pct,
+                global_pct / guided_pct if guided_pct > 0 else float("inf"),
+                paper if paper is not None else "-",
+            ]
+        )
+    return table

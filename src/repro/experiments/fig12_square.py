@@ -1,0 +1,52 @@
+"""Fig. 12: all redundant-execution schemes on square GEMMs 32..2048.
+
+Paper: sizes left of AI = CMR (203 on the T4, i.e. up to 512) are
+bandwidth bound and favor thread-level ABFT by up to 6.5x; sizes right
+of it favor global ABFT by up to 14x; one-sided beats two-sided almost
+always; replication spikes past 512 and exceeds 70% for 1024/2048.
+"""
+
+from __future__ import annotations
+
+from ..core.profiler import PredeploymentProfiler
+from ..gemm import GemmProblem
+from ..gpu import T4, GPUSpec
+from ..utils import Table, geometric_sizes
+
+#: The schemes Fig. 12 compares.
+FIG12_SCHEMES: tuple[str, ...] = (
+    "thread_onesided",
+    "thread_twosided",
+    "replication_single",
+    "replication_traditional",
+    "global",
+)
+
+
+def fig12_square_sweep(
+    spec: GPUSpec = T4,
+    *,
+    start: int = 32,
+    stop: int = 2048,
+) -> Table:
+    """Regenerate Fig. 12's series: size -> overhead per scheme."""
+    profiler = PredeploymentProfiler(spec, schemes=FIG12_SCHEMES)
+    table = Table(
+        ["M=N=K", "AI", "side of CMR"]
+        + [f"{s} (%)" for s in FIG12_SCHEMES],
+        title=f"Fig. 12 — square-GEMM overhead sweep on {spec.name} (CMR {spec.cmr:.0f})",
+    )
+    for size in geometric_sizes(start, stop):
+        problem = GemmProblem(size, size, size)
+        entries = profiler.profile(problem)
+        base = entries["none"].time_s
+        intensity = problem.arithmetic_intensity()
+        row: list[object] = [
+            size,
+            intensity,
+            "bandwidth" if intensity <= spec.cmr else "compute",
+        ]
+        for scheme in FIG12_SCHEMES:
+            row.append((entries[scheme].time_s / base - 1.0) * 100.0)
+        table.add_row(row)
+    return table

@@ -1,0 +1,71 @@
+"""Run every experiment and emit one consolidated report.
+
+``python -m repro.experiments.runner`` regenerates all the paper's
+tables and figures (as ASCII series) in one pass — this is the script
+that produced EXPERIMENTS.md's measured columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..utils import Table
+from .agreement import agreement_study
+from .ablations import ablation_check_overlap, ablation_device_sweep, ablation_thread_tile
+from .fault_coverage import fault_coverage_experiment
+from .fig04_intensity import fig04_aggregate_intensity
+from .fig05_layers import fig05_resnet_layer_intensity, fig05_summary
+from .fig08_models import fig08_all_models
+from .fig09_cnns import fig09_general_cnns
+from .fig10_dlrm import fig10_dlrm
+from .fig11_specialized import fig11_specialized
+from .fig12_square import fig12_square_sweep
+from .sec33_cmr import sec33_cmr_table
+from .table1_ops import table1_op_counts
+
+#: Every experiment keyed by its paper artifact, in paper order.
+EXPERIMENTS: dict[str, Callable[[], Table]] = {
+    "fig04": fig04_aggregate_intensity,
+    "fig05": fig05_resnet_layer_intensity,
+    "sec33": sec33_cmr_table,
+    "table1": table1_op_counts,
+    "fig08": fig08_all_models,
+    "fig09_hd": fig09_general_cnns,
+    "fig09_224": lambda: fig09_general_cnns(h=224, w=224),
+    "fig10": fig10_dlrm,
+    "fig11": fig11_specialized,
+    "fig12": fig12_square_sweep,
+    "fault_coverage": fault_coverage_experiment,
+    "ablation_overlap": ablation_check_overlap,
+    "ablation_tile": ablation_thread_tile,
+    "ablation_devices": ablation_device_sweep,
+    "sec72_agreement": agreement_study,
+}
+
+
+def run_all(*, skip: tuple[str, ...] = ()) -> dict[str, Table]:
+    """Run every registered experiment; returns artifact -> table."""
+    return {
+        name: build()
+        for name, build in EXPERIMENTS.items()
+        if name not in skip
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    for name, table in run_all().items():
+        print(f"\n===== {name} =====")
+        if name == "fig05":
+            # The full per-layer table is long; print the summary.
+            summary = fig05_summary()
+            print(
+                f"ResNet-50 per-layer AI: min={summary['min']:.2f} "
+                f"max={summary['max']:.1f} over {int(summary['layers'])} layers "
+                f"(paper: ~1 to ~511)"
+            )
+            continue
+        print(table.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,24 @@
+"""§3.3: compute-to-memory-bandwidth ratios of the discussed GPUs.
+
+Paper values: T4 = 203 (FP16), P4 = 58 (FP16), V100 = 139 (FP16),
+A100 = 201 (FP16), Jetson AGX Xavier = 235 (INT8).
+"""
+
+from __future__ import annotations
+
+from ..roofline import cmr_table
+from ..utils import Table
+
+#: CMRs the paper states in §3.3.
+PAPER_CMRS: dict[str, float] = {
+    "T4": 203.0,
+    "P4": 58.0,
+    "V100": 139.0,
+    "A100": 201.0,
+    "Jetson-AGX-Xavier": 235.0,
+}
+
+
+def sec33_cmr_table() -> Table:
+    """Regenerate the §3.3 CMR comparison."""
+    return cmr_table(list(PAPER_CMRS))

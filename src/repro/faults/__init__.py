@@ -1,0 +1,25 @@
+"""Soft-error fault model, injection, and coverage campaigns.
+
+Implements the paper's fault model (§2.3): a single faulty output value
+in ``C`` caused by a soft error in processing logic, with the memory
+hierarchy assumed ECC-protected.  Faults can target the original
+computation path, or the redundant (checksum) path — the latter yields
+benign false alarms rather than silent corruption.
+"""
+
+from .bits import flip_fp16_bit, flip_fp32_bit
+from .model import FaultKind, FaultPath, FaultSpec
+from .injector import apply_fault_to_accumulator, corrupted_value
+from .campaign import CampaignResult, FaultCampaign
+
+__all__ = [
+    "flip_fp16_bit",
+    "flip_fp32_bit",
+    "FaultKind",
+    "FaultPath",
+    "FaultSpec",
+    "apply_fault_to_accumulator",
+    "corrupted_value",
+    "CampaignResult",
+    "FaultCampaign",
+]

@@ -1,0 +1,31 @@
+"""Bit-flip helpers for IEEE-754 half and single precision values.
+
+Soft errors in datapath logic manifest as single-bit upsets in computed
+values; these helpers produce the corrupted value for a given bit
+position, which the injector turns into an additive delta on the target
+accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+
+
+def flip_fp16_bit(value: float, bit: int) -> float:
+    """Return ``value`` (as FP16) with bit ``bit`` (0 = LSB) flipped."""
+    if not 0 <= bit < 16:
+        raise FaultInjectionError(f"FP16 bit index must be in [0, 16), got {bit}")
+    raw = np.float16(value).view(np.uint16)
+    flipped = np.uint16(raw ^ np.uint16(1 << bit))
+    return float(flipped.view(np.float16))
+
+
+def flip_fp32_bit(value: float, bit: int) -> float:
+    """Return ``value`` (as FP32) with bit ``bit`` (0 = LSB) flipped."""
+    if not 0 <= bit < 32:
+        raise FaultInjectionError(f"FP32 bit index must be in [0, 32), got {bit}")
+    raw = np.float32(value).view(np.uint32)
+    flipped = np.uint32(raw ^ np.uint32(1 << bit))
+    return float(flipped.view(np.float32))

@@ -1,0 +1,175 @@
+"""Fault-injection campaigns measuring detection coverage.
+
+A campaign runs a scheme's protected GEMM many times, each trial
+injecting one fault (the paper's single-fault model), and tallies
+detections.  Trials whose corruption is numerically negligible (below
+the detection tolerance *and* below any sensible significance threshold)
+are tracked separately: ABFT's guarantee is about *significant* faults,
+and FP bit flips in low mantissa bits can be smaller than legitimate
+rounding noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_DETECTION, DetectionConstants
+
+if TYPE_CHECKING:  # avoid the faults <-> abft import cycle at runtime
+    from ..abft.base import Scheme
+from ..errors import FaultInjectionError
+from ..gemm.tiles import TileConfig
+from .model import FaultKind, FaultPath, FaultSpec
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One campaign trial: the fault, its magnitude, and the verdict."""
+
+    spec: FaultSpec
+    delta: float
+    detected: bool
+    significant: bool
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    scheme: str
+    trials: list[TrialRecord] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(t.detected for t in self.trials)
+
+    @property
+    def n_significant(self) -> int:
+        return sum(t.significant for t in self.trials)
+
+    @property
+    def coverage(self) -> float:
+        """Detection rate over *significant* faults (the ABFT guarantee)."""
+        significant = [t for t in self.trials if t.significant]
+        if not significant:
+            return 1.0
+        return sum(t.detected for t in significant) / len(significant)
+
+    @property
+    def false_negatives(self) -> list[TrialRecord]:
+        """Significant faults that escaped detection."""
+        return [t for t in self.trials if t.significant and not t.detected]
+
+
+class FaultCampaign:
+    """Run repeated single-fault trials against one scheme.
+
+    Parameters
+    ----------
+    scheme:
+        The protected-execution scheme under test.
+    a, b:
+        Operand matrices (logical shapes).
+    tile:
+        Optional tile configuration override.
+    significance_factor:
+        A fault is *significant* when its absolute delta exceeds
+        ``significance_factor`` times the detection tolerance of the
+        coarsest check (the output summation).  Sub-significant flips
+        (e.g. LSB mantissa flips) are below the rounding-noise floor by
+        construction and no checksum scheme can — or needs to — see them.
+    """
+
+    def __init__(
+        self,
+        scheme: "Scheme",
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+        detection: DetectionConstants = DEFAULT_DETECTION,
+        significance_factor: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        if not scheme.protects:
+            raise FaultInjectionError(
+                f"scheme {scheme.name!r} performs no checks; a campaign "
+                f"against it cannot measure coverage"
+            )
+        self.scheme = scheme
+        self.a = np.asarray(a, dtype=np.float16)
+        self.b = np.asarray(b, dtype=np.float16)
+        self.tile = tile
+        self.detection = detection
+        self.significance_factor = significance_factor
+        self.rng = np.random.default_rng(seed)
+
+        # Baseline (fault-free) run: establishes the tolerance scale and
+        # sanity-checks that the clean execution raises no alarm.
+        baseline = scheme.execute(self.a, self.b, tile=tile, detection=detection)
+        if baseline.detected:
+            raise FaultInjectionError(
+                f"scheme {scheme.name!r} flags a fault on clean data; "
+                f"detection tolerances are miscalibrated for this problem"
+            )
+        self._baseline = baseline
+        self._tolerance_scale = max(
+            baseline.verdict.tolerance if baseline.verdict else 0.0,
+            detection.atol_floor,
+        )
+
+    # ------------------------------------------------------------------
+    def random_fault(self) -> FaultSpec:
+        """Draw one original-path fault at a random output element."""
+        rows, cols = self._baseline.c_accumulator.shape
+        row = int(self.rng.integers(rows))
+        col = int(self.rng.integers(cols))
+        kind = self.rng.choice(
+            [FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16, FaultKind.ADD]
+        )
+        if kind is FaultKind.ADD:
+            # A corrupted MMA partial product: magnitude comparable to a
+            # legitimate partial sum, random sign.
+            scale = float(np.abs(self._baseline.c_accumulator).mean() + 1.0)
+            value = float(self.rng.normal(0.0, scale))
+            return FaultSpec(row=row, col=col, kind=kind, value=value)
+        bits = 32 if kind is FaultKind.BITFLIP_FP32 else 16
+        bit = int(self.rng.integers(bits))
+        return FaultSpec(row=row, col=col, kind=kind, bit=bit)
+
+    def run_trial(self, spec: FaultSpec) -> TrialRecord:
+        """Execute one trial with the given fault injected."""
+        outcome = self.scheme.execute(
+            self.a, self.b, tile=self.tile, faults=[spec], detection=self.detection
+        )
+        clean = self._baseline.c_accumulator
+        faulty = outcome.c_accumulator
+        if spec.path is FaultPath.ORIGINAL:
+            delta = float(faulty[spec.row, spec.col]) - float(clean[spec.row, spec.col])
+        else:
+            delta = float("nan")
+        significant = (
+            not np.isfinite(delta)
+            or abs(delta) > self.significance_factor * self._tolerance_scale
+        )
+        return TrialRecord(
+            spec=spec, delta=delta, detected=outcome.detected, significant=significant
+        )
+
+    def run(self, n_trials: int, specs: Sequence[FaultSpec] | None = None) -> CampaignResult:
+        """Run ``n_trials`` random trials (or the provided specs)."""
+        result = CampaignResult(scheme=self.scheme.name)
+        if specs is not None:
+            for spec in specs:
+                result.trials.append(self.run_trial(spec))
+            return result
+        for _ in range(n_trials):
+            result.trials.append(self.run_trial(self.random_fault()))
+        return result

@@ -1,0 +1,45 @@
+"""Application of fault specs to numeric accumulators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from .bits import flip_fp16_bit, flip_fp32_bit
+from .model import FaultKind, FaultSpec
+
+
+def corrupted_value(original: float, spec: FaultSpec) -> float:
+    """The value the target element holds after the fault strikes."""
+    if spec.kind is FaultKind.BITFLIP_FP32:
+        return flip_fp32_bit(original, spec.bit)
+    if spec.kind is FaultKind.BITFLIP_FP16:
+        return flip_fp16_bit(original, spec.bit)
+    if spec.kind is FaultKind.ADD:
+        return float(original) + spec.value
+    if spec.kind is FaultKind.SET:
+        return spec.value
+    raise FaultInjectionError(f"unhandled fault kind {spec.kind!r}")
+
+
+def apply_fault_to_accumulator(c_pad: np.ndarray, spec: FaultSpec) -> float:
+    """Corrupt one element of the padded FP32 accumulator in place.
+
+    Returns the additive delta the fault introduced (``new - old``),
+    which is what a corrupted MMA partial product contributes to the
+    final accumulator under linear accumulation.
+    """
+    rows, cols = c_pad.shape
+    if not (0 <= spec.row < rows and 0 <= spec.col < cols):
+        raise FaultInjectionError(
+            f"fault site ({spec.row}, {spec.col}) outside accumulator "
+            f"{rows}x{cols}"
+        )
+    old = float(c_pad[spec.row, spec.col])
+    new = corrupted_value(old, spec)
+    if not np.isfinite(new):
+        # A flip of the exponent MSB can produce inf/NaN; keep it — ABFT
+        # comparisons naturally flag non-finite mismatches.
+        pass
+    c_pad[spec.row, spec.col] = np.float32(new)
+    return float(np.float32(new)) - old

@@ -1,0 +1,81 @@
+"""Fault specification types.
+
+A :class:`FaultSpec` names *where* a soft error strikes (an output
+accumulator element, in padded coordinates) and *how* the value is
+corrupted (bit flip, additive delta, or overwrite), and *which path*
+is hit — the original GEMM computation or the redundant checksum
+computation.  The paper's fault model is a single fault per GEMM; the
+campaign runner enforces that by injecting one spec per trial.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FaultInjectionError
+
+
+class FaultKind(enum.Enum):
+    """How the target value is corrupted."""
+
+    BITFLIP_FP32 = "bitflip_fp32"
+    """Flip one bit of the FP32 accumulator value."""
+
+    BITFLIP_FP16 = "bitflip_fp16"
+    """Flip one bit of the value as stored in FP16."""
+
+    ADD = "add"
+    """Add a fixed delta (models a corrupted MMA partial product)."""
+
+    SET = "set"
+    """Overwrite with a fixed value."""
+
+
+class FaultPath(enum.Enum):
+    """Which redundant-execution path the fault strikes."""
+
+    ORIGINAL = "original"
+    """The GEMM output path: silent corruption unless ABFT catches it."""
+
+    CHECKSUM = "checksum"
+    """The redundant path: a benign false alarm when flagged."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected soft error.
+
+    Attributes
+    ----------
+    row, col:
+        Output-element coordinates in the *padded* accumulator grid.
+        For checksum-path faults the coordinates select the thread tile
+        (or are ignored by global schemes, which have one checksum).
+    kind:
+        Corruption mechanism.
+    bit:
+        Bit index for the bit-flip kinds.
+    value:
+        Delta for :attr:`FaultKind.ADD` or the new value for
+        :attr:`FaultKind.SET`.
+    path:
+        Original or checksum computation path.
+    """
+
+    row: int
+    col: int
+    kind: FaultKind = FaultKind.BITFLIP_FP32
+    bit: int = 20
+    value: float = 0.0
+    path: FaultPath = FaultPath.ORIGINAL
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise FaultInjectionError(
+                f"fault coordinates must be non-negative, got ({self.row}, {self.col})"
+            )
+        if self.kind is FaultKind.BITFLIP_FP16 and not 0 <= self.bit < 16:
+            raise FaultInjectionError(f"FP16 bit must be in [0, 16), got {self.bit}")
+        if self.kind is FaultKind.BITFLIP_FP32 and not 0 <= self.bit < 32:
+            raise FaultInjectionError(f"FP32 bit must be in [0, 32), got {self.bit}")

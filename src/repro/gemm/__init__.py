@@ -1,0 +1,37 @@
+"""CUTLASS-like hierarchical GEMM engine (shapes, costs, numeric executor).
+
+The engine serves two roles:
+
+1. **Cost accounting** (``problem``, ``tiles``, ``counters``): reproduce
+   how a CUTLASS FP16 Tensor-Core kernel decomposes a GEMM into
+   threadblock / warp / thread tiles and count the Tensor-Core MMAs,
+   CUDA-core ops, DRAM bytes, registers, and issue slots each
+   configuration consumes.  ABFT schemes add their redundant work on top
+   of these counters and the ``repro.gpu`` latency model prices it.
+2. **Numeric execution** (``executor``, ``mma``): actually compute the
+   GEMM in FP16-with-FP32-accumulation over the same tile decomposition,
+   so ABFT checks operate on real numbers and injected faults are
+   genuinely caught (or missed) by the same arithmetic as on a GPU.
+"""
+
+from .problem import GemmProblem
+from .tiles import TileConfig, DEFAULT_TILE_CONFIGS, enumerate_tiles, select_tile
+from .counters import MainloopCost, mainloop_cost
+from .reference import reference_gemm
+from .executor import TiledGemm
+from .im2col import conv_output_shape, conv_gemm_shape, im2col
+
+__all__ = [
+    "GemmProblem",
+    "TileConfig",
+    "DEFAULT_TILE_CONFIGS",
+    "enumerate_tiles",
+    "select_tile",
+    "MainloopCost",
+    "mainloop_cost",
+    "reference_gemm",
+    "TiledGemm",
+    "conv_output_shape",
+    "conv_gemm_shape",
+    "im2col",
+]

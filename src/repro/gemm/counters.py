@@ -1,0 +1,151 @@
+"""Cost counters for the unprotected GEMM mainloop.
+
+These counters are the ledger every ABFT scheme adds its redundant work
+to.  They count, for one kernel launch of one tile configuration:
+
+* Tensor-Core FLOPs (tile-quantized: padding tiles do real math),
+* CUDA-core (ALU) FP16-lane ops of the mainloop bookkeeping,
+* DRAM bytes (GEMM view, consistent with the paper's AI accounting),
+* warp-instruction issue slots,
+* per-thread registers and per-block shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_CONSTANTS, ModelConstants
+from ..gpu.timing import KernelWork
+from .problem import GemmProblem
+from .tiles import FLOPS_PER_MMA, KSTEP, TileConfig
+
+#: Bytes a single warp-wide 128-bit-per-thread load instruction moves.
+BYTES_PER_MEM_INSTR = 32 * 16
+
+#: FP16 lanes retired by one warp-wide FP16x2 ALU instruction.
+LANES_PER_ALU_INSTR = 64
+
+
+@dataclass(frozen=True)
+class MainloopCost:
+    """Resource demands of the unprotected GEMM mainloop.
+
+    Attributes
+    ----------
+    problem, tile:
+        What was costed.
+    blocks, threads_total, ksteps:
+        Launch geometry: threadblocks, total threads, mainloop K-steps.
+    tc_flops:
+        Tensor-Core FLOPs including tile-padding waste (the hardware
+        really executes padded tiles).
+    alu_lane_ops:
+        Mainloop CUDA-core work: address arithmetic, predicates, loop
+        bookkeeping, and the lane-level share of load/store handling.
+    dram_bytes:
+        A + B + C bytes, each matrix touched once (paper AI accounting).
+    issue_slots:
+        Warp-scheduler slots: MMA instructions + ALU instructions +
+        memory instructions.
+    registers_per_thread, smem_per_block:
+        Occupancy inputs for the unprotected kernel.
+    """
+
+    problem: GemmProblem
+    tile: TileConfig
+    blocks: int
+    threads_total: int
+    ksteps: int
+    tc_flops: float
+    alu_lane_ops: float
+    dram_bytes: float
+    issue_slots: float
+    registers_per_thread: int
+    smem_per_block: int
+
+    @property
+    def mma_instructions(self) -> float:
+        """Warp-wide MMA instructions implied by ``tc_flops``."""
+        return self.tc_flops / FLOPS_PER_MMA
+
+    def to_kernel_work(
+        self,
+        *,
+        extra_tc_flops: float = 0.0,
+        extra_alu_ops: float = 0.0,
+        extra_bytes: float = 0.0,
+        extra_issue_slots: float = 0.0,
+        extra_registers: int = 0,
+        launches: int = 1,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+    ) -> KernelWork:
+        """Assemble a :class:`KernelWork` with scheme deltas applied."""
+        extra_mma_instrs = extra_tc_flops / FLOPS_PER_MMA
+        extra_alu_instrs = extra_alu_ops / LANES_PER_ALU_INSTR
+        return KernelWork(
+            matmul_flops=self.tc_flops + extra_tc_flops,
+            alu_ops=self.alu_lane_ops + extra_alu_ops,
+            dram_bytes=self.dram_bytes + extra_bytes,
+            issue_slots=(
+                self.issue_slots
+                + extra_issue_slots
+                + extra_mma_instrs * constants.issue_slots_per_mma
+                + extra_alu_instrs
+            ),
+            blocks=self.blocks,
+            threads_per_block=self.tile.threads_per_block,
+            registers_per_thread=self.registers_per_thread + extra_registers,
+            smem_per_block=self.smem_per_block,
+            launches=launches,
+        )
+
+
+def mainloop_cost(
+    problem: GemmProblem,
+    tile: TileConfig,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> MainloopCost:
+    """Count the unprotected mainloop's resource demands.
+
+    Tensor-Core FLOPs use the tile-quantized dims (the kernel executes
+    whole tiles); DRAM bytes use the paper's pad-to-8 GEMM accounting so
+    modeled boundedness agrees with the paper's AI-vs-CMR classification.
+    """
+    blocks = tile.blocks(problem)
+    threads_total = blocks * tile.threads_per_block
+    ksteps = tile.ksteps(problem)
+
+    m_t, n_t, k_t = tile.tile_padded_dims(problem)
+    tc_flops = 2.0 * m_t * n_t * k_t
+
+    # Mainloop ALU work: `alu_ops_per_kstep_base` FP16-lane ops per
+    # loaded fragment element per thread per K-step (see ModelConstants).
+    alu_lane_ops = (
+        threads_total
+        * ksteps
+        * tile.loaded_elements_per_step
+        * constants.alu_ops_per_kstep_base
+    )
+
+    dram_bytes = problem.bytes_moved(padded=True)
+
+    mma_instrs = tc_flops / FLOPS_PER_MMA
+    alu_instrs = alu_lane_ops / LANES_PER_ALU_INSTR
+    mem_instrs = dram_bytes / BYTES_PER_MEM_INSTR
+    issue_slots = (
+        mma_instrs * constants.issue_slots_per_mma + alu_instrs + mem_instrs
+    )
+
+    return MainloopCost(
+        problem=problem,
+        tile=tile,
+        blocks=blocks,
+        threads_total=threads_total,
+        ksteps=ksteps,
+        tc_flops=tc_flops,
+        alu_lane_ops=alu_lane_ops,
+        dram_bytes=dram_bytes,
+        issue_slots=issue_slots,
+        registers_per_thread=tile.base_registers_per_thread(),
+        smem_per_block=tile.smem_per_block(),
+    )

@@ -1,0 +1,130 @@
+"""Numeric hierarchical GEMM executor.
+
+Executes an FP16 GEMM over the same decomposition the cost model counts:
+operands are padded to whole thread tiles, accumulation happens in FP32
+in chunks of the MMA K-extent (8), and the result is exposed both as the
+padded FP32 accumulator grid (what ABFT checks and fault injection
+operate on) and as the cropped logical output.
+
+The per-scalar triple loop of ``gemm.mma.gemm_by_mma`` defines the
+semantics; this executor vectorizes them with NumPy (see the HPC guides:
+vectorize, avoid copies, accumulate in place).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils import ceil_div, round_up
+from .problem import GemmProblem
+from .tiles import MMA_K, TileConfig
+
+
+class TiledGemm:
+    """Numeric executor for one (problem, tile configuration) pair.
+
+    Parameters
+    ----------
+    problem:
+        Logical GEMM dimensions.
+    tile:
+        Tile configuration; the executor pads the operands to whole
+        thread tiles so every thread owns a full ``Mt x Nt`` fragment.
+    k_chunk:
+        Accumulation chunk along K in elements; defaults to the MMA
+        K-extent (8) for Tensor-Core-faithful accumulation ordering.
+    """
+
+    def __init__(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        *,
+        k_chunk: int = MMA_K,
+    ) -> None:
+        if k_chunk <= 0 or k_chunk % MMA_K:
+            raise ShapeError(f"k_chunk must be a positive multiple of {MMA_K}")
+        self.problem = problem
+        self.tile = tile
+        self.k_chunk = k_chunk
+        # Pad to whole thread tiles (>= the pad-to-8 execution padding).
+        self.m_tiles = ceil_div(problem.m_pad, tile.mt)
+        self.n_tiles = ceil_div(problem.n_pad, tile.nt)
+        self.m_full = self.m_tiles * tile.mt
+        self.n_full = self.n_tiles * tile.nt
+        self.k_full = round_up(problem.k_pad, MMA_K)
+
+    # ------------------------------------------------------------------
+    # Operand handling
+    # ------------------------------------------------------------------
+    def pad_a(self, a: np.ndarray) -> np.ndarray:
+        """Zero-pad ``A`` to ``(m_full, k_full)`` and quantize to FP16."""
+        if a.shape != (self.problem.m, self.problem.k):
+            raise ShapeError(
+                f"A must be {self.problem.m}x{self.problem.k}, got {a.shape}"
+            )
+        out = np.zeros((self.m_full, self.k_full), dtype=np.float16)
+        out[: a.shape[0], : a.shape[1]] = a.astype(np.float16)
+        return out
+
+    def pad_b(self, b: np.ndarray) -> np.ndarray:
+        """Zero-pad ``B`` to ``(k_full, n_full)`` and quantize to FP16."""
+        if b.shape != (self.problem.k, self.problem.n):
+            raise ShapeError(
+                f"B must be {self.problem.k}x{self.problem.n}, got {b.shape}"
+            )
+        out = np.zeros((self.k_full, self.n_full), dtype=np.float16)
+        out[: b.shape[0], : b.shape[1]] = b.astype(np.float16)
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def multiply(self, a_pad: np.ndarray, b_pad: np.ndarray) -> np.ndarray:
+        """FP32-accumulated product of padded FP16 operands.
+
+        Accumulates chunk-by-chunk along K (chunk = ``k_chunk``) into a
+        single FP32 accumulator, mirroring the sequential MMA
+        accumulation of the hardware mainloop.
+        """
+        if a_pad.shape != (self.m_full, self.k_full):
+            raise ShapeError(f"padded A must be {self.m_full}x{self.k_full}")
+        if b_pad.shape != (self.k_full, self.n_full):
+            raise ShapeError(f"padded B must be {self.k_full}x{self.n_full}")
+        a32 = a_pad.astype(np.float32)
+        b32 = b_pad.astype(np.float32)
+        acc = np.zeros((self.m_full, self.n_full), dtype=np.float32)
+        for k0 in range(0, self.k_full, self.k_chunk):
+            k1 = min(k0 + self.k_chunk, self.k_full)
+            # In-place accumulate: no temporary C-sized copies per chunk.
+            acc += a32[:, k0:k1] @ b32[k0:k1, :]
+        return acc
+
+    def run(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Pad, execute, and return the padded FP32 accumulator grid."""
+        return self.multiply(self.pad_a(a), self.pad_b(b))
+
+    def crop(self, c_pad: np.ndarray) -> np.ndarray:
+        """Slice the logical ``M x N`` output out of the padded grid."""
+        return c_pad[: self.problem.m, : self.problem.n]
+
+    # ------------------------------------------------------------------
+    # Thread-tile views (used by thread-level ABFT checks)
+    # ------------------------------------------------------------------
+    def thread_tile_view(self, c_pad: np.ndarray) -> np.ndarray:
+        """View of ``C`` as ``(m_tiles, mt, n_tiles, nt)`` thread fragments."""
+        if c_pad.shape != (self.m_full, self.n_full):
+            raise ShapeError(
+                f"padded C must be {self.m_full}x{self.n_full}, got {c_pad.shape}"
+            )
+        return c_pad.reshape(self.m_tiles, self.tile.mt, self.n_tiles, self.tile.nt)
+
+    def tile_of_element(self, row: int, col: int) -> tuple[int, int]:
+        """Thread-tile grid coordinates owning output element (row, col)."""
+        if not (0 <= row < self.m_full and 0 <= col < self.n_full):
+            raise ShapeError(
+                f"element ({row}, {col}) outside padded output "
+                f"{self.m_full}x{self.n_full}"
+            )
+        return row // self.tile.mt, col // self.tile.nt

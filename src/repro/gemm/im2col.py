@@ -1,0 +1,128 @@
+"""Convolution-to-GEMM lowering (shape math and numeric im2col).
+
+The paper treats convolutional layers as matrix multiplications
+(§2.1): for a conv with ``C_in`` input channels, ``C_out`` filters of
+size ``kh x kw`` over a batch of ``B`` images producing ``Ho x Wo``
+outputs, the GEMM view is
+
+    M = B * Ho * Wo,   N = C_out,   K = C_in * kh * kw.
+
+``conv_gemm_shape`` provides exactly this mapping (it is what the
+arithmetic-intensity pipeline consumes); ``im2col`` materializes the
+``M x K`` activation matrix for numeric protected inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils import check_non_negative_int, check_positive_int
+
+
+def conv_output_shape(
+    h: int,
+    w: int,
+    *,
+    kernel: tuple[int, int],
+    stride: tuple[int, int] = (1, 1),
+    padding: tuple[int, int] = (0, 0),
+) -> tuple[int, int]:
+    """Spatial output shape of a convolution (floor semantics)."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    check_positive_int(h, "h")
+    check_positive_int(w, "w")
+    check_positive_int(kh, "kernel height")
+    check_positive_int(kw, "kernel width")
+    check_positive_int(sh, "stride height")
+    check_positive_int(sw, "stride width")
+    check_non_negative_int(ph, "padding height")
+    check_non_negative_int(pw, "padding width")
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (w + 2 * pw - kw) // sw + 1
+    if ho <= 0 or wo <= 0:
+        raise ShapeError(
+            f"conv kernel {kernel} stride {stride} padding {padding} "
+            f"does not fit input {h}x{w}"
+        )
+    return ho, wo
+
+
+def conv_gemm_shape(
+    *,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    h: int,
+    w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int] = (1, 1),
+    padding: tuple[int, int] = (0, 0),
+) -> tuple[int, int, int]:
+    """(M, N, K) of the GEMM implementing the convolution."""
+    check_positive_int(batch, "batch")
+    check_positive_int(in_channels, "in_channels")
+    check_positive_int(out_channels, "out_channels")
+    ho, wo = conv_output_shape(h, w, kernel=kernel, stride=stride, padding=padding)
+    m = batch * ho * wo
+    n = out_channels
+    k = in_channels * kernel[0] * kernel[1]
+    return m, n, k
+
+
+def im2col(
+    x: np.ndarray,
+    *,
+    kernel: tuple[int, int],
+    stride: tuple[int, int] = (1, 1),
+    padding: tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Lower an NCHW activation tensor to the GEMM ``A`` matrix.
+
+    Parameters
+    ----------
+    x:
+        ``(batch, channels, H, W)`` input tensor.
+
+    Returns
+    -------
+    np.ndarray
+        ``(batch * Ho * Wo, channels * kh * kw)`` matrix whose row
+        ``b*Ho*Wo + i*Wo + j`` is the receptive field of output pixel
+        ``(i, j)`` of image ``b``, flattened channel-major — matching a
+        weight matrix of shape ``(C_in*kh*kw, C_out)`` built from
+        ``weights.reshape(C_out, -1).T``.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got {x.ndim}-D")
+    batch, channels, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    ho, wo = conv_output_shape(h, w, kernel=kernel, stride=stride, padding=padding)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    # Strided sliding-window view: (B, C, Ho, Wo, kh, kw) without copying.
+    sb, sc, srow, scol = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, ho, wo, kh, kw),
+        strides=(sb, sc, srow * sh, scol * sw, srow, scol),
+        writeable=False,
+    )
+    # -> (B, Ho, Wo, C, kh, kw) -> (B*Ho*Wo, C*kh*kw); one materializing copy.
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        batch * ho * wo, channels * kh * kw
+    )
+
+
+def conv_weights_to_gemm(weights: np.ndarray) -> np.ndarray:
+    """Reshape ``(C_out, C_in, kh, kw)`` filters to the GEMM ``B`` matrix."""
+    if weights.ndim != 4:
+        raise ShapeError(f"expected OIHW weights, got {weights.ndim}-D")
+    c_out = weights.shape[0]
+    return weights.reshape(c_out, -1).T.copy()

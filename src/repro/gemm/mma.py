@@ -1,0 +1,84 @@
+"""The m16n8k8 Tensor Core MMA primitive, executed numerically.
+
+One MMA multiplies a ``16 x 8`` FP16 fragment ``Atc`` by an ``8 x 8``
+FP16 fragment ``Btc`` and accumulates into a ``16 x 8`` FP32 fragment
+``Ctc`` (paper §2.1).  The numeric executor uses larger vectorized
+chunks for speed, but this primitive is the ground-truth definition the
+executor's chunking is tested against, and the granularity at which
+MMA-level faults are defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tiles import MMA_K, MMA_M, MMA_N
+
+
+def mma_m16n8k8(
+    a_frag: np.ndarray,
+    b_frag: np.ndarray,
+    c_frag: np.ndarray | None = None,
+) -> np.ndarray:
+    """Execute one m16n8k8 matrix-multiply-accumulate.
+
+    Parameters
+    ----------
+    a_frag:
+        ``16 x 8`` FP16 operand fragment.
+    b_frag:
+        ``8 x 8`` FP16 operand fragment.
+    c_frag:
+        Optional ``16 x 8`` FP32 accumulator; a zero fragment is used
+        when omitted.  The input is not mutated.
+
+    Returns
+    -------
+    np.ndarray
+        New ``16 x 8`` FP32 accumulator fragment.
+    """
+    if a_frag.shape != (MMA_M, MMA_K):
+        raise ShapeError(f"A fragment must be {MMA_M}x{MMA_K}, got {a_frag.shape}")
+    if b_frag.shape != (MMA_K, MMA_N):
+        raise ShapeError(f"B fragment must be {MMA_K}x{MMA_N}, got {b_frag.shape}")
+    acc = (
+        np.zeros((MMA_M, MMA_N), dtype=np.float32)
+        if c_frag is None
+        else np.array(c_frag, dtype=np.float32, copy=True)
+    )
+    if acc.shape != (MMA_M, MMA_N):
+        raise ShapeError(f"C fragment must be {MMA_M}x{MMA_N}, got {acc.shape}")
+    a16 = np.asarray(a_frag, dtype=np.float16).astype(np.float32)
+    b16 = np.asarray(b_frag, dtype=np.float16).astype(np.float32)
+    acc += a16 @ b16
+    return acc
+
+
+def gemm_by_mma(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compute a (multiple-of-MMA-shape) GEMM strictly MMA by MMA.
+
+    Slow triple loop over ``16 x 8 x 8`` fragments; used only in tests
+    to pin down the executor's accumulation semantics.
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ShapeError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    if m % MMA_M or n % MMA_N or k % MMA_K:
+        raise ShapeError(
+            f"gemm_by_mma needs dims divisible by {MMA_M}x{MMA_N}x{MMA_K}, "
+            f"got {m}x{n}x{k}"
+        )
+    c = np.zeros((m, n), dtype=np.float32)
+    for i in range(0, m, MMA_M):
+        for j in range(0, n, MMA_N):
+            frag = c[i : i + MMA_M, j : j + MMA_N]
+            for kk in range(0, k, MMA_K):
+                frag = mma_m16n8k8(
+                    a[i : i + MMA_M, kk : kk + MMA_K],
+                    b[kk : kk + MMA_K, j : j + MMA_N],
+                    frag,
+                )
+            c[i : i + MMA_M, j : j + MMA_N] = frag
+    return c

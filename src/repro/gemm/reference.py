@@ -1,0 +1,23 @@
+"""Reference GEMM used as ground truth in tests and fault campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """FP32-accumulated product of FP16 (or float) operands.
+
+    Mirrors the numerics of a Tensor-Core GEMM: operands quantized to
+    FP16, accumulation in FP32.  Returns FP32 (callers quantize the
+    epilogue output themselves when modeling FP16 storage).
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"reference_gemm expects 2-D operands, got {a.ndim}-D/{b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    a16 = np.asarray(a, dtype=np.float16)
+    b16 = np.asarray(b, dtype=np.float16)
+    return a16.astype(np.float32) @ b16.astype(np.float32)

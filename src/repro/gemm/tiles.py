@@ -1,0 +1,189 @@
+"""Hierarchical tile configurations (threadblock / warp / thread / MMA).
+
+High-performance GPU GEMMs decompose the kernel-level problem into a
+hierarchy (paper Fig. 2): each threadblock computes an ``Mb x Nb`` tile
+of ``C``, each of its warps an ``Mw x Nw`` sub-tile, and each of a
+warp's 32 threads an ``Mt x Nt`` fragment.  Along ``K``, threads advance
+in steps of 2 loading an ``Mt x 2`` chunk of ``At`` and a ``2 x Nt``
+chunk of ``Bt``, feeding ``Mt*Nt/2`` m16n8k8 MMAs per step (paper Fig. 3).
+
+The CUTLASS profiler workflow the paper integrates with (§5.3) tries
+several tile configurations per problem and keeps the fastest; this
+module supplies the candidate set and the same selection heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import TilingError
+from ..utils import ceil_div, check_positive_int
+from .problem import GemmProblem
+
+#: Per-thread K-advance per mainloop step (paper Fig. 3).
+KSTEP = 2
+
+#: m16n8k8 Tensor Core MMA: warp-wide FLOPs per instruction.
+MMA_M, MMA_N, MMA_K = 16, 8, 8
+FLOPS_PER_MMA = 2 * MMA_M * MMA_N * MMA_K  # 2048
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One point in the CUTLASS-style configuration space.
+
+    Attributes
+    ----------
+    mb, nb, kb:
+        Threadblock tile (``kb`` is the smem-staged K slice).
+    mw, nw:
+        Warp tile.
+    mt, nt:
+        Per-thread fragment of the warp tile (``Mt x Nt`` accumulators).
+    """
+
+    mb: int
+    nb: int
+    kb: int
+    mw: int
+    nw: int
+    mt: int
+    nt: int
+
+    def __post_init__(self) -> None:
+        for name in ("mb", "nb", "kb", "mw", "nw", "mt", "nt"):
+            check_positive_int(getattr(self, name), name)
+        if self.mb % self.mw or self.nb % self.nw:
+            raise TilingError(f"warp tile {self.mw}x{self.nw} must divide "
+                              f"threadblock tile {self.mb}x{self.nb}")
+        if self.mw * self.nw != 32 * self.mt * self.nt:
+            raise TilingError(
+                f"thread tile {self.mt}x{self.nt} x 32 threads must cover the "
+                f"warp tile {self.mw}x{self.nw}"
+            )
+        if self.mt % 2:
+            raise TilingError(
+                f"mt={self.mt} must be even: each MMA consumes two consecutive "
+                f"rows of the thread's A fragment (paper Fig. 3)"
+            )
+        if self.kb % KSTEP:
+            raise TilingError(f"kb={self.kb} must be a multiple of the K-step ({KSTEP})")
+
+    # ------------------------------------------------------------------
+    @property
+    def warps_per_block(self) -> int:
+        """Warps in one threadblock."""
+        return (self.mb // self.mw) * (self.nb // self.nw)
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in one threadblock."""
+        return self.warps_per_block * 32
+
+    @property
+    def mmas_per_thread_step(self) -> int:
+        """MMAs a thread participates in per K-step (``Mt*Nt/2``, Fig. 3)."""
+        return (self.mt * self.nt) // 2
+
+    @property
+    def loaded_elements_per_step(self) -> int:
+        """FP16 elements a thread loads per K-step (``Mt*2 + 2*Nt``)."""
+        return self.mt * KSTEP + KSTEP * self.nt
+
+    def base_registers_per_thread(self) -> int:
+        """Register estimate for the unprotected mainloop.
+
+        ``Mt*Nt`` FP32 accumulators, double-buffered FP16 fragments of
+        ``At``/``Bt`` (two halves per register), plus bookkeeping
+        (addresses, predicates, loop counters).
+        """
+        accumulators = self.mt * self.nt
+        fragments = 2 * (self.mt * KSTEP + KSTEP * self.nt) // 2  # double-buffered
+        bookkeeping = 24
+        return accumulators + fragments + bookkeeping
+
+    def smem_per_block(self, dtype_bytes: int = 2) -> int:
+        """Shared-memory staging for double-buffered A/B threadblock slices."""
+        return 2 * (self.mb + self.nb) * self.kb * dtype_bytes
+
+    # ------------------------------------------------------------------
+    def grid(self, problem: GemmProblem) -> tuple[int, int]:
+        """Threadblock grid (rows, cols) covering the padded problem."""
+        return ceil_div(problem.m_pad, self.mb), ceil_div(problem.n_pad, self.nb)
+
+    def blocks(self, problem: GemmProblem) -> int:
+        """Total threadblocks launched for ``problem``."""
+        rows, cols = self.grid(problem)
+        return rows * cols
+
+    def ksteps(self, problem: GemmProblem) -> int:
+        """Mainloop K-steps each thread performs."""
+        return ceil_div(problem.k_pad, KSTEP)
+
+    def tile_padded_dims(self, problem: GemmProblem) -> tuple[int, int, int]:
+        """Problem dims rounded up to whole threadblock tiles / K-steps."""
+        rows, cols = self.grid(problem)
+        return rows * self.mb, cols * self.nb, self.ksteps(problem) * KSTEP
+
+    def waste_fraction(self, problem: GemmProblem) -> float:
+        """Fraction of launched math wasted on tile-padding."""
+        m_t, n_t, k_t = self.tile_padded_dims(problem)
+        useful = problem.m_pad * problem.n_pad * problem.k_pad
+        return 1.0 - useful / float(m_t * n_t * k_t)
+
+    def __str__(self) -> str:
+        return (f"tb{self.mb}x{self.nb}x{self.kb}"
+                f"_w{self.mw}x{self.nw}_t{self.mt}x{self.nt}")
+
+
+#: Candidate configurations mirroring CUTLASS's FP16 Tensor-Core kernel
+#: palette on Turing, from large throughput tiles down to small tiles
+#: suited to skinny, launch-bound problems.
+DEFAULT_TILE_CONFIGS: tuple[TileConfig, ...] = (
+    TileConfig(mb=256, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8),
+    TileConfig(mb=128, nb=256, kb=32, mw=64, nw=64, mt=16, nt=8),
+    TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8),
+    TileConfig(mb=128, nb=64, kb=32, mw=64, nw=32, mt=8, nt=8),
+    TileConfig(mb=64, nb=128, kb=32, mw=32, nw=64, mt=8, nt=8),
+    TileConfig(mb=64, nb=64, kb=32, mw=32, nw=32, mt=8, nt=4),
+    TileConfig(mb=64, nb=32, kb=32, mw=32, nw=16, mt=4, nt=4),
+    TileConfig(mb=32, nb=32, kb=32, mw=16, nw=16, mt=4, nt=2),
+)
+
+
+def enumerate_tiles(
+    problem: GemmProblem,
+    candidates: Sequence[TileConfig] = DEFAULT_TILE_CONFIGS,
+) -> list[TileConfig]:
+    """Candidate tiles for ``problem``, ordered as given.
+
+    All candidates are legal for any problem (tiles pad); enumeration
+    exists so the profiler can rank them by modeled time.
+    """
+    if not candidates:
+        raise TilingError("no tile candidates supplied")
+    return list(candidates)
+
+
+def select_tile(
+    problem: GemmProblem,
+    candidates: Sequence[TileConfig] = DEFAULT_TILE_CONFIGS,
+    *,
+    min_blocks: int = 1,
+) -> TileConfig:
+    """Pick a tile by the waste-then-size heuristic.
+
+    Prefers the configuration with the least padding waste, breaking
+    ties toward larger tiles (better data reuse).  The full profiler in
+    ``repro.core.profiler`` ranks by modeled time instead; this heuristic
+    is the cheap default used by shape-only analyses.
+    """
+    tiles = enumerate_tiles(problem, candidates)
+    viable = [t for t in tiles if t.blocks(problem) >= min_blocks]
+    if not viable:
+        viable = tiles
+    return min(
+        viable,
+        key=lambda t: (round(t.waste_fraction(problem), 6), -(t.mb * t.nb)),
+    )

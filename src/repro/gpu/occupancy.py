@@ -1,0 +1,127 @@
+"""CUDA occupancy calculator.
+
+Occupancy — the number of warps resident on an SM relative to the
+hardware maximum — controls how well a kernel hides DRAM latency.  The
+paper's §4 finding that *traditional* thread-level replication is slow
+hinges on exactly this: doubling per-thread accumulator registers halves
+the number of co-resident threadblocks, dropping occupancy and with it
+effective memory bandwidth.
+
+This module implements the standard occupancy rules (register file,
+shared memory, thread count, and block-slot limits per SM) at the
+granularity the analytic model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OccupancyError
+from ..utils import check_positive_int, check_non_negative_int
+from .specs import GPUSpec
+
+#: Register allocation granularity: registers are allocated to warps in
+#: chunks of this many registers per thread.
+REGISTER_ALLOCATION_UNIT = 8
+
+#: Shared-memory allocation granularity in bytes.
+SMEM_ALLOCATION_UNIT = 256
+
+
+def _round_up(value: int, unit: int) -> int:
+    return -(-value // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Threadblocks co-resident on one SM.
+    warps_per_sm:
+        Resident warps per SM.
+    occupancy:
+        ``warps_per_sm / max_warps_per_sm`` in [0, 1].
+    limiter:
+        Which resource bound first: ``"registers"``, ``"smem"``,
+        ``"threads"``, or ``"blocks"``.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+
+def compute_occupancy(
+    spec: GPUSpec,
+    *,
+    threads_per_block: int,
+    registers_per_thread: int,
+    smem_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute how many copies of a threadblock fit on one SM.
+
+    Raises
+    ------
+    OccupancyError
+        If even a single threadblock exceeds an SM resource limit.
+    """
+    check_positive_int(threads_per_block, "threads_per_block")
+    check_positive_int(registers_per_thread, "registers_per_thread")
+    check_non_negative_int(smem_per_block, "smem_per_block")
+
+    if threads_per_block % spec.warp_size != 0:
+        raise OccupancyError(
+            f"threads_per_block={threads_per_block} is not a multiple of the "
+            f"warp size ({spec.warp_size})"
+        )
+    if registers_per_thread > spec.max_registers_per_thread:
+        raise OccupancyError(
+            f"kernel needs {registers_per_thread} registers/thread; "
+            f"{spec.name} caps at {spec.max_registers_per_thread}"
+        )
+    if threads_per_block > spec.max_threads_per_sm:
+        raise OccupancyError(
+            f"threadblock of {threads_per_block} threads exceeds "
+            f"{spec.name}'s {spec.max_threads_per_sm} threads/SM"
+        )
+
+    regs_per_thread_alloc = _round_up(registers_per_thread, REGISTER_ALLOCATION_UNIT)
+    regs_per_block = regs_per_thread_alloc * threads_per_block
+    if regs_per_block > spec.registers_per_sm:
+        raise OccupancyError(
+            f"threadblock needs {regs_per_block} registers; "
+            f"{spec.name} has {spec.registers_per_sm} per SM"
+        )
+
+    limits: dict[str, int] = {
+        "registers": spec.registers_per_sm // regs_per_block,
+        "threads": spec.max_threads_per_sm // threads_per_block,
+        "blocks": spec.max_blocks_per_sm,
+    }
+    if smem_per_block > 0:
+        smem_alloc = _round_up(smem_per_block, SMEM_ALLOCATION_UNIT)
+        if smem_alloc > spec.smem_per_sm:
+            raise OccupancyError(
+                f"threadblock needs {smem_alloc} B of shared memory; "
+                f"{spec.name} has {spec.smem_per_sm} B per SM"
+            )
+        limits["smem"] = spec.smem_per_sm // smem_alloc
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    warps_per_block = threads_per_block // spec.warp_size
+    warps = min(blocks * warps_per_block, spec.max_warps_per_sm)
+    blocks = warps // warps_per_block
+    if blocks == 0:
+        raise OccupancyError("threadblock has more warps than one SM can hold")
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / spec.max_warps_per_sm,
+        limiter=limiter,
+    )

@@ -1,0 +1,98 @@
+"""Execution pipes of the analytic performance model.
+
+A GPU kernel's elapsed time is bounded below by the busiest of several
+independent hardware resources ("pipes"):
+
+* the Tensor-Core / matrix-math pipe (MMA FLOPs),
+* the conventional CUDA-core ALU pipe (checksum adds, address math),
+* the DRAM pipe (bytes moved),
+* the warp-scheduler issue pipe (every instruction needs a slot).
+
+The paper's central mechanism lives in the gap between the first and
+third pipes: a bandwidth-bound GEMM leaves the Tensor-Core pipe idle, so
+thread-level ABFT's redundant MMAs slot in for free, while global ABFT's
+extra kernel launches cannot.  The §5.2.2 one-sided/two-sided trade-off
+lives in the second pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Pipe:
+    """One hardware throughput resource.
+
+    ``throughput`` is in pipe-native units per second (FLOPs/s for math
+    pipes, bytes/s for memory, issue slots/s for the scheduler).
+    """
+
+    name: str
+    throughput: float
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ConfigurationError(
+                f"pipe {self.name!r} needs positive throughput, got {self.throughput}"
+            )
+
+    def time_for(self, work: float) -> float:
+        """Seconds this pipe needs to retire ``work`` units."""
+        if work < 0:
+            raise ConfigurationError(f"negative work {work} on pipe {self.name!r}")
+        return work / self.throughput
+
+
+@dataclass(frozen=True)
+class PipeSet:
+    """The four pipes of a device, with efficiency factors applied."""
+
+    tensor: Pipe
+    alu: Pipe
+    memory: Pipe
+    issue: Pipe
+
+    def __iter__(self) -> Iterator[Pipe]:
+        yield self.tensor
+        yield self.alu
+        yield self.memory
+        yield self.issue
+
+
+@dataclass(frozen=True)
+class PipeTimes:
+    """Per-pipe busy times for one kernel, in seconds."""
+
+    tensor: float
+    alu: float
+    memory: float
+    issue: float
+
+    @property
+    def critical(self) -> str:
+        """Name of the pipe with the longest busy time."""
+        times = {
+            "tensor": self.tensor,
+            "alu": self.alu,
+            "memory": self.memory,
+            "issue": self.issue,
+        }
+        return max(times, key=lambda k: times[k])
+
+    @property
+    def bound(self) -> float:
+        """The busy time of the critical pipe (the roofline bound)."""
+        return max(self.tensor, self.alu, self.memory, self.issue)
+
+    def scaled(self, factor: float) -> "PipeTimes":
+        """All pipe times multiplied by ``factor`` (wave quantization)."""
+        return PipeTimes(
+            tensor=self.tensor * factor,
+            alu=self.alu * factor,
+            memory=self.memory * factor,
+            issue=self.issue * factor,
+        )

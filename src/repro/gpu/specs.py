@@ -1,0 +1,179 @@
+"""Published device specifications for the GPUs discussed in the paper.
+
+All throughput numbers come from the paper's §3.3 and the vendor
+datasheets it cites.  The compute-to-memory-bandwidth ratios (CMR) the
+paper quotes — T4 = 203, P4 = 58, V100 = 139, A100 = 201, Jetson AGX
+Xavier = 235 — fall directly out of these numbers (see
+``repro.roofline.cmr`` and its tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Datasheet-level description of a GPU for the analytic model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"T4"``.
+    matmul_flops:
+        Peak FLOPs/s of the matrix-math units in the precision the paper
+        evaluates on this device (FP16 Tensor Cores for T4/V100/A100,
+        FP16 CUDA-core math for the Tensor-Core-less P4, INT8 for the
+        Jetson following §3.3).
+    alu_flops:
+        Peak FLOPs/s of the conventional CUDA-core pipe in the same
+        precision (FP16x2).  Checksum generation (HADD2) runs here.
+    mem_bandwidth:
+        Peak DRAM bandwidth in bytes/s.
+    num_sms:
+        Streaming multiprocessor count.
+    clock_hz:
+        Sustained SM clock used for issue-rate calculations.
+    schedulers_per_sm:
+        Warp schedulers per SM (issue slots per cycle per SM).
+    registers_per_sm:
+        32-bit registers per SM register file.
+    max_registers_per_thread:
+        Architectural per-thread register cap.
+    smem_per_sm:
+        Shared memory per SM available to kernels, in bytes.
+    max_threads_per_sm / max_warps_per_sm / max_blocks_per_sm:
+        Occupancy limits.
+    has_tensor_cores:
+        Whether ``matmul_flops`` comes from dedicated matrix units.  On
+        devices without them (P4), redundant MMAs and checksum ops
+        compete for the *same* pipe, which changes the thread-level
+        ABFT trade-off — exercised in the device-sweep benchmarks.
+    """
+
+    name: str
+    matmul_flops: float
+    alu_flops: float
+    mem_bandwidth: float
+    num_sms: int
+    clock_hz: float
+    schedulers_per_sm: int = 4
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    smem_per_sm: int = 64 * 1024
+    max_threads_per_sm: int = 1024
+    max_warps_per_sm: int = 32
+    max_blocks_per_sm: int = 16
+    warp_size: int = 32
+    has_tensor_cores: bool = True
+
+    def __post_init__(self) -> None:
+        if self.matmul_flops <= 0 or self.alu_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: throughputs must be positive")
+        if self.num_sms <= 0:
+            raise ConfigurationError(f"{self.name}: num_sms must be positive")
+
+    @property
+    def cmr(self) -> float:
+        """Compute-to-memory-bandwidth ratio (FLOPs per byte), Eq. 1 RHS."""
+        return self.matmul_flops / self.mem_bandwidth
+
+    @property
+    def issue_slots_per_s(self) -> float:
+        """Aggregate warp-instruction issue slots per second."""
+        return self.num_sms * self.schedulers_per_sm * self.clock_hz
+
+
+# NVIDIA T4 (Turing TU104, inference-optimized): 65 TFLOPs/s FP16 Tensor
+# Core, 8.1 TFLOPs/s FP32 CUDA core (=> 16.2 FP16x2), 320 GB/s GDDR6,
+# 40 SMs.  FP16 CMR = 65e12 / 320e9 = 203 (paper §3.3).
+T4 = GPUSpec(
+    name="T4",
+    matmul_flops=65.0e12,
+    alu_flops=16.2e12,
+    mem_bandwidth=320.0e9,
+    num_sms=40,
+    clock_hz=1.59e9,
+)
+
+# NVIDIA P4 (Pascal GP104): no Tensor Cores; 11 TFLOPs/s FP16 (paper
+# §3.3), 5.5 TFLOPs/s FP32 CUDA core, 192 GB/s.  CMR = 11e12/192e9 = 57.
+P4 = GPUSpec(
+    name="P4",
+    matmul_flops=11.0e12,
+    alu_flops=11.0e12,
+    mem_bandwidth=192.0e9,
+    num_sms=20,
+    clock_hz=1.11e9,
+    schedulers_per_sm=4,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    has_tensor_cores=False,
+)
+
+# NVIDIA V100 (Volta GV100): 125 TFLOPs/s FP16 Tensor Core, 15.7 TFLOPs/s
+# FP32, 900 GB/s HBM2.  CMR = 139 (paper §3.3).
+V100 = GPUSpec(
+    name="V100",
+    matmul_flops=125.0e12,
+    alu_flops=31.4e12,
+    mem_bandwidth=900.0e9,
+    num_sms=80,
+    clock_hz=1.53e9,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    smem_per_sm=96 * 1024,
+)
+
+# NVIDIA A100 (Ampere GA100): 312 TFLOPs/s FP16 Tensor Core, 19.5 TFLOPs/s
+# FP32, 1555 GB/s HBM2.  CMR = 201 (paper §3.3).
+A100 = GPUSpec(
+    name="A100",
+    matmul_flops=312.0e12,
+    alu_flops=39.0e12,
+    mem_bandwidth=1555.0e9,
+    num_sms=108,
+    clock_hz=1.41e9,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    smem_per_sm=164 * 1024,
+)
+
+# NVIDIA Jetson AGX Xavier (Volta, edge): 32 INT8 TOPs/s via Tensor
+# Cores, 137 GB/s LPDDR4x.  INT8 CMR = 235 (paper §3.3).
+JETSON_AGX_XAVIER = GPUSpec(
+    name="Jetson-AGX-Xavier",
+    matmul_flops=32.0e12,
+    alu_flops=2.8e12,
+    mem_bandwidth=137.0e9,
+    num_sms=8,
+    clock_hz=1.38e9,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+)
+
+_REGISTRY: dict[str, GPUSpec] = {
+    spec.name.lower(): spec
+    for spec in (T4, P4, V100, A100, JETSON_AGX_XAVIER)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a device spec by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPU {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_gpus() -> list[str]:
+    """Names of all registered devices."""
+    return sorted(spec.name for spec in _REGISTRY.values())

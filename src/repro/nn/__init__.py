@@ -1,0 +1,25 @@
+"""Neural-network layer shapes, the model zoo, and protected inference.
+
+The evaluation pipeline consumes each model as an ordered list of
+*linear layers* (convolutions and fully-connected layers) expressed as
+GEMMs — exactly the view the paper takes (§2.1).  ``models`` re-derives
+those GEMM shapes from the architectures by shape propagation;
+``inference`` runs small models numerically under ABFT protection.
+"""
+
+from .layers import Conv2dSpec, LinearSpec, pool_output_shape
+from .graph import LinearLayer, ModelGraph
+from .inference import ProtectedInference, SequentialModel
+from .models import build_model, list_models
+
+__all__ = [
+    "Conv2dSpec",
+    "LinearSpec",
+    "pool_output_shape",
+    "LinearLayer",
+    "ModelGraph",
+    "ProtectedInference",
+    "SequentialModel",
+    "build_model",
+    "list_models",
+]

@@ -1,0 +1,165 @@
+"""Shape-level model representation: an ordered list of linear layers.
+
+The paper's entire evaluation consumes a NN as the sequence of GEMMs
+implementing its convolutional and fully-connected layers ("we include
+only linear layers, as these layers typically dominate the end-to-end
+execution time", §6.2).  :class:`ModelGraph` is exactly that sequence,
+annotated with enough metadata to label figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import ModelZooError
+from ..gemm.problem import GemmProblem
+
+
+@dataclass(frozen=True)
+class LinearLayer:
+    """One linear layer of a model, lowered to its GEMM."""
+
+    name: str
+    kind: str  # "conv" or "linear"
+    problem: GemmProblem
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conv", "linear"):
+            raise ModelZooError(f"layer kind must be conv|linear, got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ModelGraph:
+    """A model as its ordered linear layers plus provenance metadata.
+
+    Attributes
+    ----------
+    name:
+        Model identifier, e.g. ``"resnet50"``.
+    batch:
+        Batch size the shapes were derived for.
+    input_desc:
+        Human-readable input description, e.g. ``"3x1080x1920"``.
+    layers:
+        Linear layers in execution order.
+    """
+
+    name: str
+    batch: int
+    input_desc: str
+    layers: tuple[LinearLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ModelZooError(f"model {self.name!r} has no linear layers")
+
+    def __iter__(self) -> Iterator[LinearLayer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def problems(self) -> list[GemmProblem]:
+        """The GEMMs of all linear layers, in order."""
+        return [layer.problem for layer in self.layers]
+
+    def total_flops(self, *, padded: bool = True) -> float:
+        """Sum of GEMM FLOPs over all linear layers."""
+        return sum(p.flops(padded=padded) for p in self.problems)
+
+    def total_bytes(self, *, padded: bool = True) -> float:
+        """Sum of GEMM bytes over all linear layers."""
+        return sum(p.bytes_moved(padded=padded) for p in self.problems)
+
+    def aggregate_intensity(self, *, padded: bool = True) -> float:
+        """Aggregate arithmetic intensity (paper §3.2)."""
+        return self.total_flops(padded=padded) / self.total_bytes(padded=padded)
+
+
+class GraphBuilder:
+    """Incremental builder used by the model-zoo architecture code.
+
+    Tracks the running activation shape ``(channels, h, w)`` and
+    appends lowered linear layers; architecture files stay close to
+    their torchvision definitions.
+    """
+
+    def __init__(self, name: str, *, batch: int, channels: int, h: int, w: int) -> None:
+        self.name = name
+        self.batch = batch
+        self.channels = channels
+        self.h = h
+        self.w = w
+        self._layers: list[LinearLayer] = []
+
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        name: str,
+        in_channels: int | None = None,
+        update_shape: bool = True,
+    ) -> None:
+        """Append a convolution operating on the current activation shape."""
+        from .layers import Conv2dSpec
+
+        cin = self.channels if in_channels is None else in_channels
+        spec = Conv2dSpec(
+            in_channels=cin,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+        problem = spec.gemm_problem(
+            batch=self.batch, h=self.h, w=self.w, label=f"{self.name}/{name}"
+        )
+        self._layers.append(LinearLayer(name=name, kind="conv", problem=problem))
+        if update_shape:
+            self.h, self.w = spec.output_hw(self.h, self.w)
+            self.channels = out_channels
+
+    def pool(
+        self, kernel: int, stride: int, *, padding: int = 0, ceil_mode: bool = False
+    ) -> None:
+        """Apply a pooling layer (shape-only; pools are not GEMMs)."""
+        from .layers import pool_output_shape
+
+        self.h, self.w = pool_output_shape(
+            self.h, self.w, kernel=kernel, stride=stride,
+            padding=padding, ceil_mode=ceil_mode,
+        )
+
+    def adaptive_pool(self, out_h: int, out_w: int) -> None:
+        """Adaptive average pool to a fixed spatial size."""
+        self.h, self.w = out_h, out_w
+
+    def set_channels(self, channels: int) -> None:
+        """Override the channel count (after concatenation/splits)."""
+        self.channels = channels
+
+    def linear(self, out_features: int, *, name: str, in_features: int | None = None) -> None:
+        """Append a fully-connected layer; flattens implicitly."""
+        from .layers import LinearSpec
+
+        fin = self.channels * self.h * self.w if in_features is None else in_features
+        spec = LinearSpec(in_features=fin, out_features=out_features)
+        problem = spec.gemm_problem(batch=self.batch, label=f"{self.name}/{name}")
+        self._layers.append(LinearLayer(name=name, kind="linear", problem=problem))
+        self.channels, self.h, self.w = out_features, 1, 1
+
+    # ------------------------------------------------------------------
+    def build(self, input_desc: str) -> ModelGraph:
+        """Finalize into an immutable :class:`ModelGraph`."""
+        return ModelGraph(
+            name=self.name,
+            batch=self.batch,
+            input_desc=input_desc,
+            layers=tuple(self._layers),
+        )

@@ -1,0 +1,276 @@
+"""Numeric protected inference for small sequential models.
+
+Runs a model layer by layer, executing every linear layer through an
+ABFT scheme (per-layer assignable, as intensity-guided ABFT requires),
+with optional fault injection into chosen layers.  Nonlinear operations
+(activations, pools) are executed directly — the paper replicates them,
+which is cheap and out of scope for the GEMM-focused overhead study.
+
+This engine is used by the examples and the fault-injection tests; the
+shape-only benchmarks never execute numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..abft.base import ExecutionOutcome, Scheme
+from ..abft.none import NoProtection
+from ..errors import ModelZooError, ShapeError
+from ..faults.model import FaultSpec
+from ..gemm.im2col import conv_weights_to_gemm, im2col
+from .layers import Conv2dSpec, LinearSpec, pool_output_shape
+
+
+class _Op:
+    """Base class for runnable ops (internal)."""
+
+    is_linear = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ReLU(_Op):
+    """Rectified linear activation, applied in FP16."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, np.float16(0.0)).astype(np.float16)
+
+
+class Flatten(_Op):
+    """Flatten NCHW activations to (batch, features)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"Flatten expects NCHW input, got {x.ndim}-D")
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPool2d(_Op):
+    """Max pooling with floor semantics."""
+
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"MaxPool2d expects NCHW input, got {x.ndim}-D")
+        b, c, h, w = x.shape
+        ho, wo = pool_output_shape(h, w, kernel=self.kernel, stride=self.stride)
+        sb, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(b, c, ho, wo, self.kernel, self.kernel),
+            strides=(sb, sc, sh * self.stride, sw * self.stride, sh, sw),
+            writeable=False,
+        )
+        return windows.max(axis=(4, 5)).astype(np.float16)
+
+
+class GlobalAvgPool(_Op):
+    """Adaptive average pool to 1x1 (keeps NCHW rank)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"GlobalAvgPool expects NCHW input, got {x.ndim}-D")
+        return x.mean(axis=(2, 3), keepdims=True, dtype=np.float32).astype(np.float16)
+
+
+class Conv2d(_Op):
+    """Convolution executed as an im2col GEMM through an ABFT scheme."""
+
+    is_linear = True
+
+    def __init__(self, spec: Conv2dSpec, weights: np.ndarray, *, name: str = "conv") -> None:
+        if spec.groups != 1:
+            raise ModelZooError(
+                f"{name}: numeric inference supports non-grouped convs only "
+                f"(the paper's substitution, footnote 3)"
+            )
+        expected = (spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+        if weights.shape != expected:
+            raise ShapeError(f"{name}: weights must be {expected}, got {weights.shape}")
+        self.spec = spec
+        self.name = name
+        self.weights = weights.astype(np.float16)
+        self.b_matrix = conv_weights_to_gemm(self.weights)
+
+    def lower(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, tuple[int, int, int]]:
+        """im2col the input; returns (A, B, (batch, Ho, Wo))."""
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expects NCHW input, got {x.ndim}-D")
+        ho, wo = self.spec.output_hw(x.shape[2], x.shape[3])
+        a = im2col(
+            x,
+            kernel=(self.spec.kernel, self.spec.kernel),
+            stride=(self.spec.stride, self.spec.stride),
+            padding=(self.spec.padding, self.spec.padding),
+        )
+        return a.astype(np.float16), self.b_matrix, (x.shape[0], ho, wo)
+
+    def reshape_output(self, c: np.ndarray, dims: tuple[int, int, int]) -> np.ndarray:
+        """GEMM output rows back to NCHW."""
+        batch, ho, wo = dims
+        return c.reshape(batch, ho, wo, self.spec.out_channels).transpose(0, 3, 1, 2)
+
+
+class Linear(_Op):
+    """Fully-connected layer executed as a GEMM through an ABFT scheme."""
+
+    is_linear = True
+
+    def __init__(self, spec: LinearSpec, weights: np.ndarray, *, name: str = "linear") -> None:
+        expected = (spec.in_features, spec.out_features)
+        if weights.shape != expected:
+            raise ShapeError(f"{name}: weights must be {expected}, got {weights.shape}")
+        self.spec = spec
+        self.name = name
+        self.weights = weights.astype(np.float16)
+
+
+@dataclass
+class LayerOutcome:
+    """Per-linear-layer record of one protected inference."""
+
+    name: str
+    scheme: str
+    outcome: ExecutionOutcome
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome.detected
+
+
+@dataclass
+class InferenceResult:
+    """Output of one protected forward pass."""
+
+    output: np.ndarray
+    layer_outcomes: list[LayerOutcome] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        """True if any layer's ABFT check fired."""
+        return any(rec.detected for rec in self.layer_outcomes)
+
+
+class SequentialModel:
+    """An ordered list of runnable ops with named linear layers."""
+
+    def __init__(self, ops: Sequence[_Op], *, name: str = "model") -> None:
+        if not ops:
+            raise ModelZooError("SequentialModel needs at least one op")
+        self.name = name
+        self.ops = list(ops)
+
+    @property
+    def linear_names(self) -> list[str]:
+        """Names of the linear (GEMM-backed) layers, in order."""
+        return [op.name for op in self.ops if op.is_linear]  # type: ignore[attr-defined]
+
+    @staticmethod
+    def random_weights_conv(
+        spec: Conv2dSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        """He-style FP16 initialization for a conv layer."""
+        fan_in = spec.in_channels * spec.kernel * spec.kernel
+        scale = float(np.sqrt(2.0 / fan_in))
+        shape = (spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+        return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+    @staticmethod
+    def random_weights_linear(
+        spec: LinearSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        """He-style FP16 initialization for a linear layer."""
+        scale = float(np.sqrt(2.0 / spec.in_features))
+        shape = (spec.in_features, spec.out_features)
+        return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+
+class ProtectedInference:
+    """Run a :class:`SequentialModel` under per-layer ABFT protection.
+
+    Parameters
+    ----------
+    model:
+        The runnable model.
+    schemes:
+        Either a single scheme applied to every linear layer, or a
+        mapping from linear-layer name to scheme (what intensity-guided
+        ABFT produces); missing names fall back to ``default_scheme``.
+    """
+
+    def __init__(
+        self,
+        model: SequentialModel,
+        schemes: Scheme | Mapping[str, Scheme],
+        *,
+        default_scheme: Scheme | None = None,
+    ) -> None:
+        self.model = model
+        if isinstance(schemes, Scheme):
+            self._scheme_map: Mapping[str, Scheme] = {
+                name: schemes for name in model.linear_names
+            }
+        else:
+            self._scheme_map = dict(schemes)
+        self._default = default_scheme or NoProtection()
+
+    def scheme_for(self, layer_name: str) -> Scheme:
+        """The scheme protecting the named linear layer."""
+        return self._scheme_map.get(layer_name, self._default)
+
+    def run(
+        self,
+        x: np.ndarray,
+        *,
+        faults: Mapping[str, Sequence[FaultSpec]] | None = None,
+    ) -> InferenceResult:
+        """Forward pass with optional per-layer fault injection.
+
+        Parameters
+        ----------
+        x:
+            Input activations (NCHW for conv models, (batch, features)
+            for MLPs).
+        faults:
+            Mapping from linear-layer name to fault specs injected into
+            that layer's GEMM.
+        """
+        faults = dict(faults or {})
+        unknown = set(faults) - set(self.model.linear_names)
+        if unknown:
+            raise ModelZooError(f"fault targets not in model: {sorted(unknown)}")
+
+        result = InferenceResult(output=np.asarray(x, dtype=np.float16))
+        activation = result.output
+        for op in self.model.ops:
+            if isinstance(op, Conv2d):
+                a, b, dims = op.lower(activation)
+                scheme = self.scheme_for(op.name)
+                outcome = scheme.execute(a, b, faults=faults.get(op.name, ()))
+                result.layer_outcomes.append(
+                    LayerOutcome(name=op.name, scheme=scheme.name, outcome=outcome)
+                )
+                activation = op.reshape_output(outcome.c, dims)
+            elif isinstance(op, Linear):
+                scheme = self.scheme_for(op.name)
+                outcome = scheme.execute(
+                    activation.astype(np.float16),
+                    op.weights,
+                    faults=faults.get(op.name, ()),
+                )
+                result.layer_outcomes.append(
+                    LayerOutcome(name=op.name, scheme=scheme.name, outcome=outcome)
+                )
+                activation = outcome.c
+            else:
+                activation = op.forward(activation)
+        result.output = activation
+        return result

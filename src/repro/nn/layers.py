@@ -1,0 +1,120 @@
+"""Linear-layer specifications and their GEMM lowering.
+
+``Conv2dSpec`` and ``LinearSpec`` are shape-level descriptions: they
+know how to propagate activation shapes and to produce the
+:class:`~repro.gemm.problem.GemmProblem` the paper's accounting uses
+(conv: ``M = B*Ho*Wo``, ``N = C_out``, ``K = C_in*kh*kw``; linear:
+``M = B``, ``N = out_features``, ``K = in_features``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from ..gemm.im2col import conv_gemm_shape, conv_output_shape
+from ..gemm.problem import GemmProblem
+from ..utils import ceil_div, check_positive_int
+
+
+def pool_output_shape(
+    h: int,
+    w: int,
+    *,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+    ceil_mode: bool = False,
+) -> tuple[int, int]:
+    """Spatial shape after a pooling layer (floor or ceil semantics)."""
+    check_positive_int(kernel, "kernel")
+    check_positive_int(stride, "stride")
+
+    def _one(size: int) -> int:
+        span = size + 2 * padding - kernel
+        if span < 0:
+            raise ShapeError(f"pool kernel {kernel} larger than padded input {size}")
+        out = (ceil_div(span, stride) if ceil_mode else span // stride) + 1
+        if ceil_mode and (out - 1) * stride >= size + padding:
+            out -= 1  # PyTorch rule: last window must start inside input
+        return out
+
+    return _one(h), _one(w)
+
+
+@dataclass(frozen=True)
+class Conv2dSpec:
+    """A 2-D convolution's shape parameters.
+
+    Grouped/depthwise convolutions are expressed with ``groups``; per
+    the paper's footnote 3, the model zoo substitutes non-grouped
+    convolutions (``groups=1``) for grouped ones, and this spec
+    supports both so the substitution is explicit and testable.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.in_channels, "in_channels")
+        check_positive_int(self.out_channels, "out_channels")
+        check_positive_int(self.kernel, "kernel")
+        check_positive_int(self.stride, "stride")
+        check_positive_int(self.groups, "groups")
+        if self.padding < 0:
+            raise ShapeError("padding must be non-negative")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ShapeError(
+                f"groups={self.groups} must divide channels "
+                f"{self.in_channels}->{self.out_channels}"
+            )
+
+    def output_hw(self, h: int, w: int) -> tuple[int, int]:
+        """Spatial output shape on an ``h x w`` input."""
+        return conv_output_shape(
+            h,
+            w,
+            kernel=(self.kernel, self.kernel),
+            stride=(self.stride, self.stride),
+            padding=(self.padding, self.padding),
+        )
+
+    def gemm_problem(self, *, batch: int, h: int, w: int, label: str = "") -> GemmProblem:
+        """The GEMM implementing this conv on a ``batch x h x w`` input.
+
+        For grouped convolutions each group is an independent GEMM; the
+        aggregate is represented by one problem with ``K`` scaled down
+        by ``groups`` (FLOPs and weight bytes both shrink by the group
+        count, which is the property the intensity analysis needs).
+        """
+        m, n, k = conv_gemm_shape(
+            batch=batch,
+            in_channels=self.in_channels // self.groups,
+            out_channels=self.out_channels,
+            h=h,
+            w=w,
+            kernel=(self.kernel, self.kernel),
+            stride=(self.stride, self.stride),
+            padding=(self.padding, self.padding),
+        )
+        return GemmProblem(m, n, k, label=label)
+
+
+@dataclass(frozen=True)
+class LinearSpec:
+    """A fully-connected layer's shape parameters."""
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.in_features, "in_features")
+        check_positive_int(self.out_features, "out_features")
+
+    def gemm_problem(self, *, batch: int, label: str = "") -> GemmProblem:
+        """The GEMM implementing this layer on a ``batch``-row input."""
+        return GemmProblem(batch, self.out_features, self.in_features, label=label)

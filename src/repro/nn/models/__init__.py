@@ -1,0 +1,11 @@
+"""Model zoo: the fourteen networks of the paper's evaluation.
+
+Eight torchvision CNNs (§6.2 "General-purpose CNNs"), the two DLRM
+MLPs ("Recommendation models"), and four NoScope-style specialized CNNs
+("Specialized CNNs").  All are re-derived by shape propagation; see each
+module for the architecture provenance.
+"""
+
+from .registry import build_model, list_models
+
+__all__ = ["build_model", "list_models"]

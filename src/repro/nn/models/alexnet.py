@@ -1,0 +1,28 @@
+"""AlexNet (torchvision variant).
+
+Five convolutions with 3x3/2 max pools after conv1, conv2 and conv5,
+an adaptive 6x6 average pool, and three fully-connected layers
+(9216 -> 4096 -> 4096 -> 1000).
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+
+def alexnet(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """AlexNet lowered to its linear-layer GEMMs."""
+    g = GraphBuilder("alexnet", batch=batch, channels=3, h=h, w=w)
+    g.conv(64, 11, stride=4, padding=2, name="features.0")
+    g.pool(3, 2)
+    g.conv(192, 5, padding=2, name="features.3")
+    g.pool(3, 2)
+    g.conv(384, 3, padding=1, name="features.6")
+    g.conv(256, 3, padding=1, name="features.8")
+    g.conv(256, 3, padding=1, name="features.10")
+    g.pool(3, 2)
+    g.adaptive_pool(6, 6)
+    g.linear(4096, name="classifier.1")
+    g.linear(4096, name="classifier.4")
+    g.linear(1000, name="classifier.6")
+    return g.build(input_desc=f"3x{h}x{w}")

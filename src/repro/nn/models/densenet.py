@@ -1,0 +1,45 @@
+"""DenseNet-161 (torchvision).
+
+A 7x7/2 stem to 96 channels, 3x3/2 max pool, four dense blocks of
+(6, 12, 36, 24) layers with growth rate 48 and bottleneck size 4 —
+each dense layer is a 1x1 convolution to ``4*growth`` channels followed
+by a 3x3 convolution to ``growth`` channels, its output concatenated
+onto the block's running feature map — with 1x1 + 2x2/2-avg-pool
+transitions halving channels between blocks, and a final 2208 -> 1000
+fully-connected classifier.
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+_GROWTH = 48
+_BN_SIZE = 4
+_BLOCK_CONFIG = (6, 12, 36, 24)
+_INIT_FEATURES = 96
+
+
+def densenet161(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """DenseNet-161 lowered to its linear-layer GEMMs."""
+    g = GraphBuilder("densenet161", batch=batch, channels=3, h=h, w=w)
+    g.conv(_INIT_FEATURES, 7, stride=2, padding=3, name="features.conv0")
+    g.pool(3, 2, padding=1)
+
+    channels = _INIT_FEATURES
+    for block_idx, num_layers in enumerate(_BLOCK_CONFIG, start=1):
+        for layer_idx in range(1, num_layers + 1):
+            name = f"denseblock{block_idx}.denselayer{layer_idx}"
+            g.set_channels(channels)
+            g.conv(_BN_SIZE * _GROWTH, 1, name=f"{name}.conv1")
+            g.conv(_GROWTH, 3, padding=1, name=f"{name}.conv2")
+            channels += _GROWTH
+        g.set_channels(channels)
+        if block_idx < len(_BLOCK_CONFIG):
+            channels //= 2
+            g.conv(channels, 1, name=f"transition{block_idx}.conv")
+            g.pool(2, 2)
+
+    g.adaptive_pool(1, 1)
+    g.set_channels(channels)
+    g.linear(1000, name="classifier")
+    return g.build(input_desc=f"3x{h}x{w}")

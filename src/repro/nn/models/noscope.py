@@ -1,0 +1,116 @@
+"""NoScope-style specialized CNNs (paper §6.2 "Specialized CNNs").
+
+The paper evaluates four specialized CNNs from the NoScope video
+analytics system — Coral, Roundabout, Taipei, Amsterdam — described as
+having "2-4 convolutional layers, each with 16-64 channels, at most two
+fully-connected layers", operating on 50x50-pixel regions of video
+frames at batch size 64, performing binary classification.
+
+NoScope's per-video architectures come from a per-query search and are
+not published layer-by-layer, so this module instantiates concrete
+architectures inside the paper's described envelope, with channel
+counts chosen so each model's aggregate arithmetic intensity matches
+the value the paper prints under each bar of Figs. 8/11
+(15.1 / 37.9 / 51.9 / 52.7).  This is the documented substitution of
+DESIGN.md §2.
+
+All convolutions are 3x3 with unit stride and 'same' padding; 2x2/2 max
+pools follow each conv pair, mirroring the NoScope search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import GraphBuilder, ModelGraph
+
+#: Input region size (pixels) and evaluation batch size (paper §6.2).
+INPUT_HW = 50
+DEFAULT_BATCH = 64
+
+
+@dataclass(frozen=True)
+class NoScopeConfig:
+    """One specialized CNN: conv widths, pool placement, FC widths."""
+
+    name: str
+    conv_channels: tuple[int, ...]
+    pool_after: tuple[int, ...]  # conv indices followed by a 2x2/2 max pool
+    fc_hidden: int | None
+    paper_intensity: float  # aggregate AI printed in the paper's figures
+
+
+CONFIGS: tuple[NoScopeConfig, ...] = (
+    NoScopeConfig(
+        name="coral",
+        conv_channels=(16, 24, 16, 16),
+        pool_after=(0, 1, 2, 3),
+        fc_hidden=64,
+        paper_intensity=15.1,
+    ),
+    NoScopeConfig(
+        name="roundabout",
+        conv_channels=(64, 48, 64, 48),
+        pool_after=(0, 1, 2, 3),
+        fc_hidden=64,
+        paper_intensity=37.9,
+    ),
+    NoScopeConfig(
+        name="taipei",
+        conv_channels=(64, 64, 64, 64),
+        pool_after=(0, 2, 3),
+        fc_hidden=64,
+        paper_intensity=51.9,
+    ),
+    NoScopeConfig(
+        name="amsterdam",
+        conv_channels=(64, 64, 56, 64),
+        pool_after=(1, 2, 3),
+        fc_hidden=64,
+        paper_intensity=52.7,
+    ),
+)
+
+_BY_NAME = {cfg.name: cfg for cfg in CONFIGS}
+
+
+def build_noscope(name: str, *, batch: int = DEFAULT_BATCH) -> ModelGraph:
+    """Build one specialized CNN by name (coral/roundabout/taipei/amsterdam)."""
+    from ...errors import ModelZooError
+
+    try:
+        cfg = _BY_NAME[name.lower()]
+    except KeyError:
+        raise ModelZooError(
+            f"unknown specialized CNN {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+    g = GraphBuilder(cfg.name, batch=batch, channels=3, h=INPUT_HW, w=INPUT_HW)
+    for idx, channels in enumerate(cfg.conv_channels):
+        g.conv(channels, 3, padding=1, name=f"conv{idx}")
+        if idx in cfg.pool_after:
+            g.pool(2, 2)
+    if cfg.fc_hidden is not None:
+        g.linear(cfg.fc_hidden, name="fc0")
+    g.linear(2, name="fc_out")  # binary classification
+    return g.build(input_desc=f"3x{INPUT_HW}x{INPUT_HW}")
+
+
+def coral(*, batch: int = DEFAULT_BATCH) -> ModelGraph:
+    """The Coral specialized CNN."""
+    return build_noscope("coral", batch=batch)
+
+
+def roundabout(*, batch: int = DEFAULT_BATCH) -> ModelGraph:
+    """The Roundabout specialized CNN."""
+    return build_noscope("roundabout", batch=batch)
+
+
+def taipei(*, batch: int = DEFAULT_BATCH) -> ModelGraph:
+    """The Taipei specialized CNN."""
+    return build_noscope("taipei", batch=batch)
+
+
+def amsterdam(*, batch: int = DEFAULT_BATCH) -> ModelGraph:
+    """The Amsterdam specialized CNN."""
+    return build_noscope("amsterdam", batch=batch)

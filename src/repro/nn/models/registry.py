@@ -1,0 +1,90 @@
+"""Model registry: uniform construction of all fourteen evaluation NNs.
+
+``build_model(name, batch=..., h=..., w=...)`` dispatches to the
+architecture modules.  CNN defaults follow the paper (HD 1080x1920,
+batch 1); DLRM MLPs ignore the resolution; specialized CNNs have fixed
+50x50 inputs and default to batch 64 (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import ModelZooError
+from ..graph import ModelGraph
+from . import noscope
+from .alexnet import alexnet
+from .densenet import densenet161
+from .dlrm import mlp_bottom, mlp_top
+from .resnet import resnet50, resnext50_32x4d, wide_resnet50_2
+from .shufflenet import shufflenet_v2_x1_0
+from .squeezenet import squeezenet1_0
+from .vgg import vgg16
+
+#: The eight general-purpose CNNs of Fig. 4 / Fig. 9, in the paper's order.
+GENERAL_CNNS: tuple[str, ...] = (
+    "squeezenet1_0",
+    "shufflenet_v2_x1_0",
+    "densenet161",
+    "resnet50",
+    "alexnet",
+    "vgg16",
+    "resnext50_32x4d",
+    "wide_resnet50_2",
+)
+
+#: The two DLRM MLPs of Fig. 10.
+DLRM_MLPS: tuple[str, ...] = ("mlp_bottom", "mlp_top")
+
+#: The four specialized CNNs of Fig. 11.
+SPECIALIZED_CNNS: tuple[str, ...] = ("coral", "roundabout", "taipei", "amsterdam")
+
+_CNN_BUILDERS: dict[str, Callable[..., ModelGraph]] = {
+    "resnet50": resnet50,
+    "wide_resnet50_2": wide_resnet50_2,
+    "resnext50_32x4d": resnext50_32x4d,
+    "vgg16": vgg16,
+    "alexnet": alexnet,
+    "squeezenet1_0": squeezenet1_0,
+    "shufflenet_v2_x1_0": shufflenet_v2_x1_0,
+    "densenet161": densenet161,
+}
+
+
+def list_models() -> list[str]:
+    """All fourteen model names, grouped in the paper's Fig. 8 order."""
+    return list(DLRM_MLPS) + list(SPECIALIZED_CNNS) + list(GENERAL_CNNS)
+
+
+def build_model(
+    name: str,
+    *,
+    batch: int | None = None,
+    h: int = 1080,
+    w: int = 1920,
+) -> ModelGraph:
+    """Build any evaluation model by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_models`.
+    batch:
+        Batch size; defaults to 1 for CNNs/MLPs and 64 for the
+        specialized CNNs (the paper's settings).
+    h, w:
+        Input resolution for the general-purpose CNNs (ignored by MLPs
+        and the fixed-50x50 specialized CNNs).
+    """
+    key = name.lower()
+    if key in _CNN_BUILDERS:
+        return _CNN_BUILDERS[key](batch=batch if batch is not None else 1, h=h, w=w)
+    if key == "mlp_bottom":
+        return mlp_bottom(batch=batch if batch is not None else 1)
+    if key == "mlp_top":
+        return mlp_top(batch=batch if batch is not None else 1)
+    if key in SPECIALIZED_CNNS:
+        return noscope.build_noscope(
+            key, batch=batch if batch is not None else noscope.DEFAULT_BATCH
+        )
+    raise ModelZooError(f"unknown model {name!r}; known: {list_models()}")

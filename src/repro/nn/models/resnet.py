@@ -1,0 +1,79 @@
+"""ResNet-family architectures: ResNet-50, Wide-ResNet-50-2, ResNeXt-50.
+
+Layer structure follows torchvision's Bottleneck ResNet v1: a 7x7/2 stem
+convolution, 3x3/2 max pool, four stages of bottleneck blocks
+(3, 4, 6, 3 blocks) with the stride-2 placed on each stage's first
+block's 3x3 convolution, and a final 1000-way fully-connected layer.
+
+* **ResNet-50**: bottleneck widths 64/128/256/512.
+* **Wide-ResNet-50-2**: bottleneck widths doubled (128/256/512/1024),
+  same stage output channels.
+* **ResNeXt-50 (32x4d)**: bottleneck widths 128/256/512/1024 with
+  32-way grouped 3x3 convolutions — which the paper (footnote 3)
+  replaces with non-grouped convolutions, making its GEMM shapes
+  identical to Wide-ResNet-50-2's.  That is why Fig. 4/8 report the
+  same aggregate intensity (220.8) for both.
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+#: (blocks per stage, stage output channels) shared by the family.
+_STAGES = ((3, 256), (4, 512), (6, 1024), (3, 2048))
+
+
+def _build_resnet(
+    name: str,
+    *,
+    widths: tuple[int, int, int, int],
+    batch: int,
+    h: int,
+    w: int,
+    num_classes: int = 1000,
+) -> ModelGraph:
+    g = GraphBuilder(name, batch=batch, channels=3, h=h, w=w)
+    g.conv(64, 7, stride=2, padding=3, name="conv1")
+    g.pool(3, 2, padding=1)
+
+    for stage_idx, ((blocks, c_out), width) in enumerate(zip(_STAGES, widths), start=1):
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 1) else 1
+            prefix = f"layer{stage_idx}.{block_idx}"
+            c_in = g.channels
+            h_in, w_in = g.h, g.w
+            # conv1 1x1 reduce (spatial unchanged).
+            g.conv(width, 1, name=f"{prefix}.conv1")
+            # conv2 3x3 (carries the stage's stride).
+            g.conv(width, 3, stride=stride, padding=1, name=f"{prefix}.conv2")
+            # conv3 1x1 expand.
+            g.conv(c_out, 1, name=f"{prefix}.conv3")
+            # Projection shortcut on the first block of each stage.
+            if block_idx == 0:
+                h_save, w_save, c_save = g.h, g.w, g.channels
+                g.h, g.w, g.channels = h_in, w_in, c_in
+                g.conv(c_out, 1, stride=stride, name=f"{prefix}.downsample")
+                g.h, g.w, g.channels = h_save, w_save, c_save
+
+    g.adaptive_pool(1, 1)
+    g.linear(num_classes, name="fc")
+    return g.build(input_desc=f"3x{h}x{w}")
+
+
+def resnet50(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """ResNet-50 lowered to its linear-layer GEMMs."""
+    return _build_resnet("resnet50", widths=(64, 128, 256, 512), batch=batch, h=h, w=w)
+
+
+def wide_resnet50_2(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """Wide-ResNet-50-2 (doubled bottleneck widths)."""
+    return _build_resnet(
+        "wide_resnet50_2", widths=(128, 256, 512, 1024), batch=batch, h=h, w=w
+    )
+
+
+def resnext50_32x4d(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """ResNeXt-50 with grouped convs replaced by non-grouped (paper fn. 3)."""
+    return _build_resnet(
+        "resnext50_32x4d", widths=(128, 256, 512, 1024), batch=batch, h=h, w=w
+    )

@@ -1,0 +1,58 @@
+"""ShuffleNet V2 x1.0 (torchvision), with non-grouped substitution.
+
+A 3x3/2 stem to 24 channels and 3x3/2 max pool, three stages of
+ShuffleNet V2 units (4, 8, 4 units; output channels 116/232/464), a
+final 1x1 convolution to 1024 channels, and a 1024 -> 1000 classifier.
+
+Each stride-1 unit splits channels in half and runs one branch through
+1x1 -> 3x3-depthwise -> 1x1; each stage-opening stride-2 unit runs both
+branches.  Per the paper's footnote 3, grouped/depthwise convolutions
+are replaced with non-grouped ones ("the reported aggregate arithmetic
+intensities of these NNs are, thus, higher than they would be with
+grouped convolutions") — so the 3x3 depthwise convs here are dense.
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+_STAGES = ((4, 116), (8, 232), (4, 464))
+
+
+def shufflenet_v2_x1_0(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """ShuffleNet V2 1.0x lowered to its (non-grouped) GEMMs."""
+    g = GraphBuilder("shufflenet_v2_x1_0", batch=batch, channels=3, h=h, w=w)
+    g.conv(24, 3, stride=2, padding=1, name="conv1")
+    g.pool(3, 2, padding=1)
+
+    for stage_idx, (units, c_out) in enumerate(_STAGES, start=2):
+        branch = c_out // 2
+        for unit_idx in range(units):
+            name = f"stage{stage_idx}.{unit_idx}"
+            if unit_idx == 0:
+                # Stride-2 unit: both branches run, spatial halves.
+                c_in = g.channels
+                h_in, w_in = g.h, g.w
+                # Branch 1: 3x3 (dw->dense) stride 2 on full input, then 1x1.
+                g.conv(c_in, 3, stride=2, padding=1, name=f"{name}.branch1.dw")
+                g.conv(branch, 1, name=f"{name}.branch1.pw")
+                h_out, w_out = g.h, g.w
+                # Branch 2: 1x1, 3x3 (dw->dense) stride 2, 1x1.
+                g.h, g.w, g.channels = h_in, w_in, c_in
+                g.conv(branch, 1, name=f"{name}.branch2.pw1")
+                g.conv(branch, 3, stride=2, padding=1, name=f"{name}.branch2.dw")
+                g.conv(branch, 1, name=f"{name}.branch2.pw2")
+                g.h, g.w = h_out, w_out
+                g.set_channels(c_out)
+            else:
+                # Stride-1 unit: half the channels pass through untouched.
+                g.set_channels(branch)
+                g.conv(branch, 1, name=f"{name}.branch2.pw1")
+                g.conv(branch, 3, padding=1, name=f"{name}.branch2.dw")
+                g.conv(branch, 1, name=f"{name}.branch2.pw2")
+                g.set_channels(c_out)
+
+    g.conv(1024, 1, name="conv5")
+    g.adaptive_pool(1, 1)
+    g.linear(1000, name="fc")
+    return g.build(input_desc=f"3x{h}x{w}")

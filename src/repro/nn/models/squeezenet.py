@@ -1,0 +1,40 @@
+"""SqueezeNet 1.0 (torchvision).
+
+A 7x7/2 stem, eight Fire modules (squeeze 1x1 + parallel expand 1x1 and
+expand 3x3 branches, channel-concatenated) with ceil-mode 3x3/2 max
+pools, and a final 1x1 classifier convolution to 1000 channels followed
+by global average pooling.  No fully-connected layers.
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+
+def _fire(g: GraphBuilder, squeeze: int, expand1: int, expand3: int, *, name: str) -> None:
+    """One Fire module; leaves channels = expand1 + expand3."""
+    g.conv(squeeze, 1, name=f"{name}.squeeze")
+    c_squeeze = g.channels
+    g.conv(expand1, 1, name=f"{name}.expand1x1")
+    # The 3x3 expand branch consumes the squeeze output too.
+    g.conv(expand3, 3, padding=1, name=f"{name}.expand3x3", in_channels=c_squeeze)
+    g.set_channels(expand1 + expand3)
+
+
+def squeezenet1_0(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """SqueezeNet 1.0 lowered to its linear-layer GEMMs."""
+    g = GraphBuilder("squeezenet1_0", batch=batch, channels=3, h=h, w=w)
+    g.conv(96, 7, stride=2, name="features.0")
+    g.pool(3, 2, ceil_mode=True)
+    _fire(g, 16, 64, 64, name="fire2")
+    _fire(g, 16, 64, 64, name="fire3")
+    _fire(g, 32, 128, 128, name="fire4")
+    g.pool(3, 2, ceil_mode=True)
+    _fire(g, 32, 128, 128, name="fire5")
+    _fire(g, 48, 192, 192, name="fire6")
+    _fire(g, 48, 192, 192, name="fire7")
+    _fire(g, 64, 256, 256, name="fire8")
+    g.pool(3, 2, ceil_mode=True)
+    _fire(g, 64, 256, 256, name="fire9")
+    g.conv(1000, 1, name="classifier.1")
+    return g.build(input_desc=f"3x{h}x{w}")

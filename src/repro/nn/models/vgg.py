@@ -1,0 +1,35 @@
+"""VGG-16 (torchvision configuration "D").
+
+Thirteen 3x3 convolutions in five blocks separated by 2x2/2 max pools,
+then an adaptive 7x7 average pool feeding three fully-connected layers
+(25088 -> 4096 -> 4096 -> 1000).
+"""
+
+from __future__ import annotations
+
+from ..graph import GraphBuilder, ModelGraph
+
+_CFG_D: tuple[object, ...] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def vgg16(*, batch: int = 1, h: int = 1080, w: int = 1920) -> ModelGraph:
+    """VGG-16 lowered to its linear-layer GEMMs."""
+    g = GraphBuilder("vgg16", batch=batch, channels=3, h=h, w=w)
+    conv_idx = 0
+    for item in _CFG_D:
+        if item == "M":
+            g.pool(2, 2)
+        else:
+            g.conv(int(item), 3, padding=1, name=f"features.conv{conv_idx}")
+            conv_idx += 1
+    g.adaptive_pool(7, 7)
+    g.linear(4096, name="classifier.0")
+    g.linear(4096, name="classifier.3")
+    g.linear(1000, name="classifier.6")
+    return g.build(input_desc=f"3x{h}x{w}")

@@ -1,0 +1,19 @@
+"""Roofline analysis: arithmetic intensity, CMR, boundedness (paper §3)."""
+
+from .intensity import (
+    IntensityBreakdown,
+    aggregate_intensity,
+    layer_intensities,
+)
+from .model import Boundedness, classify_problem, roofline_time
+from .cmr import cmr_table
+
+__all__ = [
+    "IntensityBreakdown",
+    "aggregate_intensity",
+    "layer_intensities",
+    "Boundedness",
+    "classify_problem",
+    "roofline_time",
+    "cmr_table",
+]

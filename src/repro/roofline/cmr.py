@@ -1,0 +1,30 @@
+"""Device CMR table (paper §3.3).
+
+The paper quotes: T4 = 203, P4 = 58, V100 = 139, A100 = 201,
+Jetson AGX Xavier = 235 (INT8).  These fall out of the registered
+device specs; the table below is what the §3.3 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from ..gpu.specs import GPUSpec, list_gpus, get_gpu
+from ..utils import Table
+
+
+def cmr_table(names: list[str] | None = None) -> Table:
+    """CMR table for the given devices (all registered ones by default)."""
+    table = Table(
+        ["device", "matmul TFLOPs/s", "mem GB/s", "CMR (FLOPs/byte)"],
+        title="Compute-to-memory-bandwidth ratios (paper §3.3)",
+    )
+    for name in names if names is not None else list_gpus():
+        spec: GPUSpec = get_gpu(name)
+        table.add_row(
+            [
+                spec.name,
+                spec.matmul_flops / 1e12,
+                spec.mem_bandwidth / 1e9,
+                spec.cmr,
+            ]
+        )
+    return table

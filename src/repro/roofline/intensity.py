@@ -1,0 +1,71 @@
+"""Arithmetic-intensity accounting (paper §3.2).
+
+The *aggregate arithmetic intensity* of a NN sums FLOPs across all
+linear layers, sums bytes across all linear layers, and divides the two
+— an estimate of whether the NN as a whole is compute or bandwidth
+bound.  Per-layer intensities (paper Fig. 5) use the same GEMM-view
+accounting on individual layers.
+
+Padding note: the paper pads M/N/K to multiples of 8 to run on m16n8k8
+Tensor Cores (§6.2), and its printed aggregate intensities (e.g. the
+DLRM MLPs' 7.4/7.7 at batch one) include that padding.  Fig. 5's
+per-layer range (down to AI = 1 for the batch-1 FC layer) reflects the
+*unpadded* view.  Both are exposed via the ``padded`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ShapeError
+from ..gemm.problem import GemmProblem
+
+
+@dataclass(frozen=True)
+class IntensityBreakdown:
+    """FLOPs, bytes and their ratio for one layer or an aggregate."""
+
+    label: str
+    flops: float
+    bytes_moved: float
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in FLOPs/byte."""
+        if self.bytes_moved <= 0:
+            raise ShapeError(f"{self.label}: bytes must be positive")
+        return self.flops / self.bytes_moved
+
+
+def layer_intensities(
+    problems: Sequence[GemmProblem], *, padded: bool = True
+) -> list[IntensityBreakdown]:
+    """Per-layer intensity breakdowns in layer order."""
+    out: list[IntensityBreakdown] = []
+    for i, problem in enumerate(problems):
+        label = problem.label or f"layer{i}"
+        out.append(
+            IntensityBreakdown(
+                label=label,
+                flops=problem.flops(padded=padded),
+                bytes_moved=problem.bytes_moved(padded=padded),
+            )
+        )
+    return out
+
+
+def aggregate_intensity(
+    problems: Iterable[GemmProblem], *, padded: bool = True, label: str = "aggregate"
+) -> IntensityBreakdown:
+    """Aggregate intensity: sum of FLOPs over sum of bytes (paper §3.2)."""
+    total_flops = 0.0
+    total_bytes = 0.0
+    count = 0
+    for problem in problems:
+        total_flops += problem.flops(padded=padded)
+        total_bytes += problem.bytes_moved(padded=padded)
+        count += 1
+    if count == 0:
+        raise ShapeError("aggregate_intensity needs at least one layer")
+    return IntensityBreakdown(label=label, flops=total_flops, bytes_moved=total_bytes)

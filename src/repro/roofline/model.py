@@ -1,0 +1,69 @@
+"""Roofline classification: compute bound vs memory-bandwidth bound.
+
+Implements Eq. 1 of the paper: a kernel is compute bound when its
+arithmetic intensity exceeds the device's compute-to-memory-bandwidth
+ratio (CMR), bandwidth bound otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..gemm.problem import GemmProblem
+from ..gpu.specs import GPUSpec
+
+
+class Boundedness(enum.Enum):
+    """Which side of the roofline a kernel falls on."""
+
+    COMPUTE_BOUND = "compute"
+    BANDWIDTH_BOUND = "bandwidth"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A problem placed on a device's roofline."""
+
+    problem: GemmProblem
+    intensity: float
+    cmr: float
+    boundedness: Boundedness
+
+    @property
+    def headroom(self) -> float:
+        """Idle fraction of the compute units for bandwidth-bound kernels.
+
+        ``1 - AI/CMR``: the share of Tensor-Core cycles the kernel
+        leaves unused — the budget thread-level ABFT spends.
+        Zero for compute-bound kernels.
+        """
+        return max(0.0, 1.0 - self.intensity / self.cmr)
+
+
+def classify_problem(
+    problem: GemmProblem, spec: GPUSpec, *, padded: bool = True
+) -> RooflinePoint:
+    """Place ``problem`` on ``spec``'s roofline (Eq. 1)."""
+    intensity = problem.arithmetic_intensity(padded=padded)
+    boundedness = (
+        Boundedness.COMPUTE_BOUND
+        if intensity > spec.cmr
+        else Boundedness.BANDWIDTH_BOUND
+    )
+    return RooflinePoint(
+        problem=problem, intensity=intensity, cmr=spec.cmr, boundedness=boundedness
+    )
+
+
+def roofline_time(problem: GemmProblem, spec: GPUSpec, *, padded: bool = True) -> float:
+    """Idealized roofline execution time: max of compute and memory time.
+
+    This is the textbook model of §3.1 — no launch overhead, no
+    occupancy effects.  The full latency model in ``repro.gpu.timing``
+    refines it; this function exists for analyses and tests that want
+    the paper's own simple model.
+    """
+    compute = problem.flops(padded=padded) / spec.matmul_flops
+    memory = problem.bytes_moved(padded=padded) / spec.mem_bandwidth
+    return max(compute, memory)

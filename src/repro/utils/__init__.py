@@ -1,0 +1,24 @@
+"""Shared helpers: validation, integer math, ASCII tables, logging."""
+
+from .mathutils import ceil_div, round_up, is_power_of_two, geometric_sizes
+from .validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_positive_float,
+    check_fraction,
+    check_in,
+)
+from .tables import Table
+
+__all__ = [
+    "ceil_div",
+    "round_up",
+    "is_power_of_two",
+    "geometric_sizes",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_fraction",
+    "check_in",
+    "Table",
+]

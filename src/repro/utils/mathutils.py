@@ -1,0 +1,48 @@
+"""Small integer/float math helpers used across the tiling and cost code."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ShapeError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ShapeError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ShapeError(f"ceil_div dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def geometric_sizes(start: int, stop: int, factor: int = 2) -> Iterator[int]:
+    """Yield ``start, start*factor, ...`` up to and including ``stop``.
+
+    Used for the square-GEMM sweep of Fig. 12 (sizes 32..2048).
+    """
+    if start <= 0 or stop < start or factor <= 1:
+        raise ShapeError(
+            f"invalid geometric range start={start} stop={stop} factor={factor}"
+        )
+    size = start
+    while size <= stop:
+        yield size
+        size *= factor
+
+
+def harmonic_mean(a: float, b: float) -> float:
+    """Harmonic mean of two positive numbers."""
+    if a <= 0 or b <= 0:
+        raise ShapeError("harmonic_mean requires positive inputs")
+    return 2.0 * a * b / (a + b)

@@ -1,0 +1,64 @@
+"""JSON-serializable views of result objects.
+
+Deployment tooling consumes the profiler's decisions programmatically
+(e.g. to bake the per-layer scheme choice into an inference engine
+config); these helpers provide stable dictionary schemas for that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.intensity_guided import LayerSelection, ModelSelection
+
+
+def layer_selection_to_dict(selection: "LayerSelection") -> dict[str, Any]:
+    """Stable dict schema for one layer's profiling result."""
+    return {
+        "layer": selection.layer_name,
+        "gemm": {
+            "m": selection.problem.m,
+            "n": selection.problem.n,
+            "k": selection.problem.k,
+        },
+        "arithmetic_intensity": selection.intensity,
+        "baseline_s": selection.baseline_s,
+        "scheme_times_s": dict(selection.scheme_times_s),
+        "chosen": selection.chosen,
+        "overheads_percent": {
+            scheme: selection.overhead_percent(scheme)
+            for scheme in selection.scheme_times_s
+        },
+    }
+
+
+def model_selection_to_dict(selection: "ModelSelection") -> dict[str, Any]:
+    """Stable dict schema for a whole-model selection result."""
+    schemes = (
+        list(selection.layers[0].scheme_times_s) if selection.layers else []
+    )
+    return {
+        "model": selection.model_name,
+        "device": selection.device,
+        "baseline_s": selection.baseline_s,
+        "guided": {
+            "total_s": selection.guided_total_s,
+            "overhead_percent": selection.guided_overhead_percent,
+            "selection_counts": selection.selection_counts,
+        },
+        "schemes": {
+            scheme: {
+                "total_s": selection.scheme_total_s(scheme),
+                "overhead_percent": selection.scheme_overhead_percent(scheme),
+            }
+            for scheme in schemes
+        },
+        "layers": [layer_selection_to_dict(l) for l in selection.layers],
+    }
+
+
+def model_selection_to_json(selection: "ModelSelection", *, indent: int = 2) -> str:
+    """JSON string of :func:`model_selection_to_dict`."""
+    return json.dumps(model_selection_to_dict(selection), indent=indent)

@@ -1,0 +1,72 @@
+"""Minimal ASCII table renderer for benchmark/report output.
+
+The benchmark harness prints the same rows/series the paper's figures and
+tables report; this module does the formatting so every bench emits
+consistent, diffable text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """An append-only table rendered with aligned columns.
+
+    Example
+    -------
+    >>> t = Table(["model", "AI"], title="Fig. 4")
+    >>> t.add_row(["ResNet-50", 122.0])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("Table requires at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; floats are formatted to 4 significant digits."""
+        row = [self._format(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as an aligned ASCII string."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,55 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection, TypeVar
+
+from ..errors import ConfigurationError, ShapeError
+
+T = TypeVar("T")
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ShapeError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a positive finite number and return it."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from exc
+    if not result > 0 or result != result or result in (float("inf"),):
+        raise ConfigurationError(f"{name} must be positive and finite, got {value!r}")
+    return result
+
+
+def check_fraction(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    result = float(value)
+    if not 0.0 <= result <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return result
+
+
+def check_in(value: T, options: Collection[T], name: str) -> T:
+    """Validate that ``value`` is one of ``options`` and return it."""
+    if value not in options:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(map(str, options))}, got {value!r}"
+        )
+    return value

@@ -1,0 +1,62 @@
+"""Tests for multi-checksum global ABFT (paper §2.4 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.abft import MultiChecksumGlobalABFT
+from repro.errors import ConfigurationError
+from repro.faults import FaultKind, FaultSpec
+from repro.gemm import GemmProblem, TileConfig, reference_gemm
+from repro.gpu import T4
+
+
+class TestConstruction:
+    def test_rejects_zero_checksums(self):
+        with pytest.raises(ConfigurationError):
+            MultiChecksumGlobalABFT(0)
+
+
+class TestNumeric:
+    def test_clean_run_passes(self, small_operands):
+        a, b = small_operands
+        scheme = MultiChecksumGlobalABFT(3)
+        outcome = scheme.execute(a, b)
+        assert not outcome.detected
+        assert outcome.verdict.checks == 3
+
+    def test_output_matches_reference(self, small_operands):
+        a, b = small_operands
+        outcome = MultiChecksumGlobalABFT(2).execute(a, b)
+        np.testing.assert_allclose(
+            outcome.c.astype(np.float32), reference_gemm(a, b), rtol=5e-3, atol=5e-3
+        )
+
+    def test_detects_single_fault(self, small_operands):
+        a, b = small_operands
+        fault = FaultSpec(row=3, col=3, kind=FaultKind.ADD, value=30.0)
+        assert MultiChecksumGlobalABFT(2).execute(a, b, faults=[fault]).detected
+
+    def test_detects_cancelling_pair_that_blinds_single_checksum(
+        self, small_operands
+    ):
+        """The §2.4 motivation: with r >= 2 independently-weighted
+        checksums, equal-and-opposite faults at different positions can
+        no longer cancel in every check simultaneously."""
+        a, b = small_operands
+        faults = [
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=30.0),
+            FaultSpec(row=40, col=40, kind=FaultKind.ADD, value=-30.0),
+        ]
+        from repro.abft import GlobalABFT
+
+        assert not GlobalABFT().execute(a, b, faults=faults).detected
+        assert MultiChecksumGlobalABFT(3).execute(a, b, faults=faults).detected
+
+
+class TestPlan:
+    def test_cost_scales_with_checksum_count(self):
+        problem = GemmProblem(512, 512, 512)
+        tile = TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+        t1 = MultiChecksumGlobalABFT(1).plan(problem, tile).modeled_time(T4)
+        t4 = MultiChecksumGlobalABFT(4).plan(problem, tile).modeled_time(T4)
+        assert t4 > t1

@@ -1,0 +1,137 @@
+"""Numeric execution tests: every scheme computes correctly and detects faults."""
+
+import numpy as np
+import pytest
+
+from repro.abft import get_scheme, list_schemes
+from repro.faults import FaultKind, FaultPath, FaultSpec
+from repro.gemm import reference_gemm
+
+PROTECTING = [n for n in list_schemes() if n != "none"]
+
+
+class TestCleanExecution:
+    @pytest.mark.parametrize("name", list_schemes())
+    def test_output_matches_reference(self, name, small_operands):
+        a, b = small_operands
+        outcome = get_scheme(name).execute(a, b)
+        ref = reference_gemm(a, b)
+        np.testing.assert_allclose(
+            outcome.c.astype(np.float32), ref, rtol=5e-3, atol=5e-3
+        )
+
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_no_false_positive_on_clean_data(self, name, small_operands):
+        a, b = small_operands
+        outcome = get_scheme(name).execute(a, b)
+        assert not outcome.detected
+
+    def test_unprotected_scheme_has_no_verdict(self, small_operands):
+        a, b = small_operands
+        outcome = get_scheme("none").execute(a, b)
+        assert outcome.verdict is None
+        assert not outcome.detected
+
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_no_false_positive_on_adversarial_magnitudes(self, name, rng):
+        # Mixed huge/tiny magnitudes stress the tolerance model.
+        a = (rng.standard_normal((64, 96)) * rng.choice([1e-2, 1.0, 8.0], (64, 96))).astype(np.float16)
+        b = (rng.standard_normal((96, 40)) * rng.choice([1e-2, 1.0, 8.0], (96, 40))).astype(np.float16)
+        assert not get_scheme(name).execute(a, b).detected
+
+
+class TestFaultDetection:
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_detects_large_additive_fault(self, name, small_operands):
+        a, b = small_operands
+        fault = FaultSpec(row=3, col=5, kind=FaultKind.ADD, value=25.0)
+        outcome = get_scheme(name).execute(a, b, faults=[fault])
+        assert outcome.detected
+
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_detects_exponent_bitflip(self, name, small_operands):
+        a, b = small_operands
+        # Bit 27 of FP32 is a high exponent bit: catastrophic change.
+        fault = FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=27)
+        outcome = get_scheme(name).execute(a, b, faults=[fault])
+        assert outcome.detected
+
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_detects_checksum_path_fault(self, name, small_operands):
+        """Faults striking the redundant computation itself also raise
+        the alarm (benign false alarm, not silent corruption)."""
+        a, b = small_operands
+        fault = FaultSpec(
+            row=2, col=2, kind=FaultKind.ADD, value=25.0, path=FaultPath.CHECKSUM
+        )
+        outcome = get_scheme(name).execute(a, b, faults=[fault])
+        assert outcome.detected
+
+    @pytest.mark.parametrize("name", PROTECTING)
+    def test_checksum_path_fault_leaves_output_clean(self, name, small_operands):
+        a, b = small_operands
+        fault = FaultSpec(
+            row=2, col=2, kind=FaultKind.ADD, value=25.0, path=FaultPath.CHECKSUM
+        )
+        outcome = get_scheme(name).execute(a, b, faults=[fault])
+        ref = reference_gemm(a, b)
+        np.testing.assert_allclose(
+            outcome.c.astype(np.float32), ref, rtol=5e-3, atol=5e-3
+        )
+
+    def test_unprotected_scheme_misses_everything(self, small_operands):
+        a, b = small_operands
+        fault = FaultSpec(row=0, col=0, kind=FaultKind.SET, value=1e4)
+        outcome = get_scheme("none").execute(a, b, faults=[fault])
+        assert not outcome.detected
+        assert outcome.c[0, 0] == np.float16(1e4)
+
+
+class TestLocalization:
+    def test_one_sided_localizes_to_row_and_tile(self, small_operands, small_tile):
+        a, b = small_operands
+        fault = FaultSpec(row=9, col=13, kind=FaultKind.ADD, value=40.0)
+        outcome = get_scheme("thread_onesided").execute(
+            a, b, tile=small_tile, faults=[fault]
+        )
+        assert outcome.detected
+        # One violated check: flat index = row * n_tiles + tile_col.
+        n_tiles = outcome.verdict.checks // (outcome.c_accumulator.shape[0])
+        assert len(outcome.verdict.violations) == 1
+        flat = outcome.verdict.violations[0]
+        assert flat // n_tiles == 9
+        assert flat % n_tiles == 13 // small_tile.nt
+
+    def test_traditional_replication_localizes_exactly(self, small_operands):
+        a, b = small_operands
+        fault = FaultSpec(row=9, col=13, kind=FaultKind.ADD, value=40.0)
+        outcome = get_scheme("replication_traditional").execute(a, b, faults=[fault])
+        cols = outcome.c_accumulator.shape[1]
+        assert outcome.verdict.violations == (9 * cols + 13,)
+
+
+class TestMultipleFaults:
+    @pytest.mark.parametrize("name", ["thread_onesided", "thread_twosided"])
+    def test_thread_schemes_catch_faults_in_distinct_tiles(
+        self, name, small_operands
+    ):
+        a, b = small_operands
+        faults = [
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=30.0),
+            FaultSpec(row=40, col=40, kind=FaultKind.ADD, value=30.0),
+        ]
+        outcome = get_scheme(name).execute(a, b, faults=faults)
+        assert outcome.detected
+        assert len(outcome.verdict.violations) == 2
+
+    def test_global_scalar_check_can_be_cancelled(self, small_operands):
+        """The known blind spot of a single-checksum scheme: two faults
+        of equal magnitude and opposite sign cancel in the output
+        summation (motivates multi-checksum ABFT, paper §2.4)."""
+        a, b = small_operands
+        faults = [
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=30.0),
+            FaultSpec(row=40, col=40, kind=FaultKind.ADD, value=-30.0),
+        ]
+        outcome = get_scheme("global").execute(a, b, faults=faults)
+        assert not outcome.detected  # exact cancellation escapes

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "mlp_bottom" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "T4" in out and "CMR 203" in out
+
+
+class TestIntensity:
+    def test_mlp_bottom(self, capsys):
+        assert main(["intensity", "mlp_bottom"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate AI 7.4" in out
+
+    def test_rejects_unknown_model(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["intensity", "not_a_model"])
+
+
+class TestSelect:
+    def test_human_readable(self, capsys):
+        assert main(["select", "mlp_bottom", "--device", "T4"]) == 0
+        out = capsys.readouterr().out
+        assert "intensity-guided" in out
+        assert "thread_onesided" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["select", "mlp_bottom", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["model"] == "mlp_bottom"
+        assert parsed["device"] == "T4"
+        assert len(parsed["layers"]) == 3
+
+    def test_device_choice(self, capsys):
+        assert main(["select", "mlp_bottom", "--device", "P4"]) == 0
+        assert "thread" in capsys.readouterr().out
+
+
+class TestSweepAndExperiments:
+    def test_sweep(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "M=N=K" in out and "2048" in out
+
+    def test_experiments_by_name(self, capsys):
+        assert main(["experiments", "sec33", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "sec33" in out and "table1" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err

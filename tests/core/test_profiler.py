@@ -1,0 +1,72 @@
+"""Tests for the pre-deployment profiler."""
+
+import pytest
+
+from repro.core import PredeploymentProfiler
+from repro.errors import ProfilingError
+from repro.gemm import DEFAULT_TILE_CONFIGS, GemmProblem
+from repro.gpu import T4
+
+
+@pytest.fixture
+def profiler():
+    return PredeploymentProfiler(T4)
+
+
+class TestProfiling:
+    def test_profiles_baseline_plus_schemes(self, profiler):
+        entries = profiler.profile(GemmProblem(256, 256, 256))
+        assert set(entries) == {"none", "global", "thread_onesided"}
+
+    def test_baseline_is_fastest(self, profiler):
+        # Redundant execution can never be faster than no protection
+        # under the same enumeration.
+        entries = profiler.profile(GemmProblem(256, 256, 256))
+        assert all(
+            entries["none"].time_s <= e.time_s
+            for name, e in entries.items() if name != "none"
+        )
+
+    def test_best_tile_minimizes_time(self, profiler):
+        p = GemmProblem(512, 512, 512)
+        best = profiler.profile(p)["none"]
+        for tile in DEFAULT_TILE_CONFIGS:
+            from repro.abft import get_scheme
+
+            plan = get_scheme("none").plan(p, tile)
+            assert best.time_s <= plan.modeled_time(T4) + 1e-15
+
+    def test_baseline_can_differ_in_tile_from_scheme(self, profiler):
+        # The enumeration is per-scheme; at minimum the entries carry
+        # their own tile choices.
+        entries = profiler.profile(GemmProblem(64, 2048, 64))
+        assert entries["none"].tile is not None
+        assert entries["thread_onesided"].tile is not None
+
+    def test_cache_by_shape(self, profiler):
+        a = profiler.profile(GemmProblem(128, 128, 128, label="x"))
+        b = profiler.profile(GemmProblem(128, 128, 128, label="y"))
+        assert a is b  # same dict object: cached by (M, N, K)
+
+    def test_scheme_time_accessor(self, profiler):
+        p = GemmProblem(128, 128, 128)
+        assert profiler.scheme_time(p, "global") == profiler.profile(p)["global"].time_s
+
+    def test_unknown_scheme_time_raises(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.scheme_time(GemmProblem(8, 8, 8), "nonexistent")
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(ProfilingError):
+            PredeploymentProfiler(T4, schemes=())
+
+    def test_empty_tiles_rejected(self):
+        with pytest.raises(ProfilingError):
+            PredeploymentProfiler(T4, tiles=())
+
+    def test_scheme_instances_accepted(self):
+        from repro.abft import GlobalABFT
+
+        prof = PredeploymentProfiler(T4, schemes=[GlobalABFT()])
+        entries = prof.profile(GemmProblem(64, 64, 64))
+        assert "global" in entries

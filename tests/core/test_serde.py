@@ -1,0 +1,55 @@
+"""Tests for JSON export of selection results."""
+
+import json
+
+import pytest
+
+from repro.core import IntensityGuidedABFT
+from repro.gpu import T4
+from repro.nn import build_model
+from repro.utils.serde import (
+    layer_selection_to_dict,
+    model_selection_to_dict,
+    model_selection_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def selection():
+    return IntensityGuidedABFT(T4).select_for_model(build_model("mlp_bottom"))
+
+
+class TestLayerDict:
+    def test_schema(self, selection):
+        d = layer_selection_to_dict(selection.layers[0])
+        assert set(d) == {
+            "layer", "gemm", "arithmetic_intensity", "baseline_s",
+            "scheme_times_s", "chosen", "overheads_percent",
+        }
+        assert set(d["gemm"]) == {"m", "n", "k"}
+
+    def test_chosen_is_in_times(self, selection):
+        d = layer_selection_to_dict(selection.layers[0])
+        assert d["chosen"] in d["scheme_times_s"]
+
+
+class TestModelDict:
+    def test_schema(self, selection):
+        d = model_selection_to_dict(selection)
+        assert d["model"] == "mlp_bottom"
+        assert d["device"] == "T4"
+        assert len(d["layers"]) == 3
+        assert "global" in d["schemes"]
+        assert d["guided"]["overhead_percent"] <= d["schemes"]["global"]["overhead_percent"]
+
+    def test_totals_consistent(self, selection):
+        d = model_selection_to_dict(selection)
+        assert d["guided"]["total_s"] == pytest.approx(
+            sum(l["scheme_times_s"][l["chosen"]] for l in d["layers"])
+        )
+
+    def test_json_round_trip(self, selection):
+        text = model_selection_to_json(selection)
+        parsed = json.loads(text)
+        assert parsed["model"] == "mlp_bottom"
+        assert isinstance(parsed["layers"], list)

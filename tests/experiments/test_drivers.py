@@ -1,0 +1,120 @@
+"""Tests for the experiment drivers (each regenerates one paper artifact)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_check_overlap,
+    ablation_device_sweep,
+    ablation_thread_tile,
+    fault_coverage_experiment,
+    fig04_aggregate_intensity,
+    fig05_resnet_layer_intensity,
+    fig08_all_models,
+    fig10_dlrm,
+    fig11_specialized,
+    fig12_square_sweep,
+    sec33_cmr_table,
+    table1_op_counts,
+)
+from repro.experiments.fig05_layers import fig05_summary
+from repro.experiments.fig09_cnns import resolution_effect_summary
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestFig04:
+    def test_eight_rows(self):
+        table = fig04_aggregate_intensity()
+        assert len(table) == 8
+
+    def test_measured_column_matches_paper_column(self):
+        out = fig04_aggregate_intensity().render()
+        # Each model's measured and paper values render to the same
+        # leading digits (e.g. "122" appears twice per row).
+        assert "71.1" in out and "220.8" in out
+
+    def test_custom_resolution(self):
+        table = fig04_aggregate_intensity(h=224, w=224)
+        assert "224x224" in table.render()
+
+
+class TestFig05:
+    def test_layer_count(self):
+        assert len(fig05_resnet_layer_intensity()) == 54
+
+    def test_summary_range(self):
+        s = fig05_summary()
+        assert s["min"] < 2 and s["max"] > 500
+
+
+class TestSec33AndTable1:
+    def test_cmr_rows(self):
+        assert len(sec33_cmr_table()) == 5
+
+    def test_table1_rows_and_exact_mmas(self):
+        table = table1_op_counts()
+        assert len(table) == 3
+        out = table.render()
+        assert "One-sided" in out and "Two-sided" in out and "Rep." in out
+
+
+class TestOverheadFigures:
+    def test_fig08_has_all_fourteen_models(self):
+        assert len(fig08_all_models()) == 14
+
+    def test_fig10_has_four_rows(self):
+        assert len(fig10_dlrm()) == 4
+
+    def test_fig11_has_four_rows(self):
+        assert len(fig11_specialized()) == 4
+
+    def test_fig12_has_seven_sizes(self):
+        table = fig12_square_sweep()
+        assert len(table) == 7
+
+    def test_fig12_boundedness_column(self):
+        out = fig12_square_sweep().render()
+        assert "bandwidth" in out and "compute" in out
+
+    def test_resolution_effect_direction(self):
+        s = resolution_effect_summary()
+        assert s["224"] > s["hd"]
+
+
+class TestFaultCoverage:
+    def test_all_protecting_schemes_present(self):
+        table = fault_coverage_experiment(trials=10)
+        assert len(table) == 5  # five protecting schemes
+
+
+class TestAblations:
+    def test_overlap_monotone(self):
+        table = ablation_check_overlap(fractions=(0.0, 0.9))
+        assert len(table) == 2
+
+    def test_thread_tile_rows(self):
+        assert len(ablation_thread_tile()) == 4
+
+    def test_device_sweep_rows(self):
+        assert len(ablation_device_sweep(model_name="mlp_bottom")) == 5
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        expected = {
+            "fig04", "fig05", "sec33", "table1", "fig08", "fig09_hd",
+            "fig09_224", "fig10", "fig11", "fig12", "fault_coverage",
+            "ablation_overlap", "ablation_tile", "ablation_devices",
+            "sec72_agreement",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_all_with_skip(self):
+        # Run only the cheap artifacts to keep the test fast.
+        skip = tuple(
+            name for name in EXPERIMENTS
+            if name not in ("sec33", "table1", "ablation_tile")
+        )
+        tables = run_all(skip=skip)
+        assert set(tables) == {"sec33", "table1", "ablation_tile"}
+        for table in tables.values():
+            assert len(table) > 0

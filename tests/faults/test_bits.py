@@ -1,0 +1,49 @@
+"""Tests for bit-flip helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import flip_fp16_bit, flip_fp32_bit
+
+
+class TestFp32:
+    def test_flip_is_involutive(self):
+        v = 3.14159
+        assert flip_fp32_bit(flip_fp32_bit(v, 12), 12) == np.float32(v)
+
+    def test_sign_bit(self):
+        assert flip_fp32_bit(2.5, 31) == -2.5
+
+    def test_mantissa_lsb_is_tiny(self):
+        v = 1.0
+        assert abs(flip_fp32_bit(v, 0) - v) < 1e-6
+
+    def test_exponent_msb_is_catastrophic(self):
+        v = 1.0
+        flipped = flip_fp32_bit(v, 30)
+        assert abs(flipped) > 1e30
+
+    def test_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            flip_fp32_bit(1.0, 32)
+        with pytest.raises(FaultInjectionError):
+            flip_fp32_bit(1.0, -1)
+
+
+class TestFp16:
+    def test_flip_is_involutive(self):
+        v = 0.333
+        assert flip_fp16_bit(flip_fp16_bit(v, 7), 7) == float(np.float16(v))
+
+    def test_sign_bit(self):
+        assert flip_fp16_bit(2.0, 15) == -2.0
+
+    def test_exponent_flip_can_produce_inf(self):
+        # 1.0 has exponent 01111; flipping bit 14 gives exponent 11111
+        # with zero mantissa: infinity.
+        assert np.isinf(flip_fp16_bit(1.0, 14))
+
+    def test_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            flip_fp16_bit(1.0, 16)

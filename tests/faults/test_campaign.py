@@ -1,0 +1,76 @@
+"""Tests for fault-injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.abft import get_scheme
+from repro.errors import FaultInjectionError
+from repro.faults import FaultCampaign, FaultKind, FaultSpec
+
+
+@pytest.fixture
+def operands(rng):
+    a = (rng.standard_normal((48, 32)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((32, 40)) * 0.5).astype(np.float16)
+    return a, b
+
+
+class TestCampaign:
+    def test_rejects_unprotected_scheme(self, operands):
+        a, b = operands
+        with pytest.raises(FaultInjectionError):
+            FaultCampaign(get_scheme("none"), a, b)
+
+    @pytest.mark.parametrize(
+        "scheme", ["global", "thread_onesided", "thread_twosided",
+                   "replication_single", "replication_traditional"]
+    )
+    def test_full_coverage_of_significant_faults(self, scheme, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme(scheme), a, b, seed=7)
+        result = campaign.run(50)
+        assert result.n_trials == 50
+        assert result.coverage == 1.0
+        assert not result.false_negatives
+
+    def test_deterministic_given_seed(self, operands):
+        a, b = operands
+        r1 = FaultCampaign(get_scheme("global"), a, b, seed=11).run(20)
+        r2 = FaultCampaign(get_scheme("global"), a, b, seed=11).run(20)
+        assert [t.spec for t in r1.trials] == [t.spec for t in r2.trials]
+        assert [t.detected for t in r1.trials] == [t.detected for t in r2.trials]
+
+    def test_explicit_specs_run_exactly(self, operands):
+        a, b = operands
+        specs = [
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0),
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=100.0),
+        ]
+        result = FaultCampaign(get_scheme("global"), a, b).run(0, specs=specs)
+        assert result.n_trials == 2
+        assert all(t.detected for t in result.trials)
+
+    def test_significance_classification(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("thread_onesided"), a, b)
+        big = campaign.run_trial(FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0))
+        tiny = campaign.run_trial(FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=1e-7))
+        assert big.significant and big.detected
+        assert not tiny.significant
+
+    def test_thread_level_more_sensitive_than_global(self, operands):
+        """The numerical sensitivity hierarchy: per-tile checks resolve
+        smaller corruptions than the whole-output scalar check."""
+        a, b = operands
+        thread = FaultCampaign(get_scheme("thread_onesided"), a, b)
+        global_ = FaultCampaign(get_scheme("global"), a, b)
+        assert thread._tolerance_scale < global_._tolerance_scale
+
+    def test_coverage_is_one_when_no_significant_faults(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        result = campaign.run(0, specs=[
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=1e-9)
+        ])
+        assert result.n_significant == 0
+        assert result.coverage == 1.0

@@ -1,0 +1,73 @@
+"""Tests for fault specs and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultKind,
+    FaultPath,
+    FaultSpec,
+    apply_fault_to_accumulator,
+    corrupted_value,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec(row=1, col=2)
+        assert spec.kind is FaultKind.BITFLIP_FP32
+        assert spec.path is FaultPath.ORIGINAL
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(row=-1, col=0)
+
+    def test_rejects_out_of_range_fp16_bit(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP16, bit=20)
+
+    def test_rejects_out_of_range_fp32_bit(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=40)
+
+
+class TestCorruptedValue:
+    def test_add(self):
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=2.5)
+        assert corrupted_value(1.0, spec) == 3.5
+
+    def test_set(self):
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.SET, value=-7.0)
+        assert corrupted_value(123.0, spec) == -7.0
+
+    def test_bitflip_fp32(self):
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=31)
+        assert corrupted_value(4.0, spec) == -4.0
+
+    def test_bitflip_fp16_quantizes_first(self):
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP16, bit=15)
+        v = 1.0 + 2 ** -20  # not representable in fp16
+        assert corrupted_value(v, spec) == -1.0
+
+
+class TestApply:
+    def test_in_place_and_delta(self):
+        c = np.zeros((4, 4), dtype=np.float32)
+        c[1, 2] = 5.0
+        spec = FaultSpec(row=1, col=2, kind=FaultKind.ADD, value=3.0)
+        delta = apply_fault_to_accumulator(c, spec)
+        assert c[1, 2] == 8.0
+        assert delta == pytest.approx(3.0)
+        assert c.sum() == pytest.approx(8.0)  # nothing else touched
+
+    def test_out_of_bounds_rejected(self):
+        c = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(FaultInjectionError):
+            apply_fault_to_accumulator(c, FaultSpec(row=4, col=0))
+
+    def test_non_finite_result_kept(self):
+        c = np.full((2, 2), 1.0, dtype=np.float32)
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=30)
+        apply_fault_to_accumulator(c, spec)
+        assert abs(c[0, 0]) > 1e30

@@ -1,0 +1,76 @@
+"""Tests for mainloop cost counters."""
+
+import pytest
+
+from repro.config import DEFAULT_CONSTANTS
+from repro.gemm import GemmProblem, TileConfig, mainloop_cost
+from repro.gemm.tiles import FLOPS_PER_MMA
+
+
+@pytest.fixture
+def tile():
+    return TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+
+
+class TestMainloopCost:
+    def test_tc_flops_tile_quantized(self, tile):
+        # A 100x100x100 problem runs as one 128x128 tile over K=104.
+        cost = mainloop_cost(GemmProblem(100, 100, 100), tile)
+        assert cost.tc_flops == 2 * 128 * 128 * 104
+
+    def test_exact_fit_flops(self, tile):
+        p = GemmProblem(256, 256, 128)
+        cost = mainloop_cost(p, tile)
+        assert cost.tc_flops == p.flops()
+
+    def test_dram_bytes_use_paper_accounting(self, tile):
+        p = GemmProblem(100, 100, 100)
+        cost = mainloop_cost(p, tile)
+        assert cost.dram_bytes == p.bytes_moved(padded=True)
+
+    def test_threads_and_ksteps(self, tile):
+        p = GemmProblem(256, 256, 64)
+        cost = mainloop_cost(p, tile)
+        assert cost.blocks == 4
+        assert cost.threads_total == 4 * tile.threads_per_block
+        assert cost.ksteps == 32
+
+    def test_alu_scales_with_threads_and_ksteps(self, tile):
+        small = mainloop_cost(GemmProblem(128, 128, 64), tile)
+        double_k = mainloop_cost(GemmProblem(128, 128, 128), tile)
+        assert double_k.alu_lane_ops == pytest.approx(2 * small.alu_lane_ops)
+
+    def test_mma_instructions(self, tile):
+        cost = mainloop_cost(GemmProblem(128, 128, 64), tile)
+        assert cost.mma_instructions == pytest.approx(cost.tc_flops / FLOPS_PER_MMA)
+
+    def test_issue_slots_positive_and_composite(self, tile):
+        cost = mainloop_cost(GemmProblem(128, 128, 64), tile)
+        assert cost.issue_slots > cost.mma_instructions
+
+
+class TestToKernelWork:
+    def test_baseline_roundtrip(self, tile):
+        p = GemmProblem(128, 128, 64)
+        cost = mainloop_cost(p, tile)
+        work = cost.to_kernel_work()
+        assert work.matmul_flops == cost.tc_flops
+        assert work.dram_bytes == cost.dram_bytes
+        assert work.registers_per_thread == cost.registers_per_thread
+        assert work.launches == 1
+
+    def test_extras_are_added(self, tile):
+        p = GemmProblem(128, 128, 64)
+        cost = mainloop_cost(p, tile)
+        work = cost.to_kernel_work(
+            extra_tc_flops=1000.0,
+            extra_alu_ops=640.0,
+            extra_bytes=100.0,
+            extra_registers=8,
+        )
+        assert work.matmul_flops == cost.tc_flops + 1000.0
+        assert work.alu_ops == cost.alu_lane_ops + 640.0
+        assert work.dram_bytes == cost.dram_bytes + 100.0
+        assert work.registers_per_thread == cost.registers_per_thread + 8
+        # Extra issue slots follow from the extra instructions.
+        assert work.issue_slots > cost.issue_slots

@@ -1,0 +1,92 @@
+"""Tests for the numeric tiled GEMM executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm import GemmProblem, TileConfig, TiledGemm, reference_gemm
+from repro.gemm.mma import gemm_by_mma
+
+
+@pytest.fixture
+def tile():
+    return TileConfig(mb=64, nb=32, kb=32, mw=32, nw=16, mt=4, nt=4)
+
+
+class TestPadding:
+    def test_operands_zero_padded(self, tile, rng):
+        p = GemmProblem(10, 9, 11)
+        ex = TiledGemm(p, tile)
+        a = rng.standard_normal((10, 11)).astype(np.float16)
+        a_pad = ex.pad_a(a)
+        assert a_pad.shape == (ex.m_full, ex.k_full)
+        np.testing.assert_array_equal(a_pad[:10, :11], a)
+        assert np.all(a_pad[10:, :] == 0) and np.all(a_pad[:, 11:] == 0)
+
+    def test_padded_dims_cover_thread_tiles(self, tile):
+        ex = TiledGemm(GemmProblem(10, 9, 11), tile)
+        assert ex.m_full % tile.mt == 0
+        assert ex.n_full % tile.nt == 0
+        assert ex.k_full % 8 == 0
+
+    def test_rejects_wrong_operand_shapes(self, tile, rng):
+        ex = TiledGemm(GemmProblem(10, 9, 11), tile)
+        with pytest.raises(ShapeError):
+            ex.pad_a(rng.standard_normal((11, 10)).astype(np.float16))
+        with pytest.raises(ShapeError):
+            ex.pad_b(rng.standard_normal((9, 11)).astype(np.float16))
+
+
+class TestNumerics:
+    def test_matches_reference_gemm(self, tile, small_operands):
+        a, b = small_operands
+        ex = TiledGemm(GemmProblem(a.shape[0], b.shape[1], a.shape[1]), tile)
+        c = ex.crop(ex.run(a, b))
+        ref = reference_gemm(a, b)
+        np.testing.assert_allclose(c, ref, rtol=1e-5, atol=1e-4)
+
+    def test_matches_mma_by_mma_semantics(self, tile, rng):
+        # The vectorized chunked execution must agree with the scalar
+        # MMA-by-MMA triple loop to within fp32 reassociation noise.
+        a = (rng.standard_normal((32, 24)) * 0.25).astype(np.float16)
+        b = (rng.standard_normal((24, 16)) * 0.25).astype(np.float16)
+        ex = TiledGemm(GemmProblem(32, 16, 24), tile)
+        c = ex.crop(ex.run(a, b))
+        ref = gemm_by_mma(ex.pad_a(a), ex.pad_b(b))[:32, :16]
+        np.testing.assert_allclose(c, ref, rtol=1e-6, atol=1e-6)
+
+    def test_k_chunking_changes_nothing_material(self, tile, small_operands):
+        a, b = small_operands
+        p = GemmProblem(a.shape[0], b.shape[1], a.shape[1])
+        c8 = TiledGemm(p, tile, k_chunk=8).run(a, b)
+        c40 = TiledGemm(p, tile, k_chunk=40).run(a, b)
+        np.testing.assert_allclose(c8, c40, rtol=1e-5, atol=1e-4)
+
+    def test_rejects_bad_k_chunk(self, tile):
+        with pytest.raises(ShapeError):
+            TiledGemm(GemmProblem(8, 8, 8), tile, k_chunk=12)
+
+
+class TestThreadTileView:
+    def test_view_shape(self, tile):
+        ex = TiledGemm(GemmProblem(64, 32, 16), tile)
+        c = np.zeros((ex.m_full, ex.n_full), dtype=np.float32)
+        view = ex.thread_tile_view(c)
+        assert view.shape == (ex.m_tiles, tile.mt, ex.n_tiles, tile.nt)
+
+    def test_view_is_a_view(self, tile):
+        ex = TiledGemm(GemmProblem(64, 32, 16), tile)
+        c = np.zeros((ex.m_full, ex.n_full), dtype=np.float32)
+        ex.thread_tile_view(c)[0, 1, 0, 2] = 7.0
+        assert c[1, 2] == 7.0
+
+    def test_tile_of_element(self, tile):
+        ex = TiledGemm(GemmProblem(64, 32, 16), tile)
+        assert ex.tile_of_element(0, 0) == (0, 0)
+        assert ex.tile_of_element(tile.mt, tile.nt) == (1, 1)
+        assert ex.tile_of_element(tile.mt - 1, tile.nt - 1) == (0, 0)
+
+    def test_tile_of_element_bounds(self, tile):
+        ex = TiledGemm(GemmProblem(64, 32, 16), tile)
+        with pytest.raises(ShapeError):
+            ex.tile_of_element(ex.m_full, 0)

@@ -1,0 +1,88 @@
+"""Tests for conv->GEMM lowering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm import conv_gemm_shape, conv_output_shape, im2col
+from repro.gemm.im2col import conv_weights_to_gemm
+
+
+def _direct_conv(x, w, stride, padding):
+    """Naive direct convolution for cross-checking im2col."""
+    b, c_in, h, wdt = x.shape
+    c_out, _, kh, kw = w.shape
+    ph, pw = padding
+    sh, sw = stride
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (wdt + 2 * pw - kw) // sw + 1
+    out = np.zeros((b, c_out, ho, wo), dtype=np.float32)
+    for bi in range(b):
+        for co in range(c_out):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[bi, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                    out[bi, co, i, j] = np.sum(
+                        patch.astype(np.float32) * w[co].astype(np.float32)
+                    )
+    return out
+
+
+class TestShapes:
+    def test_conv_output_shape_basic(self):
+        assert conv_output_shape(32, 32, kernel=(3, 3), padding=(1, 1)) == (32, 32)
+
+    def test_conv_output_shape_stride(self):
+        # ResNet stem: 1080x1920, 7x7/2 pad 3 -> 540x960.
+        assert conv_output_shape(
+            1080, 1920, kernel=(7, 7), stride=(2, 2), padding=(3, 3)
+        ) == (540, 960)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_shape(4, 4, kernel=(7, 7))
+
+    def test_conv_gemm_shape(self):
+        # Paper §2.1 mapping: M = B*Ho*Wo, N = C_out, K = C_in*kh*kw.
+        m, n, k = conv_gemm_shape(
+            batch=64, in_channels=3, out_channels=16, h=50, w=50,
+            kernel=(3, 3), padding=(1, 1),
+        )
+        assert (m, n, k) == (64 * 50 * 50, 16, 27)
+
+
+class TestIm2colNumerics:
+    @pytest.mark.parametrize(
+        "stride,padding", [((1, 1), (0, 0)), ((1, 1), (1, 1)), ((2, 2), (1, 1))]
+    )
+    def test_im2col_gemm_equals_direct_conv(self, rng, stride, padding):
+        x = (rng.standard_normal((2, 3, 8, 9)) * 0.5).astype(np.float16)
+        w = (rng.standard_normal((4, 3, 3, 3)) * 0.5).astype(np.float16)
+        a = im2col(x, kernel=(3, 3), stride=stride, padding=padding)
+        b = conv_weights_to_gemm(w)
+        c = a.astype(np.float32) @ b.astype(np.float32)
+        ho, wo = conv_output_shape(8, 9, kernel=(3, 3), stride=stride, padding=padding)
+        got = c.reshape(2, ho, wo, 4).transpose(0, 3, 1, 2)
+        want = _direct_conv(x, w, stride, padding)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-4)
+
+    def test_1x1_conv_is_plain_reshape(self, rng):
+        x = rng.standard_normal((1, 5, 4, 4)).astype(np.float16)
+        a = im2col(x, kernel=(1, 1))
+        np.testing.assert_array_equal(
+            a, x.transpose(0, 2, 3, 1).reshape(16, 5)
+        )
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ShapeError):
+            im2col(rng.standard_normal((3, 8, 8)).astype(np.float16), kernel=(3, 3))
+
+    def test_weights_to_gemm_shape(self, rng):
+        w = rng.standard_normal((4, 3, 5, 5)).astype(np.float16)
+        b = conv_weights_to_gemm(w)
+        assert b.shape == (75, 4)
+
+    def test_weights_to_gemm_rejects_2d(self, rng):
+        with pytest.raises(ShapeError):
+            conv_weights_to_gemm(rng.standard_normal((4, 75)).astype(np.float16))

@@ -1,0 +1,64 @@
+"""Tests for the m16n8k8 MMA primitive."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm.mma import gemm_by_mma, mma_m16n8k8
+
+
+class TestMMA:
+    def test_matches_fp32_reference(self, rng):
+        a = (rng.standard_normal((16, 8))).astype(np.float16)
+        b = (rng.standard_normal((8, 8))).astype(np.float16)
+        out = mma_m16n8k8(a, b)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=0)
+
+    def test_accumulates_into_c(self, rng):
+        a = rng.standard_normal((16, 8)).astype(np.float16)
+        b = rng.standard_normal((8, 8)).astype(np.float16)
+        c = np.ones((16, 8), dtype=np.float32)
+        out = mma_m16n8k8(a, b, c)
+        np.testing.assert_allclose(out - mma_m16n8k8(a, b), c, atol=1e-6)
+
+    def test_does_not_mutate_input_accumulator(self, rng):
+        a = rng.standard_normal((16, 8)).astype(np.float16)
+        b = rng.standard_normal((8, 8)).astype(np.float16)
+        c = np.zeros((16, 8), dtype=np.float32)
+        mma_m16n8k8(a, b, c)
+        assert np.all(c == 0)
+
+    def test_quantizes_operands_to_fp16(self):
+        # An FP32 operand value that is not representable in FP16 must
+        # be rounded before multiplication, as Tensor Cores do.
+        a = np.full((16, 8), 1.0 + 2.0 ** -12, dtype=np.float32)
+        b = np.zeros((8, 8), dtype=np.float32)
+        b[0, 0] = 1.0
+        out = mma_m16n8k8(a, b)
+        assert out[0, 0] == np.float32(np.float16(1.0 + 2.0 ** -12))
+
+    @pytest.mark.parametrize(
+        "a_shape,b_shape",
+        [((8, 8), (8, 8)), ((16, 8), (8, 16)), ((16, 16), (8, 8))],
+    )
+    def test_rejects_wrong_shapes(self, a_shape, b_shape):
+        with pytest.raises(ShapeError):
+            mma_m16n8k8(np.zeros(a_shape, np.float16), np.zeros(b_shape, np.float16))
+
+
+class TestGemmByMMA:
+    def test_matches_reference(self, rng):
+        a = (rng.standard_normal((32, 16)) * 0.5).astype(np.float16)
+        b = (rng.standard_normal((16, 16)) * 0.5).astype(np.float16)
+        out = gemm_by_mma(a, b)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=1e-6, atol=1e-5)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ShapeError):
+            gemm_by_mma(np.zeros((20, 8), np.float16), np.zeros((8, 8), np.float16))
+
+    def test_rejects_mismatched_inner(self):
+        with pytest.raises(ShapeError):
+            gemm_by_mma(np.zeros((16, 8), np.float16), np.zeros((16, 8), np.float16))

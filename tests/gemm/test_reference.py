@@ -1,0 +1,27 @@
+"""Tests for the reference GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm import reference_gemm
+
+
+class TestReferenceGemm:
+    def test_returns_fp32(self, small_operands):
+        a, b = small_operands
+        assert reference_gemm(a, b).dtype == np.float32
+
+    def test_quantizes_inputs_to_fp16(self):
+        a = np.full((1, 1), 1.0 + 2.0 ** -13, dtype=np.float64)
+        b = np.ones((1, 1), dtype=np.float64)
+        out = reference_gemm(a, b)
+        assert out[0, 0] == np.float32(np.float16(a[0, 0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            reference_gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            reference_gemm(np.zeros(3), np.zeros((3, 2)))

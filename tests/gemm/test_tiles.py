@@ -1,0 +1,87 @@
+"""Tests for tile configurations and their invariants."""
+
+import pytest
+
+from repro.errors import TilingError
+from repro.gemm import DEFAULT_TILE_CONFIGS, GemmProblem, TileConfig, enumerate_tiles, select_tile
+
+
+class TestTileInvariants:
+    def test_default_configs_are_valid(self):
+        assert len(DEFAULT_TILE_CONFIGS) >= 6
+        for tile in DEFAULT_TILE_CONFIGS:
+            # Warp coverage: 32 threads x Mt x Nt == warp tile.
+            assert tile.mw * tile.nw == 32 * tile.mt * tile.nt
+            assert tile.mb % tile.mw == 0 and tile.nb % tile.nw == 0
+
+    def test_threads_per_block(self):
+        tile = TileConfig(mb=256, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+        assert tile.warps_per_block == 8
+        assert tile.threads_per_block == 256
+
+    def test_mmas_per_thread_step_matches_paper(self):
+        # Fig. 3: Mt*Nt/2 MMAs per K-step.
+        tile = TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+        assert tile.mmas_per_thread_step == 64
+
+    def test_loaded_elements_per_step(self):
+        # Fig. 3: the thread loads an Mt x 2 chunk of At and 2 x Nt of Bt.
+        tile = TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+        assert tile.loaded_elements_per_step == 16 * 2 + 2 * 8
+
+    def test_rejects_warp_not_dividing_block(self):
+        with pytest.raises(TilingError):
+            TileConfig(mb=96, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+
+    def test_rejects_wrong_thread_coverage(self):
+        with pytest.raises(TilingError):
+            TileConfig(mb=128, nb=128, kb=32, mw=64, nw=64, mt=8, nt=8)
+
+    def test_rejects_odd_mt(self):
+        # Each MMA consumes two consecutive A rows (Fig. 3).
+        with pytest.raises(TilingError):
+            TileConfig(mb=128, nb=128, kb=32, mw=32, nw=64, mt=1, nt=64)
+
+
+class TestGridMath:
+    def test_grid_covers_padded_problem(self):
+        tile = TileConfig(mb=64, nb=64, kb=32, mw=32, nw=32, mt=8, nt=4)
+        p = GemmProblem(100, 70, 40)
+        rows, cols = tile.grid(p)
+        assert rows * tile.mb >= p.m_pad and cols * tile.nb >= p.n_pad
+        assert tile.blocks(p) == rows * cols
+
+    def test_ksteps(self):
+        tile = DEFAULT_TILE_CONFIGS[0]
+        assert tile.ksteps(GemmProblem(8, 8, 64)) == 32
+
+    def test_waste_fraction_zero_for_exact_fit(self):
+        tile = TileConfig(mb=64, nb=64, kb=32, mw=32, nw=32, mt=8, nt=4)
+        assert tile.waste_fraction(GemmProblem(128, 128, 64)) == pytest.approx(0.0)
+
+    def test_waste_fraction_for_tiny_problem(self):
+        tile = TileConfig(mb=256, nb=128, kb=32, mw=64, nw=64, mt=16, nt=8)
+        waste = tile.waste_fraction(GemmProblem(8, 8, 8))
+        assert waste > 0.99
+
+
+class TestSelection:
+    def test_select_prefers_low_waste(self):
+        # A skinny batch-1 MLP problem should get a small tile.
+        p = GemmProblem(1, 64, 256)
+        tile = select_tile(p)
+        assert tile.mb <= 64
+
+    def test_select_prefers_large_tiles_for_big_problems(self):
+        p = GemmProblem(2048, 2048, 2048)
+        tile = select_tile(p)
+        assert tile.mb * tile.nb >= 128 * 128
+
+    def test_enumerate_rejects_empty(self):
+        with pytest.raises(TilingError):
+            enumerate_tiles(GemmProblem(8, 8, 8), candidates=())
+
+    def test_registers_estimate_is_plausible(self):
+        for tile in DEFAULT_TILE_CONFIGS:
+            regs = tile.base_registers_per_thread()
+            assert tile.mt * tile.nt < regs <= 255

@@ -1,0 +1,83 @@
+"""Tests for the occupancy calculator (drives the paper's §4 result)."""
+
+import pytest
+
+from repro.errors import OccupancyError
+from repro.gpu import T4, compute_occupancy
+
+
+class TestBasicLimits:
+    def test_small_kernel_hits_block_limit(self):
+        # 32 threads, few registers: the per-SM block slots bound first.
+        res = compute_occupancy(T4, threads_per_block=32, registers_per_thread=16)
+        assert res.limiter == "blocks"
+        assert res.blocks_per_sm == T4.max_blocks_per_sm
+
+    def test_register_limited_kernel(self):
+        # 256 threads x 128 regs = 32768 regs/block; 65536/32768 = 2 blocks.
+        res = compute_occupancy(T4, threads_per_block=256, registers_per_thread=128)
+        assert res.limiter == "registers"
+        assert res.blocks_per_sm == 2
+
+    def test_thread_limited_kernel(self):
+        res = compute_occupancy(T4, threads_per_block=512, registers_per_thread=32)
+        assert res.blocks_per_sm == 2  # 1024 threads/SM on Turing
+        assert res.limiter == "threads"
+
+    def test_smem_limited_kernel(self):
+        res = compute_occupancy(
+            T4, threads_per_block=64, registers_per_thread=32,
+            smem_per_block=30 * 1024,
+        )
+        assert res.limiter == "smem"
+        assert res.blocks_per_sm == 2
+
+    def test_occupancy_fraction_bounds(self):
+        res = compute_occupancy(T4, threads_per_block=256, registers_per_thread=64)
+        assert 0.0 < res.occupancy <= 1.0
+
+
+class TestReplicationRegisterEffect:
+    """Doubling accumulator registers must reduce resident blocks —
+    the mechanism behind traditional replication's slowdown (paper §4)."""
+
+    def test_doubled_registers_halve_blocks(self):
+        base = compute_occupancy(T4, threads_per_block=128, registers_per_thread=128)
+        doubled = compute_occupancy(T4, threads_per_block=128, registers_per_thread=250)
+        assert doubled.blocks_per_sm < base.blocks_per_sm
+        assert doubled.occupancy < base.occupancy
+
+
+class TestErrors:
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(OccupancyError, match="warp size"):
+            compute_occupancy(T4, threads_per_block=50, registers_per_thread=32)
+
+    def test_rejects_over_register_cap(self):
+        with pytest.raises(OccupancyError, match="registers/thread"):
+            compute_occupancy(T4, threads_per_block=32, registers_per_thread=300)
+
+    def test_rejects_block_larger_than_sm(self):
+        with pytest.raises(OccupancyError):
+            compute_occupancy(T4, threads_per_block=2048, registers_per_thread=32)
+
+    def test_rejects_block_exceeding_register_file(self):
+        with pytest.raises(OccupancyError, match="registers"):
+            compute_occupancy(T4, threads_per_block=1024, registers_per_thread=128)
+
+    def test_rejects_oversized_smem(self):
+        with pytest.raises(OccupancyError, match="shared memory"):
+            compute_occupancy(
+                T4, threads_per_block=64, registers_per_thread=32,
+                smem_per_block=128 * 1024,
+            )
+
+    def test_register_allocation_granularity(self):
+        # Registers allocate in chunks of 8: 97 and 104 regs/thread give
+        # the same occupancy; 96 gives strictly more blocks.
+        at_97 = compute_occupancy(T4, threads_per_block=128, registers_per_thread=97)
+        at_104 = compute_occupancy(T4, threads_per_block=128, registers_per_thread=104)
+        at_96 = compute_occupancy(T4, threads_per_block=128, registers_per_thread=96)
+        assert at_97.blocks_per_sm == at_104.blocks_per_sm == 4
+        assert at_96.blocks_per_sm == 5
+        assert at_97.limiter == "registers"

@@ -1,0 +1,52 @@
+"""Tests for the execution-pipe model."""
+
+import pytest
+
+from repro.config import DEFAULT_CONSTANTS
+from repro.errors import ConfigurationError
+from repro.gpu import T4, Pipe, PipeTimes
+from repro.gpu.timing import build_pipes
+
+
+class TestPipe:
+    def test_time_is_work_over_throughput(self):
+        pipe = Pipe("x", 100.0)
+        assert pipe.time_for(50.0) == pytest.approx(0.5)
+
+    def test_zero_work_is_free(self):
+        assert Pipe("x", 10.0).time_for(0.0) == 0.0
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ConfigurationError):
+            Pipe("x", 10.0).time_for(-1.0)
+
+    def test_rejects_non_positive_throughput(self):
+        with pytest.raises(ConfigurationError):
+            Pipe("x", 0.0)
+
+
+class TestPipeTimes:
+    def test_critical_names_longest_pipe(self):
+        times = PipeTimes(tensor=1.0, alu=2.0, memory=3.0, issue=0.5)
+        assert times.critical == "memory"
+        assert times.bound == 3.0
+
+    def test_scaled(self):
+        times = PipeTimes(tensor=1.0, alu=2.0, memory=3.0, issue=0.5)
+        doubled = times.scaled(2.0)
+        assert doubled.memory == 6.0 and doubled.tensor == 2.0
+
+
+class TestBuildPipes:
+    def test_efficiencies_applied(self):
+        pipes = build_pipes(T4, DEFAULT_CONSTANTS)
+        assert pipes.tensor.throughput == pytest.approx(
+            T4.matmul_flops * DEFAULT_CONSTANTS.tensor_core_efficiency
+        )
+        assert pipes.memory.throughput == pytest.approx(
+            T4.mem_bandwidth * DEFAULT_CONSTANTS.memory_efficiency
+        )
+
+    def test_iteration_order(self):
+        pipes = build_pipes(T4)
+        assert [p.name for p in pipes] == ["tensor", "alu", "memory", "issue"]

@@ -1,0 +1,87 @@
+"""Tests for device specs, pinning the paper's §3.3 numbers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import A100, JETSON_AGX_XAVIER, P4, T4, V100, GPUSpec, get_gpu, list_gpus
+
+
+class TestPaperCMRs:
+    """The paper quotes exact CMRs in §3.3; the specs must reproduce them."""
+
+    def test_t4_cmr_is_203(self):
+        assert T4.cmr == pytest.approx(203, abs=0.5)
+
+    def test_p4_cmr_is_58(self):
+        assert P4.cmr == pytest.approx(58, abs=1.0)
+
+    def test_v100_cmr_is_139(self):
+        assert V100.cmr == pytest.approx(139, abs=0.5)
+
+    def test_a100_cmr_is_201(self):
+        assert A100.cmr == pytest.approx(201, abs=0.7)
+
+    def test_jetson_cmr_is_235(self):
+        assert JETSON_AGX_XAVIER.cmr == pytest.approx(235, abs=1.5)
+
+
+class TestPaperThroughputs:
+    def test_t4_fp16_tflops(self):
+        assert T4.matmul_flops == pytest.approx(65e12)
+
+    def test_t4_bandwidth(self):
+        assert T4.mem_bandwidth == pytest.approx(320e9)
+
+    def test_t4_vs_p4_flops_growth(self):
+        # §3.3: T4 increases FP16 FLOPs/s by 5.9x over P4.
+        assert T4.matmul_flops / P4.matmul_flops == pytest.approx(5.9, rel=0.02)
+
+    def test_t4_vs_p4_bandwidth_growth(self):
+        # §3.3: only 1.7x growth in memory bandwidth.
+        assert T4.mem_bandwidth / P4.mem_bandwidth == pytest.approx(1.7, rel=0.03)
+
+    def test_p4_has_no_tensor_cores(self):
+        assert not P4.has_tensor_cores
+        assert T4.has_tensor_cores
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_gpu("t4") is T4
+        assert get_gpu("T4") is T4
+
+    def test_all_devices_registered(self):
+        assert set(list_gpus()) == {"T4", "P4", "V100", "A100", "Jetson-AGX-Xavier"}
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown GPU"):
+            get_gpu("H100")
+
+
+class TestSpecValidation:
+    def test_rejects_non_positive_throughput(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad",
+                matmul_flops=0.0,
+                alu_flops=1.0,
+                mem_bandwidth=1.0,
+                num_sms=1,
+                clock_hz=1e9,
+            )
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad",
+                matmul_flops=1.0,
+                alu_flops=1.0,
+                mem_bandwidth=1.0,
+                num_sms=0,
+                clock_hz=1e9,
+            )
+
+    def test_issue_slots_scale_with_sms_and_clock(self):
+        assert T4.issue_slots_per_s == pytest.approx(
+            T4.num_sms * T4.schedulers_per_sm * T4.clock_hz
+        )

@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example runs green end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_five_examples_shipped():
+    assert len(ALL_EXAMPLES) >= 5
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_detects_fault():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "detected=True" in result.stdout
+    assert "chosen: thread_onesided" in result.stdout

@@ -1,0 +1,131 @@
+"""Spot checks of individual architecture layer shapes.
+
+These pin specific layers against hand-computed values (or torchvision
+ground truth) so a regression in shape propagation is localized
+immediately, not just visible as a wrong aggregate intensity.
+"""
+
+import pytest
+
+from repro.nn import build_model
+
+
+def _layer(model, name):
+    for layer in model:
+        if layer.name == name:
+            return layer.problem
+    raise AssertionError(f"layer {name!r} not found in {model.name}")
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("resnet50", h=1080, w=1920)
+
+    def test_stem(self, model):
+        p = _layer(model, "conv1")
+        # 7x7/2 pad 3 on 1080x1920: 540*960 outputs, K = 3*49.
+        assert (p.m, p.n, p.k) == (540 * 960, 64, 147)
+
+    def test_first_bottleneck_convs(self, model):
+        assert (_layer(model, "layer1.0.conv1").k, _layer(model, "layer1.0.conv1").n) == (64, 64)
+        p2 = _layer(model, "layer1.0.conv2")
+        assert (p2.m, p2.n, p2.k) == (270 * 480, 64, 576)
+        assert _layer(model, "layer1.0.conv3").n == 256
+
+    def test_stage_strides_halve_spatial(self, model):
+        # layer2.0.conv2 carries stride 2: M drops from 270*480 to 135*240.
+        assert _layer(model, "layer2.0.conv2").m == 135 * 240
+
+    def test_downsample_projections(self, model):
+        p = _layer(model, "layer4.0.downsample")
+        assert (p.m, p.n, p.k) == (34 * 60, 2048, 1024)
+
+    def test_classifier(self, model):
+        p = _layer(model, "fc")
+        assert (p.m, p.n, p.k) == (1, 1000, 2048)
+
+
+class TestVGG16:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("vgg16", h=1080, w=1920)
+
+    def test_first_conv(self, model):
+        p = _layer(model, "features.conv0")
+        assert (p.m, p.n, p.k) == (1080 * 1920, 64, 27)
+
+    def test_block5_spatial(self, model):
+        # Four 2x2 pools before block 5: 1080/16=67 (floor), 1920/16=120.
+        p = _layer(model, "features.conv10")
+        assert p.m == 67 * 120
+
+    def test_classifier_input(self, model):
+        p = _layer(model, "classifier.0")
+        assert p.k == 512 * 7 * 7
+
+
+class TestDenseNet161:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("densenet161")
+
+    def test_dense_layer_widths(self, model):
+        # Every dense layer: 1x1 -> 192 channels, 3x3 -> 48 channels.
+        p1 = _layer(model, "denseblock1.denselayer1.conv1")
+        p2 = _layer(model, "denseblock1.denselayer1.conv2")
+        assert p1.n == 192 and p1.k == 96
+        assert p2.n == 48 and p2.k == 192 * 9
+
+    def test_concatenation_growth(self, model):
+        # Sixth layer of block 1 sees 96 + 5*48 = 336 input channels.
+        p = _layer(model, "denseblock1.denselayer6.conv1")
+        assert p.k == 336
+
+    def test_classifier_input_is_2208(self, model):
+        assert _layer(model, "classifier").k == 2208
+
+
+class TestSqueezeNet:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("squeezenet1_0")
+
+    def test_fire2_shapes(self, model):
+        squeeze = _layer(model, "fire2.squeeze")
+        assert (squeeze.k, squeeze.n) == (96, 16)
+        e1 = _layer(model, "fire2.expand1x1")
+        e3 = _layer(model, "fire2.expand3x3")
+        assert (e1.k, e1.n) == (16, 64)
+        assert (e3.k, e3.n) == (16 * 9, 64)
+
+    def test_fire3_consumes_concatenated_channels(self, model):
+        assert _layer(model, "fire3.squeeze").k == 128
+
+
+class TestShuffleNet:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("shufflenet_v2_x1_0")
+
+    def test_stride1_unit_operates_on_half_channels(self, model):
+        p = _layer(model, "stage2.1.branch2.pw1")
+        assert (p.k, p.n) == (58, 58)
+
+    def test_depthwise_substituted_dense(self, model):
+        # The 3x3 "dw" conv is dense (K = C*9) per the paper's footnote 3.
+        p = _layer(model, "stage2.1.branch2.dw")
+        assert p.k == 58 * 9
+
+    def test_final_conv5(self, model):
+        p = _layer(model, "conv5")
+        assert (p.k, p.n) == (464, 1024)
+
+
+class TestAlexNet:
+    def test_conv_chain(self):
+        model = build_model("alexnet", h=224, w=224)
+        p = _layer(model, "features.0")
+        # 11x11/4 pad 2 on 224: 55x55 outputs.
+        assert (p.m, p.n, p.k) == (55 * 55, 64, 3 * 121)
+        assert _layer(model, "classifier.1").k == 256 * 6 * 6

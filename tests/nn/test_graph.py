@@ -1,0 +1,63 @@
+"""Tests for the ModelGraph container and GraphBuilder."""
+
+import pytest
+
+from repro.errors import ModelZooError
+from repro.gemm import GemmProblem
+from repro.nn.graph import GraphBuilder, LinearLayer, ModelGraph
+
+
+class TestLinearLayer:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ModelZooError):
+            LinearLayer(name="x", kind="pool", problem=GemmProblem(8, 8, 8))
+
+
+class TestModelGraph:
+    def test_rejects_empty(self):
+        with pytest.raises(ModelZooError):
+            ModelGraph(name="m", batch=1, input_desc="", layers=())
+
+    def test_totals(self):
+        layers = (
+            LinearLayer("a", "conv", GemmProblem(64, 64, 64)),
+            LinearLayer("b", "linear", GemmProblem(8, 16, 64)),
+        )
+        graph = ModelGraph("m", 1, "x", layers)
+        assert graph.total_flops() == sum(p.flops() for p in graph.problems)
+        assert graph.aggregate_intensity() == pytest.approx(
+            graph.total_flops() / graph.total_bytes()
+        )
+        assert len(graph) == 2
+
+
+class TestGraphBuilder:
+    def test_conv_updates_shape(self):
+        g = GraphBuilder("m", batch=1, channels=3, h=32, w=32)
+        g.conv(16, 3, stride=2, padding=1, name="c0")
+        assert (g.channels, g.h, g.w) == (16, 16, 16)
+
+    def test_conv_without_shape_update(self):
+        g = GraphBuilder("m", batch=1, channels=8, h=16, w=16)
+        g.conv(32, 1, name="branch", update_shape=False)
+        assert (g.channels, g.h, g.w) == (8, 16, 16)
+
+    def test_linear_flattens(self):
+        g = GraphBuilder("m", batch=2, channels=4, h=3, w=3)
+        g.linear(10, name="fc")
+        graph = g.build("x")
+        assert graph.layers[-1].problem.k == 4 * 3 * 3
+        assert graph.layers[-1].problem.m == 2
+
+    def test_pool_and_adaptive_pool(self):
+        g = GraphBuilder("m", batch=1, channels=4, h=17, w=17)
+        g.pool(3, 2)
+        assert (g.h, g.w) == (8, 8)
+        g.adaptive_pool(1, 1)
+        assert (g.h, g.w) == (1, 1)
+
+    def test_labels_prefixed_with_model_name(self):
+        g = GraphBuilder("mynet", batch=1, channels=3, h=8, w=8)
+        g.conv(4, 3, padding=1, name="c0")
+        graph = g.build("x")
+        assert graph.layers[0].problem.label == "mynet/c0"

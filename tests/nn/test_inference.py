@@ -1,0 +1,126 @@
+"""Tests for numeric protected inference."""
+
+import numpy as np
+import pytest
+
+from repro.abft import GlobalABFT, NoProtection, ThreadLevelOneSided
+from repro.errors import ModelZooError, ShapeError
+from repro.faults import FaultKind, FaultSpec
+from repro.nn import ProtectedInference, SequentialModel
+from repro.nn.inference import Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, ReLU
+from repro.nn.layers import Conv2dSpec, LinearSpec
+
+
+@pytest.fixture
+def tiny_cnn(rng):
+    """conv(3->8) -> relu -> pool -> conv(8->8) -> relu -> flatten -> fc(2)."""
+    c1 = Conv2dSpec(3, 8, kernel=3, padding=1)
+    c2 = Conv2dSpec(8, 8, kernel=3, padding=1)
+    fc = LinearSpec(8 * 5 * 5, 2)
+    ops = [
+        Conv2d(c1, SequentialModel.random_weights_conv(c1, rng), name="conv0"),
+        ReLU(),
+        MaxPool2d(2, 2),
+        Conv2d(c2, SequentialModel.random_weights_conv(c2, rng), name="conv1"),
+        ReLU(),
+        Flatten(),
+        Linear(fc, SequentialModel.random_weights_linear(fc, rng), name="fc"),
+    ]
+    return SequentialModel(ops, name="tiny")
+
+
+@pytest.fixture
+def tiny_input(rng):
+    return (rng.standard_normal((2, 3, 10, 10)) * 0.5).astype(np.float16)
+
+
+class TestForwardPass:
+    def test_output_shape(self, tiny_cnn, tiny_input):
+        engine = ProtectedInference(tiny_cnn, NoProtection())
+        result = engine.run(tiny_input)
+        assert result.output.shape == (2, 2)
+        assert not result.detected
+
+    def test_linear_names(self, tiny_cnn):
+        assert tiny_cnn.linear_names == ["conv0", "conv1", "fc"]
+
+    def test_protected_output_matches_unprotected(self, tiny_cnn, tiny_input):
+        unprotected = ProtectedInference(tiny_cnn, NoProtection()).run(tiny_input)
+        protected = ProtectedInference(tiny_cnn, ThreadLevelOneSided()).run(tiny_input)
+        np.testing.assert_allclose(
+            protected.output.astype(np.float32),
+            unprotected.output.astype(np.float32),
+            rtol=5e-3, atol=1e-3,
+        )
+
+    def test_layer_outcomes_recorded(self, tiny_cnn, tiny_input):
+        result = ProtectedInference(tiny_cnn, GlobalABFT()).run(tiny_input)
+        assert [rec.name for rec in result.layer_outcomes] == ["conv0", "conv1", "fc"]
+        assert all(rec.scheme == "global" for rec in result.layer_outcomes)
+
+
+class TestPerLayerSchemes:
+    def test_scheme_map_applied(self, tiny_cnn, tiny_input):
+        schemes = {"conv0": ThreadLevelOneSided(), "fc": GlobalABFT()}
+        engine = ProtectedInference(
+            tiny_cnn, schemes, default_scheme=NoProtection()
+        )
+        result = engine.run(tiny_input)
+        by_name = {rec.name: rec.scheme for rec in result.layer_outcomes}
+        assert by_name == {"conv0": "thread_onesided", "conv1": "none", "fc": "global"}
+
+
+class TestFaultInjectionDuringInference:
+    def test_fault_in_middle_layer_detected(self, tiny_cnn, tiny_input):
+        engine = ProtectedInference(tiny_cnn, ThreadLevelOneSided())
+        fault = FaultSpec(row=3, col=2, kind=FaultKind.ADD, value=50.0)
+        result = engine.run(tiny_input, faults={"conv1": [fault]})
+        assert result.detected
+        detected_layers = [r.name for r in result.layer_outcomes if r.detected]
+        assert detected_layers == ["conv1"]
+
+    def test_fault_corrupts_downstream_output(self, tiny_cnn, tiny_input):
+        clean = ProtectedInference(tiny_cnn, NoProtection()).run(tiny_input)
+        fault = FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=50.0)
+        faulty = ProtectedInference(tiny_cnn, NoProtection()).run(
+            tiny_input, faults={"conv0": [fault]}
+        )
+        assert not np.allclose(
+            clean.output.astype(np.float32), faulty.output.astype(np.float32)
+        )
+
+    def test_unknown_fault_target_rejected(self, tiny_cnn, tiny_input):
+        engine = ProtectedInference(tiny_cnn, NoProtection())
+        with pytest.raises(ModelZooError):
+            engine.run(tiny_input, faults={"nonexistent": []})
+
+
+class TestOps:
+    def test_relu(self):
+        x = np.array([[-1.0, 2.0]], dtype=np.float16)
+        np.testing.assert_array_equal(ReLU().forward(x), [[0.0, 2.0]])
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float16).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2, 2).forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_global_avg_pool(self):
+        x = np.ones((1, 3, 4, 4), dtype=np.float16) * 2
+        out = GlobalAvgPool().forward(x)
+        assert out.shape == (1, 3, 1, 1)
+        np.testing.assert_allclose(out.ravel(), [2, 2, 2])
+
+    def test_flatten_requires_nchw(self):
+        with pytest.raises(ShapeError):
+            Flatten().forward(np.zeros((2, 3), dtype=np.float16))
+
+    def test_conv_weight_shape_validated(self, rng):
+        spec = Conv2dSpec(3, 8, kernel=3)
+        with pytest.raises(ShapeError):
+            Conv2d(spec, np.zeros((8, 3, 5, 5), dtype=np.float16))
+
+    def test_grouped_conv_rejected_numerically(self, rng):
+        spec = Conv2dSpec(4, 4, kernel=3, groups=2)
+        with pytest.raises(ModelZooError):
+            Conv2d(spec, np.zeros((4, 2, 3, 3), dtype=np.float16))

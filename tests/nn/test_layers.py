@@ -1,0 +1,67 @@
+"""Tests for layer specs and pooling shape math."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv2dSpec, LinearSpec, pool_output_shape
+
+
+class TestConv2dSpec:
+    def test_output_hw(self):
+        spec = Conv2dSpec(3, 64, kernel=7, stride=2, padding=3)
+        assert spec.output_hw(1080, 1920) == (540, 960)
+
+    def test_gemm_problem_mapping(self):
+        spec = Conv2dSpec(64, 128, kernel=3, padding=1)
+        p = spec.gemm_problem(batch=2, h=56, w=56)
+        assert (p.m, p.n, p.k) == (2 * 56 * 56, 128, 64 * 9)
+
+    def test_grouped_conv_scales_k(self):
+        dense = Conv2dSpec(64, 64, kernel=3, padding=1)
+        grouped = Conv2dSpec(64, 64, kernel=3, padding=1, groups=32)
+        pd = dense.gemm_problem(batch=1, h=8, w=8)
+        pg = grouped.gemm_problem(batch=1, h=8, w=8)
+        assert pg.k == pd.k // 32
+        # Footnote 3's observation: grouping reduces FLOPs and weight
+        # bytes, lowering arithmetic intensity.
+        assert pg.arithmetic_intensity() < pd.arithmetic_intensity()
+
+    def test_rejects_groups_not_dividing(self):
+        with pytest.raises(ShapeError):
+            Conv2dSpec(10, 16, kernel=3, groups=3)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ShapeError):
+            Conv2dSpec(3, 8, kernel=3, padding=-1)
+
+
+class TestLinearSpec:
+    def test_gemm_problem(self):
+        spec = LinearSpec(2048, 1000)
+        p = spec.gemm_problem(batch=4)
+        assert (p.m, p.n, p.k) == (4, 1000, 2048)
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ShapeError):
+            LinearSpec(0, 10)
+
+
+class TestPoolShape:
+    def test_floor_mode(self):
+        assert pool_output_shape(15, 15, kernel=3, stride=2) == (7, 7)
+
+    def test_ceil_mode(self):
+        # 16 -> span 13: floor gives 7, ceil gives 8.
+        assert pool_output_shape(16, 16, kernel=3, stride=2) == (7, 7)
+        assert pool_output_shape(16, 16, kernel=3, stride=2, ceil_mode=True) == (8, 8)
+
+    def test_ceil_mode_window_must_start_inside(self):
+        # PyTorch rule: pooling 4->2 with k2/s2 ceil stays 2, not 3.
+        assert pool_output_shape(4, 4, kernel=2, stride=2, ceil_mode=True) == (2, 2)
+
+    def test_padding(self):
+        assert pool_output_shape(540, 960, kernel=3, stride=2, padding=1) == (270, 480)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            pool_output_shape(2, 2, kernel=5, stride=1)

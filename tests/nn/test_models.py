@@ -1,0 +1,135 @@
+"""Model-zoo tests: reproduce the paper's printed aggregate intensities.
+
+Fig. 4 / Figs. 8-11 print the FP16 aggregate arithmetic intensity of
+every evaluated NN.  Eight torchvision CNNs and both DLRM MLPs must
+match to within 1% — they are fully determined by the architectures.
+The four NoScope-style CNNs are synthesized (DESIGN.md §2) and must
+match within 5%.
+"""
+
+import pytest
+
+from repro.errors import ModelZooError
+from repro.nn import build_model, list_models
+from repro.nn.models.registry import DLRM_MLPS, GENERAL_CNNS, SPECIALIZED_CNNS
+
+#: Paper-reported FP16 aggregate arithmetic intensities (Figs. 4, 8).
+PAPER_AI = {
+    "squeezenet1_0": 71.1,
+    "shufflenet_v2_x1_0": 76.6,
+    "densenet161": 79.0,
+    "resnet50": 122.0,
+    "alexnet": 125.5,
+    "vgg16": 155.5,
+    "resnext50_32x4d": 220.8,
+    "wide_resnet50_2": 220.8,
+    "mlp_bottom": 7.4,
+    "mlp_top": 7.7,
+    "coral": 15.1,
+    "roundabout": 37.9,
+    "taipei": 51.9,
+    "amsterdam": 52.7,
+}
+
+
+class TestPaperIntensities:
+    @pytest.mark.parametrize("name", list(GENERAL_CNNS) + list(DLRM_MLPS))
+    def test_exact_architectures_match_paper(self, name):
+        model = build_model(name)
+        assert model.aggregate_intensity() == pytest.approx(PAPER_AI[name], rel=0.01)
+
+    @pytest.mark.parametrize("name", SPECIALIZED_CNNS)
+    def test_synthesized_noscope_models_near_paper(self, name):
+        model = build_model(name)
+        assert model.aggregate_intensity() == pytest.approx(PAPER_AI[name], rel=0.05)
+
+    def test_resnext_equals_wide_resnet(self):
+        """Footnote 3: with grouping removed, ResNeXt-50's GEMM shapes
+        equal Wide-ResNet-50-2's — the paper prints 220.8 for both."""
+        a = build_model("resnext50_32x4d")
+        b = build_model("wide_resnet50_2")
+        assert [(l.problem.m, l.problem.n, l.problem.k) for l in a] == [
+            (l.problem.m, l.problem.n, l.problem.k) for l in b
+        ]
+
+
+class TestBatchAndResolutionEffects:
+    def test_dlrm_intensity_grows_with_batch(self):
+        # §6.4.2: MLP-Bottom 7.4 -> 92.0 and MLP-Top 7.7 -> 175.8 at 2048.
+        assert build_model("mlp_bottom", batch=2048).aggregate_intensity() == pytest.approx(92.0, rel=0.01)
+        assert build_model("mlp_top", batch=2048).aggregate_intensity() == pytest.approx(175.8, rel=0.01)
+
+    def test_resnet_intensity_drops_at_low_resolution(self):
+        # §3.2: ResNet-50 has AI 122 at HD but 72 at 224x224.
+        hd = build_model("resnet50").aggregate_intensity()
+        small = build_model("resnet50", h=224, w=224).aggregate_intensity()
+        assert small == pytest.approx(72, rel=0.05)
+        assert small < hd
+
+    def test_fig4_ordering_preserved(self):
+        # Fig. 4 lists the CNNs in increasing aggregate intensity.
+        values = [build_model(n).aggregate_intensity() for n in GENERAL_CNNS]
+        assert values == sorted(values)
+
+
+class TestFig5PerLayerRange:
+    def test_resnet50_layer_intensity_range(self):
+        """Fig. 5: ResNet-50 per-layer AI on HD spans ~1 to ~511."""
+        model = build_model("resnet50")
+        intensities = [p.arithmetic_intensity(padded=False) for p in model.problems]
+        assert min(intensities) == pytest.approx(1.0, abs=0.05)
+        assert max(intensities) == pytest.approx(511, rel=0.01)
+
+    def test_wide_variance_within_model(self):
+        model = build_model("resnet50")
+        intensities = [p.arithmetic_intensity(padded=False) for p in model.problems]
+        assert max(intensities) / min(intensities) > 100
+
+
+class TestStructure:
+    def test_list_models_has_fourteen(self):
+        assert len(list_models()) == 14
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelZooError):
+            build_model("resnet101")
+
+    def test_resnet50_layer_count(self):
+        # 53 convolutions + 1 FC: 1 stem + 16 blocks x 3 convs + 4
+        # downsample convs + classifier.
+        assert len(build_model("resnet50")) == 54
+
+    def test_vgg16_layer_count(self):
+        assert len(build_model("vgg16")) == 16  # 13 convs + 3 FCs
+
+    def test_densenet161_layer_count(self):
+        # 1 stem + 2*(6+12+36+24) dense convs + 3 transitions + 1 FC.
+        assert len(build_model("densenet161")) == 1 + 2 * 78 + 3 + 1
+
+    def test_dlrm_shapes(self):
+        bottom = build_model("mlp_bottom")
+        assert [(l.problem.k, l.problem.n) for l in bottom] == [
+            (13, 512), (512, 256), (256, 64),
+        ]
+        top = build_model("mlp_top")
+        assert [(l.problem.k, l.problem.n) for l in top] == [
+            (512, 512), (512, 256), (256, 1),
+        ]
+
+    def test_noscope_models_fit_paper_envelope(self):
+        """§6.2: 2-4 conv layers, 16-64 channels, <= 2 FC layers."""
+        for name in SPECIALIZED_CNNS:
+            model = build_model(name)
+            convs = [l for l in model if l.kind == "conv"]
+            fcs = [l for l in model if l.kind == "linear"]
+            assert 2 <= len(convs) <= 4
+            assert 1 <= len(fcs) <= 2
+            for conv in convs:
+                assert 16 <= conv.problem.n <= 64
+
+    def test_specialized_default_batch_is_64(self):
+        assert build_model("coral").batch == 64
+
+    def test_labels_carry_model_and_layer_names(self):
+        model = build_model("resnet50")
+        assert model.layers[0].problem.label == "resnet50/conv1"

@@ -1,0 +1,90 @@
+"""Tests for arithmetic-intensity accounting and roofline classification."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm import GemmProblem
+from repro.gpu import P4, T4
+from repro.roofline import (
+    Boundedness,
+    aggregate_intensity,
+    classify_problem,
+    cmr_table,
+    layer_intensities,
+    roofline_time,
+)
+
+
+class TestIntensity:
+    def test_layer_intensities_order_and_labels(self):
+        problems = [GemmProblem(8, 8, 8, label="a"), GemmProblem(16, 16, 16)]
+        out = layer_intensities(problems)
+        assert [b.label for b in out] == ["a", "layer1"]
+
+    def test_aggregate_is_flops_over_bytes(self):
+        problems = [GemmProblem(64, 64, 64), GemmProblem(128, 128, 128)]
+        agg = aggregate_intensity(problems)
+        assert agg.intensity == pytest.approx(
+            sum(p.flops() for p in problems) / sum(p.bytes_moved() for p in problems)
+        )
+
+    def test_aggregate_differs_from_mean_of_intensities(self):
+        # The paper's metric weights layers by bytes, not uniformly.
+        problems = [GemmProblem(8, 8, 8), GemmProblem(2048, 2048, 2048)]
+        agg = aggregate_intensity(problems).intensity
+        mean = sum(p.arithmetic_intensity() for p in problems) / 2
+        assert agg != pytest.approx(mean)
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ShapeError):
+            aggregate_intensity([])
+
+    def test_dlrm_paper_value(self):
+        # MLP-Bottom at batch 1: 13->512->256->64 with pad-to-8 gives 7.4.
+        problems = [
+            GemmProblem(1, 512, 13),
+            GemmProblem(1, 256, 512),
+            GemmProblem(1, 64, 256),
+        ]
+        assert aggregate_intensity(problems).intensity == pytest.approx(7.4, abs=0.05)
+
+
+class TestClassification:
+    def test_bandwidth_bound_below_cmr(self):
+        # Size-512 square GEMM: AI = 170.7 < T4 CMR 203 (Fig. 12 dashed line).
+        point = classify_problem(GemmProblem(512, 512, 512), T4)
+        assert point.boundedness is Boundedness.BANDWIDTH_BOUND
+        assert point.headroom > 0
+
+    def test_compute_bound_above_cmr(self):
+        point = classify_problem(GemmProblem(1024, 1024, 1024), T4)
+        assert point.boundedness is Boundedness.COMPUTE_BOUND
+        assert point.headroom == 0.0
+
+    def test_same_problem_flips_on_lower_cmr_device(self):
+        # On the P4 (CMR 57), the 256-square GEMM is compute bound while
+        # on the T4 it is bandwidth bound: boundedness is device-relative.
+        p = GemmProblem(256, 256, 256)
+        assert classify_problem(p, T4).boundedness is Boundedness.BANDWIDTH_BOUND
+        assert classify_problem(p, P4).boundedness is Boundedness.COMPUTE_BOUND
+
+
+class TestRooflineTime:
+    def test_bandwidth_bound_time_is_memory_time(self):
+        p = GemmProblem(64, 64, 64)
+        assert roofline_time(p, T4) == pytest.approx(p.bytes_moved() / T4.mem_bandwidth)
+
+    def test_compute_bound_time_is_compute_time(self):
+        p = GemmProblem(4096, 4096, 4096)
+        assert roofline_time(p, T4) == pytest.approx(p.flops() / T4.matmul_flops)
+
+
+class TestCMRTable:
+    def test_renders_all_devices(self):
+        out = cmr_table().render()
+        for device in ("T4", "P4", "V100", "A100", "Jetson"):
+            assert device in out
+
+    def test_t4_row_value(self):
+        out = cmr_table(["T4"]).render()
+        assert "203" in out

@@ -1,0 +1,69 @@
+"""Tests for model constants and detection constants."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONSTANTS,
+    DEFAULT_DETECTION,
+    DetectionConstants,
+    ModelConstants,
+)
+from repro.errors import ConfigurationError
+
+
+class TestModelConstants:
+    def test_defaults_valid(self):
+        assert 0 < DEFAULT_CONSTANTS.tensor_core_efficiency <= 1
+
+    def test_with_overrides_returns_new_validated_copy(self):
+        c = DEFAULT_CONSTANTS.with_overrides(launch_overhead_s=5e-6)
+        assert c.launch_overhead_s == 5e-6
+        assert DEFAULT_CONSTANTS.launch_overhead_s != 5e-6
+        assert c.tensor_core_efficiency == DEFAULT_CONSTANTS.tensor_core_efficiency
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("tensor_core_efficiency", 0.0),
+            ("tensor_core_efficiency", 1.5),
+            ("memory_efficiency", -0.1),
+            ("launch_overhead_s", -1e-6),
+            ("check_kernel_overlap", 1.2),
+            ("mem_latency_occupancy_knee", -0.5),
+            ("alu_ops_per_kstep_base", -1.0),
+            ("thread_abft_fixed_fraction", -0.01),
+            ("global_epilogue_c_traffic", -0.1),
+            ("fp16_bytes", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ModelConstants(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONSTANTS.launch_overhead_s = 0.0  # type: ignore[misc]
+
+
+class TestDetectionConstants:
+    def test_tolerance_positive(self):
+        assert DEFAULT_DETECTION.tolerance(100, 10.0) > 0
+
+    def test_tolerance_floor_for_zero_magnitude(self):
+        assert DEFAULT_DETECTION.tolerance(100, 0.0) == DEFAULT_DETECTION.atol_floor
+
+    def test_tolerance_scales_linearly_with_magnitude(self):
+        t1 = DEFAULT_DETECTION.tolerance(1024, 1e3)
+        t2 = DEFAULT_DETECTION.tolerance(1024, 2e3)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_tolerance_handles_tiny_n(self):
+        # n is clamped to >= 2 so log2 never degenerates.
+        assert DetectionConstants().tolerance(0, 1.0) > 0
+
+    def test_slack_scales_threshold(self):
+        tight = DetectionConstants(rtol_slack=1.0)
+        loose = DetectionConstants(rtol_slack=100.0)
+        assert loose.tolerance(64, 1e4) == pytest.approx(
+            100 * tight.tolerance(64, 1e4)
+        )

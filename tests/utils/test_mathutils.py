@@ -1,0 +1,83 @@
+"""Tests for integer/float math helpers."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.utils import ceil_div, geometric_sizes, is_power_of_two, round_up
+from repro.utils.mathutils import harmonic_mean
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 1000) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ShapeError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ShapeError):
+            ceil_div(-1, 2)
+
+
+class TestRoundUp:
+    def test_already_multiple(self):
+        assert round_up(16, 8) == 16
+
+    def test_rounds_to_next_multiple(self):
+        assert round_up(13, 8) == 16
+
+    def test_paper_padding_rule(self):
+        # The paper pads M=1 (batch one) to 8 for m16n8k8 (§6.2).
+        assert round_up(1, 8) == 8
+
+    def test_zero(self):
+        assert round_up(0, 8) == 0
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 4096])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 4097])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestGeometricSizes:
+    def test_fig12_sweep(self):
+        # Fig. 12 sweeps M=N=K from 32 to 2048 by doubling.
+        assert list(geometric_sizes(32, 2048)) == [32, 64, 128, 256, 512, 1024, 2048]
+
+    def test_stop_not_included_when_overshooting(self):
+        assert list(geometric_sizes(3, 20, factor=3)) == [3, 9]
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ShapeError):
+            list(geometric_sizes(16, 8))
+
+    def test_rejects_factor_one(self):
+        with pytest.raises(ShapeError):
+            list(geometric_sizes(8, 16, factor=1))
+
+
+class TestHarmonicMean:
+    def test_equal_inputs(self):
+        assert harmonic_mean(4.0, 4.0) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert harmonic_mean(2.0, 6.0) == pytest.approx(3.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ShapeError):
+            harmonic_mean(0.0, 1.0)

@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils import Table
+
+
+class TestTable:
+    def test_renders_title_header_and_rows(self):
+        t = Table(["model", "AI"], title="Fig. 4")
+        t.add_row(["ResNet-50", 122.0])
+        out = t.render()
+        assert out.splitlines()[0] == "Fig. 4"
+        assert "model" in out and "ResNet-50" in out and "122" in out
+
+    def test_column_alignment(self):
+        t = Table(["a", "b"])
+        t.add_row(["long-name", 1])
+        t.add_row(["x", 22])
+        lines = t.render().splitlines()
+        # All body lines share the same separator column position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_float_formatting_large_and_small(self):
+        t = Table(["v"])
+        t.add_row([1234567.0])
+        t.add_row([0.00001])
+        t.add_row([0.0])
+        out = t.render()
+        assert "1.235e+06" in out
+        assert "1.000e-05" in out
+
+    def test_bool_formatting(self):
+        t = Table(["v"])
+        t.add_row([True])
+        assert "yes" in t.render()
+
+    def test_wrong_row_width_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_len_counts_rows(self):
+        t = Table(["a"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1

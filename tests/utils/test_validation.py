@@ -1,0 +1,86 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils import (
+    check_fraction,
+    check_in,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ShapeError, match="x must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; shapes must never be booleans.
+        with pytest.raises(ShapeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "pad") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            check_non_negative_int(-1, "pad")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_float(self):
+        assert check_positive_float(1.5, "bw") == 1.5
+
+    def test_accepts_int(self):
+        assert check_positive_float(3, "bw") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float(0.0, "bw")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float(float("nan"), "bw")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float(float("inf"), "bw")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float("fast", "bw")
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.01, "f")
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", ("a", "b"), "opt") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError, match="opt"):
+            check_in("c", ("a", "b"), "opt")
