@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Perf benchmark for the prepared-execution engine.
+
+Measures the two hot paths the engine amortizes (DESIGN.md §4):
+
+* **Campaign throughput** (trials/sec): a fault-injection campaign via
+  the old direct path (full ``scheme.execute`` per trial — padding,
+  tile selection, clean GEMM, operand checksums every time) versus the
+  prepared path (``prepare`` once, ``inject`` per trial).  Both run the
+  *same* pre-drawn fault specs, so the numeric work per verdict is
+  identical; only the amortization differs.
+* **Per-inference latency**: repeated ``ProtectedInference.run`` passes
+  on one engine, cold (first pass builds the per-layer weight-checksum
+  cache) versus warm (weight side fully reused).
+
+Writes ``BENCH_prepared.json`` at the repo root so the perf trajectory
+is tracked across PRs.  ``--quick`` shrinks trials/passes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.abft import get_scheme
+from repro.faults import FaultCampaign
+from repro.gemm import EXECUTION_STATS
+from repro.nn import ProtectedInference, SequentialModel
+from repro.nn.inference import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.layers import Conv2dSpec, LinearSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Default campaign geometry/size: the "default campaign size" the
+#: acceptance criterion's >= 3x throughput claim is measured at.
+DEFAULT_M, DEFAULT_N, DEFAULT_K = 192, 160, 256
+DEFAULT_TRIALS = 200
+CAMPAIGN_SCHEMES = ("global", "thread_onesided", "thread_twosided")
+
+
+def bench_campaign(scheme_name: str, *, trials: int, seed: int) -> dict:
+    """Direct-execute vs prepared-inject campaign on identical specs."""
+    rng = np.random.default_rng(seed)
+    a = (rng.standard_normal((DEFAULT_M, DEFAULT_K)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((DEFAULT_K, DEFAULT_N)) * 0.5).astype(np.float16)
+
+    campaign = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
+    specs = campaign.draw_faults(trials)
+
+    # Direct baseline: what every trial cost before this engine existed.
+    scheme = get_scheme(scheme_name)
+    t0 = time.perf_counter()
+    direct_detected = sum(
+        scheme.execute(a, b, faults=[spec]).detected for spec in specs
+    )
+    direct_s = time.perf_counter() - t0
+
+    # Prepared path, construction included (prepare + clean baseline).
+    t0 = time.perf_counter()
+    fresh = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
+    result = fresh.run(len(specs), specs=specs)
+    prepared_s = time.perf_counter() - t0
+
+    prepared_detected = sum(t.detected for t in result.trials)
+    assert prepared_detected == direct_detected, "paths disagree on verdicts"
+    return {
+        "trials": trials,
+        "direct_s": direct_s,
+        "prepared_s": prepared_s,
+        "direct_trials_per_s": trials / direct_s,
+        "prepared_trials_per_s": trials / prepared_s,
+        "speedup": direct_s / prepared_s,
+    }
+
+
+def build_model(rng: np.random.Generator) -> SequentialModel:
+    """Small conv net: enough layers for the weight cache to matter."""
+    c1 = Conv2dSpec(3, 16, kernel=3, padding=1)
+    c2 = Conv2dSpec(16, 16, kernel=3, padding=1)
+    fc = LinearSpec(16 * 8 * 8, 10)
+    ops = [
+        Conv2d(c1, SequentialModel.random_weights_conv(c1, rng), name="conv0"),
+        ReLU(),
+        MaxPool2d(2, 2),
+        Conv2d(c2, SequentialModel.random_weights_conv(c2, rng), name="conv1"),
+        ReLU(),
+        Flatten(),
+        Linear(fc, SequentialModel.random_weights_linear(fc, rng), name="fc"),
+    ]
+    return SequentialModel(ops, name="bench-cnn")
+
+
+def bench_inference(*, passes: int, seed: int) -> dict:
+    """Cold vs warm protected forward passes on one engine."""
+    rng = np.random.default_rng(seed)
+    model = build_model(rng)
+    x = (rng.standard_normal((4, 3, 16, 16)) * 0.5).astype(np.float16)
+
+    engine = ProtectedInference(model, get_scheme("global"))
+    t0 = time.perf_counter()
+    engine.run(x)
+    cold_s = time.perf_counter() - t0
+
+    EXECUTION_STATS.reset()
+    t0 = time.perf_counter()
+    for _ in range(passes):
+        engine.run(x)
+    warm_s = (time.perf_counter() - t0) / passes
+    warm_weight_reductions = EXECUTION_STATS.weight_reductions
+
+    return {
+        "scheme": "global",
+        "linear_layers": len(model.linear_names),
+        "warm_passes": passes,
+        "cold_pass_s": cold_s,
+        "warm_pass_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "warm_weight_reductions": warm_weight_reductions,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small trial counts for CI smoke runs")
+    parser.add_argument("--trials", type=int, default=None,
+                        help=f"campaign trials (default {DEFAULT_TRIALS})")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_prepared.json")
+    args = parser.parse_args()
+
+    trials = args.trials if args.trials is not None else (
+        25 if args.quick else DEFAULT_TRIALS
+    )
+    if trials <= 0:
+        parser.error(f"--trials must be positive, got {trials}")
+    passes = 3 if args.quick else 10
+
+    report = {
+        "benchmark": "prepared-execution engine",
+        "quick": args.quick,
+        "campaign_problem": {"m": DEFAULT_M, "n": DEFAULT_N, "k": DEFAULT_K},
+        "campaign": {},
+    }
+    for name in CAMPAIGN_SCHEMES:
+        report["campaign"][name] = bench_campaign(name, trials=trials, seed=17)
+        row = report["campaign"][name]
+        print(f"campaign[{name}]: direct {row['direct_trials_per_s']:8.1f} "
+              f"trials/s -> prepared {row['prepared_trials_per_s']:8.1f} "
+              f"trials/s ({row['speedup']:.1f}x)")
+
+    report["inference"] = bench_inference(passes=passes, seed=17)
+    inf = report["inference"]
+    print(f"inference: cold {inf['cold_pass_s'] * 1e3:.1f} ms -> warm "
+          f"{inf['warm_pass_s'] * 1e3:.1f} ms ({inf['speedup']:.2f}x), "
+          f"warm-pass weight reductions = {inf['warm_weight_reductions']}")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    # Regression floor: 3x at the default campaign size (acceptance
+    # criterion); quick CI runs use a lax floor to tolerate noisy runners
+    # while still catching a broken prepared path.
+    floor = 1.5 if args.quick else 3.0
+    slowest = min(r["speedup"] for r in report["campaign"].values())
+    if slowest < floor:
+        raise SystemExit(
+            f"campaign speedup regression: slowest scheme at {slowest:.2f}x "
+            f"(floor is {floor}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

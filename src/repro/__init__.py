@@ -31,6 +31,8 @@ from .abft import (
     GlobalABFT,
     MultiChecksumGlobalABFT,
     NoProtection,
+    PreparedExecution,
+    PreparedWeights,
     ReplicationSingleAccumulator,
     ReplicationTraditional,
     Scheme,
@@ -81,6 +83,8 @@ __all__ = [
     "select_tile",
     # abft
     "Scheme",
+    "PreparedExecution",
+    "PreparedWeights",
     "NoProtection",
     "GlobalABFT",
     "ThreadLevelOneSided",

@@ -7,9 +7,22 @@ Every scheme implements the :class:`~repro.abft.base.Scheme` interface:
   latency model to price execution-time overhead;
 * ``execute`` — numeric protected GEMM over real data, applying injected
   faults and evaluating the scheme's consistency checks.
+
+Numeric execution is backed by the prepared-execution engine:
+``scheme.prepare(a, b)`` does the fault-invariant work once and the
+returned :class:`~repro.abft.base.PreparedExecution` injects faults
+cheaply per trial; ``scheme.prepare_weights(b, m=...)`` additionally
+caches the weight-side state across activations.
 """
 
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    PreparedWeights,
+    Scheme,
+    SchemePlan,
+)
 from .detection import CheckVerdict, compare_checksums
 from .none import NoProtection
 from .global_abft import GlobalABFT
@@ -51,6 +64,8 @@ __all__ = [
     "SchemePlan",
     "PlannedKernel",
     "ExecutionOutcome",
+    "PreparedExecution",
+    "PreparedWeights",
     "CheckVerdict",
     "compare_checksums",
     "NoProtection",

@@ -17,6 +17,13 @@ per thread), two-sided checks the single scalar
 All functions also compute the matching *magnitude* arrays (same
 reductions over absolute values), which feed the rounding-noise
 tolerance in :mod:`repro.abft.detection`.
+
+Weight-side reductions are split out into standalone builders
+(:func:`global_weight_checksums`, :func:`tile_weight_checksums`,
+:func:`multi_weight_checksums`): weights are constant across inference
+requests (paper §2.5 precomputes them offline), so the prepared-execution
+engine builds them once per layer and feeds them back into the combined
+builders, which then skip the ``B``-side work bit-identically.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ShapeError
-from ..gemm.executor import TiledGemm
+from ..gemm.executor import EXECUTION_STATS, TiledGemm
 
 
 def _as_f32(x: np.ndarray) -> np.ndarray:
@@ -51,16 +58,45 @@ class GlobalChecksums:
     magnitude: float
 
 
-def global_checksums(a_pad: np.ndarray, b_pad: np.ndarray) -> GlobalChecksums:
-    """Column checksum of A, row checksum of B, and their dot product."""
+@dataclass(frozen=True)
+class GlobalWeightChecksums:
+    """Weight-side half of global ABFT: row checksum of ``B`` (and abs)."""
+
+    row_sums: np.ndarray  # (K,)
+    abs_row_sums: np.ndarray  # (K,)
+
+
+def global_weight_checksums(b_pad: np.ndarray) -> GlobalWeightChecksums:
+    """Row checksum of ``B`` — the offline-precomputable half (§2.5)."""
+    if b_pad.ndim != 2:
+        raise ShapeError(f"B must be a 2-D matrix, got {b_pad.ndim}-D")
+    EXECUTION_STATS.weight_reductions += 1
+    b32 = _as_f32(b_pad)
+    return GlobalWeightChecksums(
+        row_sums=b32.sum(axis=1), abs_row_sums=np.abs(b32).sum(axis=1)
+    )
+
+
+def global_checksums(
+    a_pad: np.ndarray,
+    b_pad: np.ndarray,
+    weights: GlobalWeightChecksums | None = None,
+) -> GlobalChecksums:
+    """Column checksum of A, row checksum of B, and their dot product.
+
+    When ``weights`` is supplied the ``B``-side reductions are reused
+    instead of recomputed; the result is bit-identical either way.
+    """
     if a_pad.ndim != 2 or b_pad.ndim != 2 or a_pad.shape[1] != b_pad.shape[0]:
         raise ShapeError(f"bad operand shapes {a_pad.shape} @ {b_pad.shape}")
+    if weights is None:
+        weights = global_weight_checksums(b_pad)
+    EXECUTION_STATS.activation_reductions += 1
     a32 = _as_f32(a_pad)
-    b32 = _as_f32(b_pad)
     col_a = a32.sum(axis=0)  # (K,)
-    row_b = b32.sum(axis=1)  # (K,)
+    row_b = weights.row_sums  # (K,)
     reference = float(col_a @ row_b)
-    magnitude = float(np.abs(a32).sum(axis=0) @ np.abs(b32).sum(axis=1))
+    magnitude = float(np.abs(a32).sum(axis=0) @ weights.abs_row_sums)
     return GlobalChecksums(
         activation_checksum=col_a,
         weight_checksum=row_b,
@@ -92,8 +128,37 @@ class OneSidedChecksums:
     magnitude: np.ndarray  # (m_full, n_tiles)
 
 
+@dataclass(frozen=True)
+class TileWeightChecksums:
+    """Per-thread-column-tile row checksums of ``B`` (and abs).
+
+    Column ``tj`` sums the ``Nt`` columns of ``B`` owned by thread-column
+    ``tj`` — the weight-side half shared by both thread-level schemes.
+    """
+
+    row_sums: np.ndarray  # (K, n_tiles)
+    abs_row_sums: np.ndarray  # (K, n_tiles)
+
+
+def tile_weight_checksums(
+    executor: TiledGemm, b_pad: np.ndarray
+) -> TileWeightChecksums:
+    """Weight-side reductions of thread-level ABFT for one padded ``B``."""
+    nt = executor.tile.nt
+    b32 = _as_f32(b_pad)
+    if b32.shape != (executor.k_full, executor.n_full):
+        raise ShapeError(f"padded B must be {executor.k_full}x{executor.n_full}")
+    EXECUTION_STATS.weight_reductions += 1
+    w = b32.reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    abs_w = np.abs(b32).reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    return TileWeightChecksums(row_sums=w, abs_row_sums=abs_w)
+
+
 def one_sided_checksums(
-    executor: TiledGemm, a_pad: np.ndarray, b_pad: np.ndarray
+    executor: TiledGemm,
+    a_pad: np.ndarray,
+    b_pad: np.ndarray,
+    weights: TileWeightChecksums | None = None,
 ) -> OneSidedChecksums:
     """Per-thread-tile one-sided checksums, vectorized over all threads.
 
@@ -103,16 +168,13 @@ def one_sided_checksums(
     ``A @ W`` where column ``tj`` of ``W`` sums the ``Nt`` columns of
     ``B`` owned by thread-column ``tj``.
     """
-    nt = executor.tile.nt
+    if weights is None:
+        weights = tile_weight_checksums(executor, b_pad)
+    EXECUTION_STATS.activation_reductions += 1
     a32 = _as_f32(a_pad)
-    b32 = _as_f32(b_pad)
-    if b32.shape != (executor.k_full, executor.n_full):
-        raise ShapeError(f"padded B must be {executor.k_full}x{executor.n_full}")
-    w = b32.reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+    w = weights.row_sums
     reference = a32 @ w
-    magnitude = np.abs(a32) @ np.abs(b32).reshape(
-        executor.k_full, executor.n_tiles, nt
-    ).sum(axis=2)
+    magnitude = np.abs(a32) @ weights.abs_row_sums
     return OneSidedChecksums(weight_checksums=w, reference=reference, magnitude=magnitude)
 
 
@@ -132,20 +194,24 @@ class TwoSidedChecksums:
 
 
 def two_sided_checksums(
-    executor: TiledGemm, a_pad: np.ndarray, b_pad: np.ndarray
+    executor: TiledGemm,
+    a_pad: np.ndarray,
+    b_pad: np.ndarray,
+    weights: TileWeightChecksums | None = None,
 ) -> TwoSidedChecksums:
     """Per-thread scalar checks: ``(1^T At) @ (Bt 1) == sum(Ct)``."""
-    mt, nt = executor.tile.mt, executor.tile.nt
+    if weights is None:
+        weights = tile_weight_checksums(executor, b_pad)
+    EXECUTION_STATS.activation_reductions += 1
+    mt = executor.tile.mt
     a32 = _as_f32(a_pad)
-    b32 = _as_f32(b_pad)
     # Column checksum of each thread's At: (m_tiles, K).
     col_a = a32.reshape(executor.m_tiles, mt, executor.k_full).sum(axis=1)
     # Row checksum of each thread's Bt: (K, n_tiles).
-    row_b = b32.reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
-    reference = col_a @ row_b
+    reference = col_a @ weights.row_sums
     magnitude = (
         np.abs(a32).reshape(executor.m_tiles, mt, executor.k_full).sum(axis=1)
-        @ np.abs(b32).reshape(executor.k_full, executor.n_tiles, nt).sum(axis=2)
+        @ weights.abs_row_sums
     )
     return TwoSidedChecksums(reference=reference, magnitude=magnitude)
 
@@ -162,11 +228,17 @@ def thread_tile_sums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
 def vandermonde_weights(length: int, count: int) -> np.ndarray:
     """``count`` independent checksum weight vectors of ``length``.
 
-    Rows are ``[1, alpha, alpha^2, ...]`` evaluated at distinct small
-    alphas (1, 2, 3, ...) — any ``count`` of them are linearly
-    independent, so ``count`` simultaneous checks can detect up to
-    ``count`` faults (paper §2.4).  Weights are kept small to avoid FP16
-    dynamic-range blowup; callers should keep ``count`` modest.
+    Row ``s`` is the geometric progression
+    ``alpha_s ** (j / (length - 1))`` for positions ``j = 0 .. length-1``
+    (a Vandermonde row with *normalized fractional* exponents, not the
+    classic integer powers ``[1, alpha, alpha^2, ...]``), evaluated at
+    distinct alphas ``1, 2, 3, ...`` and rescaled so each row's largest
+    weight is exactly 1.0.  Distinct alphas keep any ``count`` rows
+    linearly independent, so ``count`` simultaneous checks can detect up
+    to ``count`` faults (paper §2.4), while the fractional exponents
+    bound every weight in ``(0, 1]`` regardless of ``length`` — integer
+    powers would overflow FP16's dynamic range after a few dozen
+    positions.  Callers should still keep ``count`` modest.
     """
     if length <= 0 or count <= 0:
         raise ShapeError("vandermonde_weights needs positive length and count")
@@ -175,3 +247,29 @@ def vandermonde_weights(length: int, count: int) -> np.ndarray:
     # Normalize each row so its largest weight is 1.0 (numerical hygiene).
     rows = alphas[:, None] ** (exponents[None, :] / max(length - 1, 1))
     return (rows / rows.max(axis=1, keepdims=True)).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class MultiWeightChecksums:
+    """Weight-side half of multi-checksum global ABFT.
+
+    ``combos[s]`` is ``B @ w_n[s]`` — the weighted row combination the
+    scheme's check ``s`` dots against the weighted activation checksum;
+    ``abs_combos`` carries the matching magnitude reductions.
+    """
+
+    weights_n: np.ndarray  # (count, n_full)
+    combos: np.ndarray  # (count, K)
+    abs_combos: np.ndarray  # (count, K)
+
+
+def multi_weight_checksums(b_pad: np.ndarray, count: int) -> MultiWeightChecksums:
+    """Weighted ``B``-side combinations for ``count`` independent checks."""
+    if b_pad.ndim != 2:
+        raise ShapeError(f"B must be a 2-D matrix, got {b_pad.ndim}-D")
+    EXECUTION_STATS.weight_reductions += 1
+    b32 = _as_f32(b_pad)
+    w_n = vandermonde_weights(b_pad.shape[1], count)
+    combos = w_n @ b32.T  # (count, K) in one matmul
+    abs_combos = np.abs(w_n) @ np.abs(b32).T
+    return MultiWeightChecksums(weights_n=w_n, combos=combos, abs_combos=abs_combos)

@@ -24,16 +24,9 @@ cycles, which is what thread-level ABFT exploits.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from ..config import (
-    DEFAULT_CONSTANTS,
-    DEFAULT_DETECTION,
-    DetectionConstants,
-    ModelConstants,
-)
+from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..faults.injector import corrupted_value
 from ..faults.model import FaultSpec
 from ..gemm.counters import (
@@ -41,11 +34,24 @@ from ..gemm.counters import (
     LANES_PER_ALU_INSTR,
     mainloop_cost,
 )
+from ..gemm.executor import TiledGemm
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig
 from ..gpu.timing import KernelWork
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
-from .checksums import global_checksums, output_summation
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    Scheme,
+    SchemePlan,
+)
+from .checksums import (
+    GlobalChecksums,
+    GlobalWeightChecksums,
+    global_checksums,
+    global_weight_checksums,
+    output_summation,
+)
 from .detection import compare_checksums
 
 
@@ -121,19 +127,30 @@ class GlobalABFT(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (main, check))
 
-    def execute(
-        self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
-    ) -> ExecutionOutcome:
-        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
+    def _prepare_weight_state(
+        self, executor: TiledGemm, b_pad: np.ndarray
+    ) -> GlobalWeightChecksums:
+        return global_weight_checksums(b_pad)
 
-        chks = global_checksums(a_pad, b_pad)
+    def _prepare_state(
+        self,
+        executor: TiledGemm,
+        a_pad: np.ndarray,
+        b_pad: np.ndarray,
+        c_clean: np.ndarray,
+        weight_state: GlobalWeightChecksums | None,
+    ) -> GlobalChecksums:
+        return global_checksums(a_pad, b_pad, weights=weight_state)
+
+    def _finish(
+        self,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
+    ) -> ExecutionOutcome:
+        chks: GlobalChecksums = prepared.state
+        executor = prepared.executor
         reference = chks.reference
         for spec in self._checksum_faults(faults):
             reference = corrupted_value(reference, spec)
@@ -146,10 +163,4 @@ class GlobalABFT(Scheme):
             magnitudes=chks.magnitude,
             constants=detection,
         )
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, verdict, faults)

@@ -11,26 +11,42 @@ that jointly detect up to ``r`` faulty output values.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import (
-    DEFAULT_CONSTANTS,
-    DEFAULT_DETECTION,
-    DetectionConstants,
-    ModelConstants,
-)
+from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..errors import ConfigurationError
 from ..faults.injector import corrupted_value
 from ..faults.model import FaultSpec
 from ..gemm.counters import BYTES_PER_MEM_INSTR, LANES_PER_ALU_INSTR, mainloop_cost
+from ..gemm.executor import EXECUTION_STATS, TiledGemm
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig
 from ..gpu.timing import KernelWork
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
-from .checksums import vandermonde_weights
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    Scheme,
+    SchemePlan,
+)
+from .checksums import (
+    MultiWeightChecksums,
+    multi_weight_checksums,
+    vandermonde_weights,
+)
 from .detection import compare_checksums
+
+
+@dataclass(frozen=True)
+class _MultiState:
+    """Fault-invariant side of the ``r`` weighted checks."""
+
+    weights_m: np.ndarray  # (r, m_full)
+    weights_n: np.ndarray  # (r, n_full)
+    references: np.ndarray  # (r,)
+    magnitudes: np.ndarray  # (r,)
 
 
 class MultiChecksumGlobalABFT(Scheme):
@@ -98,37 +114,66 @@ class MultiChecksumGlobalABFT(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (main, check))
 
-    def execute(
-        self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
-    ) -> ExecutionOutcome:
-        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
+    def _prepare_weight_state(
+        self, executor: TiledGemm, b_pad: np.ndarray
+    ) -> MultiWeightChecksums:
+        return multi_weight_checksums(b_pad, self.num_checksums)
 
+    def _prepare_state(
+        self,
+        executor: TiledGemm,
+        a_pad: np.ndarray,
+        b_pad: np.ndarray,
+        c_clean: np.ndarray,
+        weight_state: MultiWeightChecksums | None,
+    ) -> _MultiState:
+        if weight_state is not None and len(weight_state.combos) != self.num_checksums:
+            raise ConfigurationError(
+                f"prepared weights carry {len(weight_state.combos)} checksum "
+                f"combinations, this scheme needs {self.num_checksums}"
+            )
+        if weight_state is None:
+            weight_state = multi_weight_checksums(b_pad, self.num_checksums)
+        EXECUTION_STATS.activation_reductions += 1
         a32 = a_pad.astype(np.float32)
-        b32 = b_pad.astype(np.float32)
         # Row weights act on A's rows (length M); column weights on B's
         # columns (length N).  Check s: (w_m^s A) (B w_n^s) == w_m^s C w_n^s.
         w_m = vandermonde_weights(executor.m_full, self.num_checksums)
-        w_n = vandermonde_weights(executor.n_full, self.num_checksums)
+        w_n = weight_state.weights_n
 
         references = np.empty(self.num_checksums, dtype=np.float64)
-        out_sums = np.empty(self.num_checksums, dtype=np.float64)
         magnitudes = np.empty(self.num_checksums, dtype=np.float64)
-        abs_a, abs_b = np.abs(a32), np.abs(b32)
-        c64 = c_faulty.astype(np.float64)
+        abs_a = np.abs(a32)
         for s in range(self.num_checksums):
             col_a = w_m[s] @ a32  # (K,)
-            row_b = b32 @ w_n[s]  # (K,)
-            references[s] = float(col_a @ row_b)
-            out_sums[s] = float(w_m[s].astype(np.float64) @ c64 @ w_n[s].astype(np.float64))
-            magnitudes[s] = float((np.abs(w_m[s]) @ abs_a) @ (abs_b @ np.abs(w_n[s])))
+            references[s] = float(col_a @ weight_state.combos[s])
+            magnitudes[s] = float(
+                (np.abs(w_m[s]) @ abs_a) @ weight_state.abs_combos[s]
+            )
+        return _MultiState(
+            weights_m=w_m, weights_n=w_n,
+            references=references, magnitudes=magnitudes,
+        )
 
+    def _finish(
+        self,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
+    ) -> ExecutionOutcome:
+        state: _MultiState = prepared.state
+        executor = prepared.executor
+        out_sums = np.empty(self.num_checksums, dtype=np.float64)
+        c64 = c_faulty.astype(np.float64)
+        for s in range(self.num_checksums):
+            out_sums[s] = float(
+                state.weights_m[s].astype(np.float64)
+                @ c64
+                @ state.weights_n[s].astype(np.float64)
+            )
+
+        references = state.references.copy()
         for spec in self._checksum_faults(faults):
             idx = spec.row % self.num_checksums
             references[idx] = corrupted_value(float(references[idx]), spec)
@@ -137,13 +182,7 @@ class MultiChecksumGlobalABFT(Scheme):
             references,
             out_sums,
             n_terms=executor.m_full * executor.n_full + executor.k_full,
-            magnitudes=magnitudes,
+            magnitudes=state.magnitudes,
             constants=detection,
         )
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, verdict, faults)

@@ -6,21 +6,20 @@ execution time (``T_o`` in §6.2).
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from ..config import (
-    DEFAULT_CONSTANTS,
-    DEFAULT_DETECTION,
-    DetectionConstants,
-    ModelConstants,
-)
+from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    Scheme,
+    SchemePlan,
+)
 
 
 class NoProtection(Scheme):
@@ -42,21 +41,11 @@ class NoProtection(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def execute(
+    def _finish(
         self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
     ) -> ExecutionOutcome:
-        _, _, executor, _, _, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=None,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, None, faults)

@@ -15,22 +15,22 @@ Two variants the paper explored before settling on ABFT:
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from ..config import (
-    DEFAULT_CONSTANTS,
-    DEFAULT_DETECTION,
-    DetectionConstants,
-    ModelConstants,
-)
+from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..faults.injector import apply_fault_to_accumulator, corrupted_value
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
+from ..gemm.executor import TiledGemm
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    Scheme,
+    SchemePlan,
+)
 from .checksums import thread_tile_sums
 from .detection import compare_checksums
 
@@ -64,22 +64,17 @@ class ReplicationTraditional(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def execute(
+    def _finish(
         self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
     ) -> ExecutionOutcome:
-        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
-
         # The replica runs the identical MMA sequence on the identical
         # fragments, so absent faults it reproduces the accumulator
         # exactly; checksum-path faults corrupt the replica instead.
-        replica = c_clean.copy()
+        replica = prepared.c_clean.copy()
         for spec in self._checksum_faults(faults):
             apply_fault_to_accumulator(replica, spec)
 
@@ -94,13 +89,7 @@ class ReplicationTraditional(Scheme):
             magnitudes=magnitudes,
             constants=detection,
         )
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, verdict, faults)
 
 
 class ReplicationSingleAccumulator(Scheme):
@@ -131,21 +120,33 @@ class ReplicationSingleAccumulator(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def execute(
+    def _prepare_state(
         self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
-    ) -> ExecutionOutcome:
-        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
-
+        executor: TiledGemm,
+        a_pad: np.ndarray,
+        b_pad: np.ndarray,
+        c_clean: np.ndarray,
+        weight_state: None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         # The replica's 4-register sum equals the clean per-tile sum;
-        # checksum-path faults corrupt the replica accumulator.
+        # both it and the |C| magnitude bound are fault-invariant.
         replica_sums = thread_tile_sums(executor, c_clean).astype(np.float64)
+        view = executor.thread_tile_view(np.abs(c_clean))
+        magnitudes = view.sum(axis=(1, 3), dtype=np.float64)
+        return replica_sums, magnitudes
+
+    def _finish(
+        self,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
+    ) -> ExecutionOutcome:
+        executor = prepared.executor
+        chosen = prepared.tile
+        clean_sums, magnitudes = prepared.state
+        # Checksum-path faults corrupt the replica accumulator.
+        replica_sums = clean_sums.copy()
         for spec in self._checksum_faults(faults):
             tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
             tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
@@ -154,8 +155,6 @@ class ReplicationSingleAccumulator(Scheme):
             )
 
         original_sums = thread_tile_sums(executor, c_faulty)
-        view = executor.thread_tile_view(np.abs(c_clean))
-        magnitudes = view.sum(axis=(1, 3), dtype=np.float64)
         verdict = compare_checksums(
             replica_sums,
             original_sums,
@@ -163,10 +162,4 @@ class ReplicationSingleAccumulator(Scheme):
             magnitudes=magnitudes,
             constants=detection,
         )
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, verdict, faults)

@@ -19,23 +19,29 @@ checksum is *recomputed online* (not loaded), again to avoid loads
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from ..config import (
-    DEFAULT_CONSTANTS,
-    DEFAULT_DETECTION,
-    DetectionConstants,
-    ModelConstants,
-)
+from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..faults.injector import apply_fault_to_accumulator
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
+from ..gemm.executor import TiledGemm
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import KSTEP, TileConfig
-from .base import ExecutionOutcome, PlannedKernel, Scheme, SchemePlan
-from .checksums import one_sided_checksums, one_sided_output_rowsums
+from .base import (
+    ExecutionOutcome,
+    PlannedKernel,
+    PreparedExecution,
+    Scheme,
+    SchemePlan,
+)
+from .checksums import (
+    OneSidedChecksums,
+    TileWeightChecksums,
+    one_sided_checksums,
+    one_sided_output_rowsums,
+    tile_weight_checksums,
+)
 from .detection import compare_checksums
 
 
@@ -77,19 +83,31 @@ class ThreadLevelOneSided(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def execute(
-        self,
-        a: np.ndarray,
-        b: np.ndarray,
-        *,
-        tile: TileConfig | None = None,
-        faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
-    ) -> ExecutionOutcome:
-        problem, chosen, executor, a_pad, b_pad, c_clean = self._setup(a, b, tile)
-        c_faulty = self._apply_original_faults(c_clean, faults)
+    def _prepare_weight_state(
+        self, executor: TiledGemm, b_pad: np.ndarray
+    ) -> TileWeightChecksums:
+        return tile_weight_checksums(executor, b_pad)
 
-        chks = one_sided_checksums(executor, a_pad, b_pad)
+    def _prepare_state(
+        self,
+        executor: TiledGemm,
+        a_pad: np.ndarray,
+        b_pad: np.ndarray,
+        c_clean: np.ndarray,
+        weight_state: TileWeightChecksums | None,
+    ) -> OneSidedChecksums:
+        return one_sided_checksums(executor, a_pad, b_pad, weights=weight_state)
+
+    def _finish(
+        self,
+        prepared: PreparedExecution,
+        c_faulty: np.ndarray,
+        faults: tuple[FaultSpec, ...],
+        detection: DetectionConstants,
+    ) -> ExecutionOutcome:
+        chks: OneSidedChecksums = prepared.state
+        executor = prepared.executor
+        chosen = prepared.tile
         reference = chks.reference.copy()
         for spec in self._checksum_faults(faults):
             # A checksum-path fault corrupts the thread's ABFT
@@ -109,10 +127,4 @@ class ThreadLevelOneSided(Scheme):
             magnitudes=chks.magnitude,
             constants=detection,
         )
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=tuple(faults),
-        )
+        return self._outcome(prepared, c_faulty, verdict, faults)

@@ -7,6 +7,13 @@ the detection tolerance *and* below any sensible significance threshold)
 are tracked separately: ABFT's guarantee is about *significant* faults,
 and FP bit flips in low mantissa bits can be smaller than legitimate
 rounding noise.
+
+The campaign rides the prepared-execution engine: the operands are
+prepared **once** at construction (padding, tile selection, the clean
+GEMM, operand checksums), and every trial only pays
+:meth:`~repro.abft.base.PreparedExecution.inject` — so N trials run the
+clean padded GEMM and the operand-side reductions exactly once instead
+of N+1 times.
 """
 
 from __future__ import annotations
@@ -111,9 +118,13 @@ class FaultCampaign:
         self.significance_factor = significance_factor
         self.rng = np.random.default_rng(seed)
 
+        # All fault-invariant work happens exactly once, here; trials
+        # only inject into copies of the prepared accumulator.
+        self._prepared = scheme.prepare(self.a, self.b, tile=tile)
+
         # Baseline (fault-free) run: establishes the tolerance scale and
         # sanity-checks that the clean execution raises no alarm.
-        baseline = scheme.execute(self.a, self.b, tile=tile, detection=detection)
+        baseline = self._prepared.inject(detection=detection)
         if baseline.detected:
             raise FaultInjectionError(
                 f"scheme {scheme.name!r} flags a fault on clean data; "
@@ -144,11 +155,48 @@ class FaultCampaign:
         bit = int(self.rng.integers(bits))
         return FaultSpec(row=row, col=col, kind=kind, bit=bit)
 
+    def draw_faults(self, n: int) -> list[FaultSpec]:
+        """Vectorized batch of ``n`` random original-path fault specs.
+
+        All random draws happen up front in whole-batch RNG calls; only
+        the cheap per-spec assembly is a Python loop.  The stream
+        differs from ``n`` successive :meth:`random_fault` calls but is
+        equally deterministic for a given campaign seed.
+        """
+        if n < 0:
+            raise FaultInjectionError(f"cannot draw {n} faults")
+        rows_total, cols_total = self._prepared.c_clean.shape
+        rows = self.rng.integers(rows_total, size=n)
+        cols = self.rng.integers(cols_total, size=n)
+        kinds = self.rng.choice(
+            np.array(
+                [FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16, FaultKind.ADD],
+                dtype=object,
+            ),
+            size=n,
+        )
+        scale = float(np.abs(self._prepared.c_clean).mean() + 1.0)
+        values = self.rng.normal(0.0, scale, size=n)
+        bits = self.rng.integers(32, size=n)
+        specs: list[FaultSpec] = []
+        for i in range(n):
+            kind = kinds[i]
+            if kind is FaultKind.ADD:
+                specs.append(
+                    FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
+                              value=float(values[i]))
+                )
+            else:
+                n_bits = 32 if kind is FaultKind.BITFLIP_FP32 else 16
+                specs.append(
+                    FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
+                              bit=int(bits[i]) % n_bits)
+                )
+        return specs
+
     def run_trial(self, spec: FaultSpec) -> TrialRecord:
         """Execute one trial with the given fault injected."""
-        outcome = self.scheme.execute(
-            self.a, self.b, tile=self.tile, faults=[spec], detection=self.detection
-        )
+        outcome = self._prepared.inject([spec], detection=self.detection)
         clean = self._baseline.c_accumulator
         faulty = outcome.c_accumulator
         if spec.path is FaultPath.ORIGINAL:
@@ -164,12 +212,36 @@ class FaultCampaign:
         )
 
     def run(self, n_trials: int, specs: Sequence[FaultSpec] | None = None) -> CampaignResult:
-        """Run ``n_trials`` random trials (or the provided specs)."""
+        """Run ``n_trials`` random trials, or the provided specs.
+
+        Contract: when ``specs`` is given it fully determines the
+        trials, and ``n_trials`` must agree — either ``0`` ("however
+        many specs there are") or exactly ``len(specs)``.  Any other
+        combination raises :class:`FaultInjectionError` rather than
+        silently ignoring ``n_trials``.
+        """
+        if n_trials < 0:
+            raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
         result = CampaignResult(scheme=self.scheme.name)
         if specs is not None:
+            if n_trials not in (0, len(specs)):
+                raise FaultInjectionError(
+                    f"n_trials={n_trials} disagrees with {len(specs)} explicit "
+                    f"specs; pass 0 or len(specs)"
+                )
             for spec in specs:
                 result.trials.append(self.run_trial(spec))
             return result
         for _ in range(n_trials):
             result.trials.append(self.run_trial(self.random_fault()))
         return result
+
+    def run_batch(self, n_trials: int) -> CampaignResult:
+        """Run ``n_trials`` random trials with all specs drawn up front.
+
+        Equivalent coverage semantics to :meth:`run` (each trial is one
+        single-fault injection against the shared prepared state), but
+        the randomness is drawn in vectorized batch RNG calls before any
+        trial executes.
+        """
+        return self.run(n_trials, specs=self.draw_faults(n_trials))

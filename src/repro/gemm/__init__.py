@@ -18,10 +18,12 @@ from .problem import GemmProblem
 from .tiles import TileConfig, DEFAULT_TILE_CONFIGS, enumerate_tiles, select_tile
 from .counters import MainloopCost, mainloop_cost
 from .reference import reference_gemm
-from .executor import TiledGemm
+from .executor import EXECUTION_STATS, ExecutionStats, TiledGemm
 from .im2col import conv_output_shape, conv_gemm_shape, im2col
 
 __all__ = [
+    "EXECUTION_STATS",
+    "ExecutionStats",
     "GemmProblem",
     "TileConfig",
     "DEFAULT_TILE_CONFIGS",

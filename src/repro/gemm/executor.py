@@ -13,12 +13,52 @@ vectorize, avoid copies, accumulate in place).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import ShapeError
 from ..utils import ceil_div, round_up
 from .problem import GemmProblem
 from .tiles import MMA_K, TileConfig
+
+
+@dataclass
+class ExecutionStats:
+    """Process-wide counters of fault-invariant numeric work.
+
+    The prepared-execution engine exists to amortize exactly this work
+    across fault trials and forward passes; these counters let tests and
+    benchmarks *prove* the amortization (e.g. "a campaign of N trials
+    runs the clean GEMM once") instead of inferring it from timings.
+
+    Attributes
+    ----------
+    gemms:
+        Clean padded FP32-accumulated GEMMs (:meth:`TiledGemm.multiply`).
+    weight_reductions:
+        Weight-side (``B``) checksum reduction builds.
+    activation_reductions:
+        Activation-side (``A``) checksum reduction builds.
+    """
+
+    gemms: int = 0
+    weight_reductions: int = 0
+    activation_reductions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (call at the start of a measured region)."""
+        self.gemms = 0
+        self.weight_reductions = 0
+        self.activation_reductions = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Current ``(gemms, weight_reductions, activation_reductions)``."""
+        return (self.gemms, self.weight_reductions, self.activation_reductions)
+
+
+#: Module-level stats instance every executor and checksum build reports to.
+EXECUTION_STATS = ExecutionStats()
 
 
 class TiledGemm:
@@ -92,6 +132,7 @@ class TiledGemm:
             raise ShapeError(f"padded A must be {self.m_full}x{self.k_full}")
         if b_pad.shape != (self.k_full, self.n_full):
             raise ShapeError(f"padded B must be {self.k_full}x{self.n_full}")
+        EXECUTION_STATS.gemms += 1
         a32 = a_pad.astype(np.float32)
         b32 = b_pad.astype(np.float32)
         acc = np.zeros((self.m_full, self.n_full), dtype=np.float32)

@@ -1,0 +1,168 @@
+"""Prepared-execution engine tests.
+
+The contract: for every scheme, ``prepare(a, b).inject(faults)`` must be
+*bit-identical* to ``execute(a, b, faults=...)`` — same ``c``, same
+``c_accumulator``, same verdict — across clean runs, original-path
+faults, and checksum-path faults.  And the amortization must be real:
+prepared state is built once, injections never re-run the clean GEMM or
+the operand-side reductions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft import MultiChecksumGlobalABFT, get_scheme, list_schemes
+from repro.errors import ConfigurationError, ShapeError
+from repro.faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
+from repro.gemm import EXECUTION_STATS, TileConfig
+
+ALL_SCHEMES = list_schemes() + ["global_multi"]
+
+FAULT_CASES = {
+    "clean": (),
+    "original_add": (FaultSpec(row=3, col=5, kind=FaultKind.ADD, value=25.0),),
+    "original_bitflip": (
+        FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=27),
+    ),
+    "checksum_add": (
+        FaultSpec(row=2, col=2, kind=FaultKind.ADD, value=25.0,
+                  path=FaultPath.CHECKSUM),
+    ),
+    "mixed": (
+        FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=30.0),
+        FaultSpec(row=4, col=7, kind=FaultKind.ADD, value=-12.0,
+                  path=FaultPath.CHECKSUM),
+    ),
+}
+
+
+def make_scheme(name):
+    if name == "global_multi":
+        return MultiChecksumGlobalABFT(num_checksums=2)
+    return get_scheme(name)
+
+
+def assert_outcomes_identical(direct, prepared):
+    assert direct.scheme == prepared.scheme
+    assert np.array_equal(direct.c, prepared.c, equal_nan=True)
+    assert np.array_equal(
+        direct.c_accumulator, prepared.c_accumulator, equal_nan=True
+    )
+    assert direct.verdict == prepared.verdict
+    assert direct.injected == prepared.injected
+
+
+class TestPreparedVsDirect:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    @pytest.mark.parametrize("case", sorted(FAULT_CASES))
+    def test_inject_bit_identical_to_execute(self, name, case, small_operands):
+        a, b = small_operands
+        faults = FAULT_CASES[case]
+        scheme = make_scheme(name)
+        direct = scheme.execute(a, b, faults=faults)
+        via_prepare = make_scheme(name).prepare(a, b).inject(faults)
+        assert_outcomes_identical(direct, via_prepare)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_repeated_injections_are_independent(self, name, small_operands):
+        """A faulted trial must not leak into a later clean trial."""
+        a, b = small_operands
+        scheme = make_scheme(name)
+        prepared = scheme.prepare(a, b)
+        clean_before = prepared.inject()
+        prepared.inject(FAULT_CASES["original_bitflip"])
+        prepared.inject(FAULT_CASES["mixed"])
+        clean_after = prepared.inject()
+        assert_outcomes_identical(clean_before, clean_after)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_explicit_tile_respected(self, name, small_operands, small_tile):
+        a, b = small_operands
+        scheme = make_scheme(name)
+        direct = scheme.execute(a, b, tile=small_tile,
+                                faults=FAULT_CASES["original_add"])
+        prepared = scheme.prepare(a, b, tile=small_tile)
+        assert prepared.tile == small_tile
+        assert_outcomes_identical(
+            direct, prepared.inject(FAULT_CASES["original_add"])
+        )
+
+
+class TestPreparedWeights:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    @pytest.mark.parametrize("case", ["clean", "original_add", "checksum_add"])
+    def test_cached_weights_bit_identical(self, name, case, small_operands):
+        a, b = small_operands
+        faults = FAULT_CASES[case]
+        scheme = make_scheme(name)
+        direct = scheme.execute(a, b, faults=faults)
+        weights = scheme.prepare_weights(b, m=a.shape[0])
+        cached = scheme.execute(a, b, faults=faults, weights=weights)
+        assert_outcomes_identical(direct, cached)
+
+    def test_weights_skip_weight_side_reductions(self, small_operands):
+        a, b = small_operands
+        scheme = get_scheme("global")
+        weights = scheme.prepare_weights(b, m=a.shape[0])
+        EXECUTION_STATS.reset()
+        scheme.execute(a, b, weights=weights)
+        assert EXECUTION_STATS.weight_reductions == 0
+        assert EXECUTION_STATS.activation_reductions == 1
+        assert EXECUTION_STATS.gemms == 1
+
+    def test_scheme_mismatch_rejected(self, small_operands):
+        a, b = small_operands
+        weights = get_scheme("global").prepare_weights(b, m=a.shape[0])
+        with pytest.raises(ConfigurationError):
+            get_scheme("thread_onesided").execute(a, b, weights=weights)
+
+    def test_shape_mismatch_rejected(self, small_operands):
+        a, b = small_operands
+        weights = get_scheme("global").prepare_weights(b, m=a.shape[0] + 8)
+        with pytest.raises(ShapeError):
+            get_scheme("global").execute(a, b, weights=weights)
+
+    def test_multi_checksum_count_mismatch_rejected(self, small_operands):
+        a, b = small_operands
+        weights = MultiChecksumGlobalABFT(2).prepare_weights(b, m=a.shape[0])
+        with pytest.raises(ConfigurationError):
+            MultiChecksumGlobalABFT(4).execute(a, b, weights=weights)
+        with pytest.raises(ConfigurationError):
+            MultiChecksumGlobalABFT(1).execute(a, b, weights=weights)
+
+    def test_tile_override_mismatch_rejected(self, small_operands):
+        a, b = small_operands
+        scheme = get_scheme("global")
+        weights = scheme.prepare_weights(b, m=a.shape[0])
+        other = TileConfig(mb=64, nb=32, kb=32, mw=32, nw=16, mt=4, nt=4)
+        assert weights.tile != other
+        with pytest.raises(ConfigurationError):
+            scheme.execute(a, b, tile=other, weights=weights)
+
+
+class TestAmortization:
+    """The acceptance criterion: N trials, one clean GEMM, one reduction."""
+
+    def test_prepare_once_inject_many(self, small_operands):
+        a, b = small_operands
+        scheme = get_scheme("thread_onesided")
+        EXECUTION_STATS.reset()
+        prepared = scheme.prepare(a, b)
+        assert EXECUTION_STATS.snapshot() == (1, 1, 1)
+        for _ in range(10):
+            prepared.inject(FAULT_CASES["original_add"])
+        assert EXECUTION_STATS.snapshot() == (1, 1, 1)
+
+    @pytest.mark.parametrize("name", ["global", "thread_twosided"])
+    def test_campaign_amortizes_fault_invariant_work(self, name, rng):
+        a = (rng.standard_normal((48, 32)) * 0.5).astype(np.float16)
+        b = (rng.standard_normal((32, 40)) * 0.5).astype(np.float16)
+        EXECUTION_STATS.reset()
+        campaign = FaultCampaign(get_scheme(name), a, b, seed=5)
+        result = campaign.run_batch(25)
+        assert result.n_trials == 25
+        # One clean GEMM and one operand-checksum build for the whole
+        # campaign — construction included.
+        assert EXECUTION_STATS.gemms == 1
+        assert EXECUTION_STATS.weight_reductions == 1
+        assert EXECUTION_STATS.activation_reductions == 1

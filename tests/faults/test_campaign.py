@@ -50,6 +50,49 @@ class TestCampaign:
         assert result.n_trials == 2
         assert all(t.detected for t in result.trials)
 
+    def test_n_trials_matching_specs_accepted(self, operands):
+        a, b = operands
+        specs = [FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0)]
+        result = FaultCampaign(get_scheme("global"), a, b).run(1, specs=specs)
+        assert result.n_trials == 1
+
+    def test_n_trials_disagreeing_with_specs_rejected(self, operands):
+        """run() must not silently ignore n_trials when specs is given."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        specs = [
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0),
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=100.0),
+        ]
+        with pytest.raises(FaultInjectionError):
+            campaign.run(5, specs=specs)
+        with pytest.raises(FaultInjectionError):
+            campaign.run(-1)
+
+    def test_run_batch_matches_run_semantics(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b, seed=13)
+        result = campaign.run_batch(30)
+        assert result.n_trials == 30
+        assert result.coverage == 1.0
+        # Deterministic given the seed.
+        again = FaultCampaign(get_scheme("global"), a, b, seed=13).run_batch(30)
+        assert [t.spec for t in result.trials] == [t.spec for t in again.trials]
+        assert [t.detected for t in result.trials] == [
+            t.detected for t in again.trials
+        ]
+
+    @pytest.mark.parametrize(
+        "scheme", ["global", "thread_onesided", "thread_twosided",
+                   "replication_single", "replication_traditional"]
+    )
+    def test_run_batch_full_coverage(self, scheme, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme(scheme), a, b, seed=7)
+        result = campaign.run_batch(50)
+        assert result.coverage == 1.0
+        assert not result.false_negatives
+
     def test_significance_classification(self, operands):
         a, b = operands
         campaign = FaultCampaign(get_scheme("thread_onesided"), a, b)

@@ -124,3 +124,45 @@ class TestOps:
         spec = Conv2dSpec(4, 4, kernel=3, groups=2)
         with pytest.raises(ModelZooError):
             Conv2d(spec, np.zeros((4, 2, 3, 3), dtype=np.float16))
+
+
+class TestWeightCache:
+    """Repeated forward passes reuse cached per-layer weight checksums."""
+
+    def test_second_pass_zero_weight_reductions(self, tiny_cnn, tiny_input):
+        from repro.gemm import EXECUTION_STATS
+
+        engine = ProtectedInference(tiny_cnn, GlobalABFT())
+        engine.run(tiny_input)  # first pass builds and caches weight state
+        assert len(engine._weight_cache) == 3
+        EXECUTION_STATS.reset()
+        engine.run(tiny_input)
+        assert EXECUTION_STATS.weight_reductions == 0
+        # The activation-dependent half still runs per layer.
+        assert EXECUTION_STATS.gemms == 3
+        assert EXECUTION_STATS.activation_reductions == 3
+
+    def test_cached_passes_bit_identical(self, tiny_cnn, tiny_input):
+        cached = ProtectedInference(tiny_cnn, ThreadLevelOneSided())
+        first = cached.run(tiny_input)
+        second = cached.run(tiny_input)
+        np.testing.assert_array_equal(first.output, second.output)
+        for rec1, rec2 in zip(first.layer_outcomes, second.layer_outcomes):
+            np.testing.assert_array_equal(
+                rec1.outcome.c_accumulator, rec2.outcome.c_accumulator
+            )
+            assert rec1.outcome.verdict == rec2.outcome.verdict
+
+    def test_fresh_engine_matches_cached_engine(self, tiny_cnn, tiny_input):
+        warm = ProtectedInference(tiny_cnn, GlobalABFT())
+        warm.run(tiny_input)
+        cached_result = warm.run(tiny_input)
+        fresh_result = ProtectedInference(tiny_cnn, GlobalABFT()).run(tiny_input)
+        np.testing.assert_array_equal(cached_result.output, fresh_result.output)
+
+    def test_fault_detection_unaffected_by_cache(self, tiny_cnn, tiny_input):
+        engine = ProtectedInference(tiny_cnn, GlobalABFT())
+        engine.run(tiny_input)
+        fault = FaultSpec(row=3, col=2, kind=FaultKind.ADD, value=50.0)
+        result = engine.run(tiny_input, faults={"conv1": [fault]})
+        assert result.detected
