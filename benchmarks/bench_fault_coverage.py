@@ -20,5 +20,5 @@ def bench_fault_coverage(benchmark, emit):
     b = (rng.standard_normal((80, 64)) * 0.5).astype(np.float16)
     for name in ("global", "thread_onesided", "thread_twosided",
                  "replication_single", "replication_traditional"):
-        result = FaultCampaign(get_scheme(name), a, b, seed=9).run(40)
+        result = FaultCampaign(get_scheme(name), a, b, seed=9).run_batch(40)
         assert result.coverage == 1.0, name

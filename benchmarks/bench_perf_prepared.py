@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Perf benchmark for the prepared-execution engine.
+"""Perf benchmark for the prepared/batched execution engine.
 
 Measures the two hot paths the engine amortizes (DESIGN.md §4):
 
 * **Campaign throughput** (trials/sec): a fault-injection campaign via
   the old direct path (full ``scheme.execute`` per trial — padding,
   tile selection, clean GEMM, operand checksums every time) versus the
-  prepared path (``prepare`` once, ``inject`` per trial).  Both run the
-  *same* pre-drawn fault specs, so the numeric work per verdict is
-  identical; only the amortization differs.
+  batched prepared path (``prepare`` once, chunked ``inject_batch``
+  over all trials).  Both run the *same* pre-drawn fault specs, so the
+  numeric work per verdict is identical; only the amortization and
+  batching differ.  Each path takes the best of several repetitions
+  after one untimed warmup, so the number is steady-state campaign
+  throughput (construction included) rather than first-touch page
+  faults or background load.
 * **Per-inference latency**: repeated ``ProtectedInference.run`` passes
   on one engine, cold (first pass builds the per-layer weight-checksum
   cache) versus warm (weight side fully reused).
 
 Writes ``BENCH_prepared.json`` at the repo root so the perf trajectory
-is tracked across PRs.  ``--quick`` shrinks trials/passes for CI.
+is tracked across PRs; the committed file's hand-curated ``history``
+list (one snapshot row per PR, reference machine) is preserved when
+the file is rewritten.  ``benchmarks/check_regression.py`` gates CI on
+the committed baseline — regenerate and re-commit it deliberately when
+the engine or the reference environment changes.  ``--quick`` shrinks
+trials/passes for smoke runs.
 """
 
 from __future__ import annotations
@@ -42,8 +51,27 @@ DEFAULT_TRIALS = 200
 CAMPAIGN_SCHEMES = ("global", "thread_onesided", "thread_twosided")
 
 
-def bench_campaign(scheme_name: str, *, trials: int, seed: int) -> dict:
-    """Direct-execute vs prepared-inject campaign on identical specs."""
+def _best_time(run, *, repeats: int) -> float:
+    """Best wall time of ``run()`` over ``repeats`` after one warmup.
+
+    Best-of-N is the low-variance estimator for CPU microbenchmarks:
+    background load only ever adds time, so the minimum tracks the
+    machine's actual capability and keeps the regression gate's
+    speedup ratios stable across differently-loaded runners.
+    """
+    run()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_campaign(
+    scheme_name: str, *, trials: int, seed: int, repeats: int
+) -> dict:
+    """Direct-execute vs batched prepared-inject campaign, same specs."""
     rng = np.random.default_rng(seed)
     a = (rng.standard_normal((DEFAULT_M, DEFAULT_K)) * 0.5).astype(np.float16)
     b = (rng.standard_normal((DEFAULT_K, DEFAULT_N)) * 0.5).astype(np.float16)
@@ -51,24 +79,34 @@ def bench_campaign(scheme_name: str, *, trials: int, seed: int) -> dict:
     campaign = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
     specs = campaign.draw_faults(trials)
 
-    # Direct baseline: what every trial cost before this engine existed.
+    # Cross-check once: both paths must agree on every verdict.
     scheme = get_scheme(scheme_name)
-    t0 = time.perf_counter()
-    direct_detected = sum(
+    direct_detected = [
         scheme.execute(a, b, faults=[spec]).detected for spec in specs
+    ]
+    batched = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed).run(
+        len(specs), specs=specs
     )
-    direct_s = time.perf_counter() - t0
+    assert [t.detected for t in batched.trials] == direct_detected, (
+        "paths disagree on verdicts"
+    )
 
-    # Prepared path, construction included (prepare + clean baseline).
-    t0 = time.perf_counter()
-    fresh = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
-    result = fresh.run(len(specs), specs=specs)
-    prepared_s = time.perf_counter() - t0
+    # Direct baseline: what every trial cost before this engine existed.
+    direct_s = _best_time(
+        lambda: [scheme.execute(a, b, faults=[spec]) for spec in specs],
+        repeats=repeats,
+    )
 
-    prepared_detected = sum(t.detected for t in result.trials)
-    assert prepared_detected == direct_detected, "paths disagree on verdicts"
+    # Batched prepared path, construction included (prepare + baseline).
+    def prepared_run():
+        fresh = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
+        fresh.run(len(specs), specs=specs)
+
+    prepared_s = _best_time(prepared_run, repeats=repeats)
+
     return {
         "trials": trials,
+        "repeats": repeats,
         "direct_s": direct_s,
         "prepared_s": prepared_s,
         "direct_trials_per_s": trials / direct_s,
@@ -139,6 +177,7 @@ def main() -> None:
     if trials <= 0:
         parser.error(f"--trials must be positive, got {trials}")
     passes = 3 if args.quick else 10
+    repeats = 1 if args.quick else 5
 
     report = {
         "benchmark": "prepared-execution engine",
@@ -147,7 +186,9 @@ def main() -> None:
         "campaign": {},
     }
     for name in CAMPAIGN_SCHEMES:
-        report["campaign"][name] = bench_campaign(name, trials=trials, seed=17)
+        report["campaign"][name] = bench_campaign(
+            name, trials=trials, seed=17, repeats=repeats
+        )
         row = report["campaign"][name]
         print(f"campaign[{name}]: direct {row['direct_trials_per_s']:8.1f} "
               f"trials/s -> prepared {row['prepared_trials_per_s']:8.1f} "
@@ -159,12 +200,26 @@ def main() -> None:
           f"{inf['warm_pass_s'] * 1e3:.1f} ms ({inf['speedup']:.2f}x), "
           f"warm-pass weight reductions = {inf['warm_weight_reductions']}")
 
+    # The committed BENCH_prepared.json carries a hand-curated
+    # ``history`` list — one row per PR, each a snapshot taken on the
+    # reference machine when that PR landed.  Rewriting the file
+    # preserves that record verbatim; fresh rows are added by hand (see
+    # the ROADMAP trajectory table), never synthesized from a run on an
+    # arbitrary machine.
+    if args.output.exists():
+        try:
+            prior_history = json.loads(args.output.read_text()).get("history")
+        except (json.JSONDecodeError, OSError):
+            prior_history = None
+        if prior_history:
+            report["history"] = prior_history
+
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
-    # Regression floor: 3x at the default campaign size (acceptance
-    # criterion); quick CI runs use a lax floor to tolerate noisy runners
-    # while still catching a broken prepared path.
+    # Gross sanity floor only — machine-portable by design (a broken
+    # batched path collapses to ~1x).  The real ratchet is
+    # check_regression.py against the committed baseline.
     floor = 1.5 if args.quick else 3.0
     slowest = min(r["speedup"] for r in report["campaign"].values())
     if slowest < floor:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the prepared/batched execution engine.
+
+Compares a freshly generated ``bench_perf_prepared.py`` report against
+the committed ``BENCH_prepared.json`` baseline and exits non-zero when
+the engine regressed, so CI *fails* on a perf regression instead of
+merely archiving an artifact.
+
+Absolute trials/sec depends on the runner, so campaign throughput is
+compared through the machine-normalized **speedup** — the prepared
+path's throughput in units of the direct path's, both measured in the
+same run on the same machine.  A scheme fails the gate when its speedup
+drops more than ``--threshold`` (default 25%) below the committed
+value.  The inference section gates on the structural property (zero
+warm-pass weight-side reductions: the m-independent cache did its job)
+rather than on noisy small-latency ratios.
+
+The speedup normalizes machine *speed* away but not machine *shape*:
+interpreter version and NumPy build shift the Python-bound direct path
+and the NumPy-bound batched path differently.  The committed baseline
+is therefore part of the CI environment contract — regenerate and
+re-commit it (``bench_perf_prepared.py`` with no ``--output``) whenever
+the runner image, Python, or NumPy pins change, and widen
+``--threshold`` rather than deleting the gate if a runner fleet proves
+noisier than 25%.
+
+Usage (what CI runs)::
+
+    python benchmarks/bench_perf_prepared.py --output bench_ci.json
+    python benchmarks/check_regression.py --bench bench_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_THRESHOLD = 0.25
+
+
+def check(bench: dict, baseline: dict, threshold: float) -> list[str]:
+    """All gate violations of ``bench`` against ``baseline``."""
+    failures: list[str] = []
+    for scheme, base_row in sorted(baseline.get("campaign", {}).items()):
+        row = bench.get("campaign", {}).get(scheme)
+        if row is None:
+            failures.append(f"{scheme}: missing from the benchmark output")
+            continue
+        if row["trials"] != base_row["trials"]:
+            failures.append(
+                f"{scheme}: benchmark ran {row['trials']} trials but the "
+                f"baseline committed {base_row['trials']} — speedups are "
+                f"only comparable at equal amortization; rerun without "
+                f"--quick / with --trials {base_row['trials']}"
+            )
+            continue
+        floor = base_row["speedup"] * (1.0 - threshold)
+        status = "ok" if row["speedup"] >= floor else "REGRESSED"
+        print(
+            f"{scheme:>18s}: speedup {row['speedup']:6.1f}x "
+            f"(baseline {base_row['speedup']:6.1f}x, floor {floor:6.1f}x) "
+            f"[{status}]"
+        )
+        if row["speedup"] < floor:
+            failures.append(
+                f"{scheme}: speedup {row['speedup']:.2f}x fell more than "
+                f"{threshold:.0%} below the committed {base_row['speedup']:.2f}x"
+            )
+
+    inference = bench.get("inference")
+    if inference is not None:
+        reductions = inference.get("warm_weight_reductions")
+        if reductions != 0:
+            failures.append(
+                f"inference: warm passes performed {reductions} weight-side "
+                f"reductions; the m-independent weight cache is not amortizing"
+            )
+        else:
+            print(f"{'inference':>18s}: warm-pass weight reductions 0 [ok]")
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", type=pathlib.Path, required=True,
+                        help="freshly generated benchmark report")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_prepared.json",
+                        help="committed baseline (default: repo root)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional speedup drop that fails the gate "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+
+    bench = json.loads(args.bench.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(bench, baseline, args.threshold)
+    if failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf-regression gate passed.")
+
+
+if __name__ == "__main__":
+    main()

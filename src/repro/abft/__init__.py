@@ -10,9 +10,11 @@ Every scheme implements the :class:`~repro.abft.base.Scheme` interface:
 
 Numeric execution is backed by the prepared-execution engine:
 ``scheme.prepare(a, b)`` does the fault-invariant work once and the
-returned :class:`~repro.abft.base.PreparedExecution` injects faults
-cheaply per trial; ``scheme.prepare_weights(b, m=...)`` additionally
-caches the weight-side state across activations.
+returned :class:`~repro.abft.base.PreparedExecution` runs whole
+batches of fault trials per NumPy dispatch (``inject_batch``, with
+``inject`` as the single-trial wrapper); ``scheme.prepare_weights(b,
+m=...)`` additionally caches the m-independent weight-side state
+across activations of any row count.
 """
 
 from .base import (
@@ -23,7 +25,7 @@ from .base import (
     Scheme,
     SchemePlan,
 )
-from .detection import CheckVerdict, compare_checksums
+from .detection import CheckVerdict, compare_checksums, compare_checksums_batch
 from .none import NoProtection
 from .global_abft import GlobalABFT
 from .thread_onesided import ThreadLevelOneSided
@@ -68,6 +70,7 @@ __all__ = [
     "PreparedWeights",
     "CheckVerdict",
     "compare_checksums",
+    "compare_checksums_batch",
     "NoProtection",
     "GlobalABFT",
     "ThreadLevelOneSided",

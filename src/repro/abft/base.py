@@ -13,14 +13,25 @@ Numeric execution is split into a **prepared-execution engine**: all
 fault-invariant work (operand padding, tile selection, the clean FP32
 GEMM, operand-side checksum/magnitude reductions) lives in a
 :class:`PreparedExecution` built once by :meth:`Scheme.prepare`, and
-each fault trial only pays :meth:`PreparedExecution.inject` — a copy of
-the accumulator, the output-side re-reduction, and the verdict.
-``execute`` is a thin ``prepare(...).inject(...)`` wrapper, so one-shot
-callers are untouched while campaigns and repeated inference amortize
-the expensive half.  One level further, :class:`PreparedWeights` carries
-just the weight-side state (padded ``B`` + weight checksums), which is
-constant across inference requests (paper §2.5) and reusable across
-*different* activations.
+each fault trial only pays the injection half — a copy of the
+accumulator, the output-side re-reduction, and the verdict.
+
+Injection itself is **batched**: :meth:`PreparedExecution.inject_batch`
+stacks N trials' accumulators into one ``(N, m, n)`` array, applies all
+faults with vectorized fancy indexing, re-reduces the output side of
+every trial in single NumPy calls, and renders all verdicts at once.
+:meth:`PreparedExecution.inject` is the ``N == 1`` wrapper and
+``execute`` a thin ``prepare(...).inject(...)`` wrapper, so one-shot
+callers are untouched while campaigns run hundreds of trials per NumPy
+dispatch.  Because both paths share one set of batch-aware reducers
+(and NumPy applies the identical core reduction per stacked slice),
+``inject_batch`` is bit-identical to sequential ``inject`` calls.
+
+One level further, :class:`PreparedWeights` carries just the
+weight-side state (padded ``B`` + weight checksums), which is constant
+across inference requests (paper §2.5), m-independent given the tile,
+and therefore reusable across *different* activations — including
+activation batches of different row counts.
 """
 
 from __future__ import annotations
@@ -108,7 +119,6 @@ class SchemePlan:
         return out
 
 
-@dataclass(frozen=True)
 class ExecutionOutcome:
     """Result of numerically executing a protected GEMM.
 
@@ -118,7 +128,9 @@ class ExecutionOutcome:
         Scheme registry name.
     c:
         Logical ``M x N`` output quantized to FP16 (what the next layer
-        consumes).
+        consumes).  Computed lazily from the accumulator on first
+        access: fault campaigns read only verdicts and accumulators, so
+        batched trials skip the epilogue quantization entirely.
     c_accumulator:
         Padded FP32 accumulator grid after fault application.
     verdict:
@@ -127,27 +139,59 @@ class ExecutionOutcome:
         The fault specs that were applied.
     """
 
-    scheme: str
-    c: np.ndarray
-    c_accumulator: np.ndarray
-    verdict: CheckVerdict | None
-    injected: tuple[FaultSpec, ...] = ()
+    __slots__ = ("scheme", "c_accumulator", "verdict", "injected", "_crop", "_c")
+
+    def __init__(
+        self,
+        scheme: str,
+        c_accumulator: np.ndarray,
+        verdict: CheckVerdict | None,
+        injected: tuple[FaultSpec, ...] = (),
+        *,
+        crop: tuple[int, int] | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.c_accumulator = c_accumulator
+        self.verdict = verdict
+        self.injected = tuple(injected)
+        self._crop = crop if crop is not None else c_accumulator.shape
+        self._c: np.ndarray | None = None
+
+    @property
+    def c(self) -> np.ndarray:
+        m, n = self._crop
+        if self._c is None:
+            self._c = Scheme._to_fp16(self.c_accumulator[:m, :n])
+        return self._c
 
     @property
     def detected(self) -> bool:
         """True if the scheme's checks flagged an inconsistency."""
         return bool(self.verdict is not None and self.verdict.detected)
 
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionOutcome(scheme={self.scheme!r}, detected={self.detected}, "
+            f"injected={self.injected!r})"
+        )
+
 
 @dataclass(frozen=True)
 class PreparedWeights:
     """Weight-side fault-invariant state, reusable across activations.
 
-    Built once per (scheme, ``B``, problem, tile) by
+    Built once per (scheme, ``B``, tile) by
     :meth:`Scheme.prepare_weights`; :meth:`Scheme.prepare` consumes it to
     skip ``B``-padding and weight-side checksum reductions when the same
     weights multiply many activations (repeated NN forward passes,
     device sweeps).  Results are bit-identical to uncached preparation.
+
+    The state is **m-independent**: padding of ``B`` and every
+    weight-side reduction depend only on ``(k, n)`` and the tile, so one
+    entry serves activations of *any* row count.  The flip side is that
+    the tile — normally selected per ``m`` — is pinned at build time:
+    consuming the state at a different ``m`` executes with the pinned
+    tile rather than the one ``select_tile`` would pick fresh.
 
     Like any prepared plan, the state *stands in* for ``B``: consumers
     validate geometry but deliberately never re-read the ``b`` operand
@@ -159,9 +203,10 @@ class PreparedWeights:
     ----------
     scheme:
         Registry name of the scheme the state was built for.
-    problem, tile:
-        The GEMM geometry the padded ``B`` commits to (``m`` included:
-        tile selection depends on it).
+    k, n:
+        Logical weight-matrix shape the padded ``B`` commits to.
+    tile:
+        The tile configuration the padding and reductions commit to.
     b_pad:
         Zero-padded FP16 weight matrix.
     weight_state:
@@ -171,7 +216,8 @@ class PreparedWeights:
     """
 
     scheme: str
-    problem: GemmProblem
+    k: int
+    n: int
     tile: TileConfig
     b_pad: np.ndarray
     weight_state: Any = None
@@ -182,10 +228,12 @@ class PreparedExecution:
 
     Owns the padded operands, the chosen tile, the clean FP32
     accumulator, and the scheme's checksum/magnitude arrays.
-    :meth:`inject` applies faults to a *copy* of the accumulator,
-    re-reduces the output side, and renders the verdict — it never
-    re-runs the GEMM or the operand-side reductions, so a campaign of N
-    trials pays the expensive half exactly once.
+    :meth:`inject_batch` applies N trials' faults to a stacked *copy* of
+    the accumulator, re-reduces the output side of all trials in single
+    NumPy calls, and renders all verdicts — it never re-runs the GEMM or
+    the operand-side reductions, so a campaign of N trials pays the
+    expensive half exactly once and the Python dispatch overhead once
+    per batch instead of once per trial.
     """
 
     __slots__ = ("scheme", "problem", "tile", "executor", "a_pad", "b_pad",
@@ -223,8 +271,42 @@ class PreparedExecution:
         same tile, at a fraction of the cost.  Repeated calls are
         independent: each gets a fresh accumulator copy.
         """
-        c_faulty = Scheme._apply_original_faults(self.c_clean, faults)
-        return self.scheme._finish(self, c_faulty, tuple(faults), detection)
+        return self.inject_batch((faults,), detection=detection)[0]
+
+    def inject_batch(
+        self,
+        specs_batch: Sequence[Sequence[FaultSpec]],
+        *,
+        detection: DetectionConstants = DEFAULT_DETECTION,
+        out: np.ndarray | None = None,
+    ) -> list[ExecutionOutcome]:
+        """N independent fault trials against the prepared state at once.
+
+        ``specs_batch[i]`` holds trial ``i``'s fault specs (empty for a
+        clean trial).  All trials' accumulators are stacked into one
+        ``(N, m_full, n_full)`` array, faults land via vectorized fancy
+        indexing, the output side is re-reduced for every trial in
+        single NumPy calls, and all verdicts render at once —
+        bit-identical, element for element, to N sequential
+        :meth:`inject` calls with the same specs.
+
+        Memory scales with ``N * m_full * n_full`` FP32 values (plus the
+        float64 reduction intermediates); callers running very large
+        campaigns should chunk — :meth:`repro.faults.FaultCampaign.run`
+        does.  ``out``, if given, is used as the stacked accumulator
+        storage (shape ``(N, m_full, n_full)`` float32), letting such
+        callers reuse one scratch buffer across chunks instead of
+        faulting in fresh pages per call; the returned outcomes'
+        ``c_accumulator`` arrays are then views into ``out`` and are
+        invalidated when the buffer is next reused.
+        """
+        faults_batch = [tuple(faults) for faults in specs_batch]
+        if not faults_batch:
+            return []
+        c_batch = Scheme._apply_original_faults_batch(
+            self.c_clean, faults_batch, out=out
+        )
+        return self.scheme._finish_batch(self, c_batch, faults_batch, detection)
 
 
 class Scheme(abc.ABC):
@@ -282,24 +364,36 @@ class Scheme(abc.ABC):
         self,
         b: np.ndarray,
         *,
-        m: int,
+        m: int | None = None,
         tile: TileConfig | None = None,
     ) -> PreparedWeights:
         """Pad ``B`` and build weight-side checksums for reuse.
 
-        ``m`` is the activation row count of the GEMMs the state will
-        serve (tile selection and ``A``-side padding depend on it).
+        The state is valid for *any* activation row count (padding and
+        weight reductions are m-independent given the tile), but the
+        tile must be pinned up front: pass either an explicit ``tile``
+        or ``m`` — a representative activation row count fed to
+        ``select_tile``.
         """
         if b.ndim != 2:
             raise ShapeError("weights must be a 2-D matrix")
-        problem = GemmProblem(m, b.shape[1], b.shape[0])
-        chosen = tile if tile is not None else select_tile(problem)
-        executor = TiledGemm(problem, chosen)
+        k, n = b.shape
+        if tile is None:
+            if m is None:
+                raise ConfigurationError(
+                    "prepare_weights needs a representative activation row "
+                    "count m (for tile selection) or an explicit tile"
+                )
+            tile = select_tile(GemmProblem(m, n, k))
+        # The executor is only used for geometry; any m works, so use a
+        # minimal reference problem when no row count was given.
+        executor = TiledGemm(GemmProblem(m if m is not None else tile.mt, n, k), tile)
         b_pad = executor.pad_b(b)
         return PreparedWeights(
             scheme=self.name,
-            problem=problem,
-            tile=chosen,
+            k=k,
+            n=n,
+            tile=tile,
             b_pad=b_pad,
             weight_state=self._prepare_weight_state(executor, b_pad),
         )
@@ -338,7 +432,6 @@ class Scheme(abc.ABC):
         """Fault-invariant checksum state (override where the scheme has any)."""
         return None
 
-    @abc.abstractmethod
     def _finish(
         self,
         prepared: PreparedExecution,
@@ -346,9 +439,25 @@ class Scheme(abc.ABC):
         faults: tuple[FaultSpec, ...],
         detection: DetectionConstants,
     ) -> ExecutionOutcome:
-        """Apply checksum-path faults, re-reduce the output side, render
-        the verdict.  Must not mutate ``prepared`` (state is shared
-        across trials); ``c_faulty`` is the trial's own copy."""
+        """Single-trial wrapper over :meth:`_finish_batch` (``N == 1``)."""
+        return self._finish_batch(prepared, c_faulty[None], (faults,), detection)[0]
+
+    @abc.abstractmethod
+    def _finish_batch(
+        self,
+        prepared: PreparedExecution,
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[ExecutionOutcome]:
+        """Apply checksum-path faults, re-reduce the output side of all
+        trials in batch-wide NumPy calls, render every verdict.  Must
+        not mutate ``prepared`` (state is shared across trials);
+        ``c_batch`` — one ``(m_full, n_full)`` slice per trial, original
+        -path faults already applied — is the batch's own copy.  Slice
+        ``i`` of the result must be bit-identical to an ``N == 1`` call
+        on trial ``i`` alone (use elementwise ops and the batch-aware
+        reducers in :mod:`repro.abft.checksums`, which guarantee it)."""
 
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
@@ -372,12 +481,10 @@ class Scheme(abc.ABC):
                     f"prepared weights were built for scheme "
                     f"{weights.scheme!r}, not {self.name!r}"
                 )
-            if (weights.problem.m, weights.problem.n, weights.problem.k) != (
-                problem.m, problem.n, problem.k
-            ):
+            if (weights.k, weights.n) != (problem.k, problem.n):
                 raise ShapeError(
-                    f"prepared weights commit to {weights.problem}, "
-                    f"operands describe {problem}"
+                    f"prepared weights commit to a {weights.k}x{weights.n} "
+                    f"weight matrix, operands describe {problem}"
                 )
             if tile is not None and tile != weights.tile:
                 raise ConfigurationError(
@@ -395,34 +502,71 @@ class Scheme(abc.ABC):
         c_clean = executor.multiply(a_pad, b_pad)
         return problem, chosen, executor, a_pad, b_pad, c_clean
 
-    def _outcome(
+    def _outcome_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        verdict: CheckVerdict | None,
-        faults: tuple[FaultSpec, ...],
-    ) -> ExecutionOutcome:
-        """Assemble the outcome record every ``_finish`` returns."""
-        return ExecutionOutcome(
-            scheme=self.name,
-            c=self._to_fp16(prepared.executor.crop(c_faulty)),
-            c_accumulator=c_faulty,
-            verdict=verdict,
-            injected=faults,
-        )
+        c_batch: np.ndarray,
+        verdicts: Sequence[CheckVerdict | None],
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+    ) -> list[ExecutionOutcome]:
+        """Assemble the outcome records every ``_finish_batch`` returns.
+
+        Per-trial ``c_accumulator`` values are views into the stacked
+        batch array (trial slices are disjoint, so they stay
+        independent); the FP16 ``c`` is quantized lazily per outcome.
+        """
+        crop = (prepared.problem.m, prepared.problem.n)
+        return [
+            ExecutionOutcome(
+                scheme=self.name,
+                c_accumulator=c_batch[i],
+                verdict=verdicts[i],
+                injected=faults_batch[i],
+                crop=crop,
+            )
+            for i in range(len(faults_batch))
+        ]
 
     @staticmethod
-    def _apply_original_faults(
-        c_clean: np.ndarray, faults: Iterable[FaultSpec]
+    def _apply_original_faults_batch(
+        c_clean: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Copy of the accumulator with original-path faults applied."""
-        from ..faults.injector import apply_fault_to_accumulator
+        """Stacked copies of the accumulator with original-path faults.
 
-        c_faulty = c_clean.copy()
-        for spec in faults:
-            if spec.path is FaultPath.ORIGINAL:
-                apply_fault_to_accumulator(c_faulty, spec)
-        return c_faulty
+        One vectorized N-way copy (into ``out`` when provided), then one
+        :func:`apply_fault_batch` call per ordering step: step ``j``
+        applies the ``j``-th original-path fault of every trial that has
+        one, preserving the sequential per-trial application order while
+        keeping the common single-fault campaign at exactly one
+        fancy-indexed call.
+        """
+        from ..faults.injector import apply_fault_batch
+
+        shape = (len(faults_batch), *c_clean.shape)
+        if out is None:
+            c_batch = np.empty(shape, dtype=c_clean.dtype)
+        else:
+            if out.shape != shape or out.dtype != c_clean.dtype:
+                raise ShapeError(
+                    f"batch scratch must be {shape} {c_clean.dtype}, "
+                    f"got {out.shape} {out.dtype}"
+                )
+            c_batch = out
+        c_batch[:] = c_clean
+        originals = [
+            [s for s in faults if s.path is FaultPath.ORIGINAL]
+            for faults in faults_batch
+        ]
+        for step in range(max((len(fs) for fs in originals), default=0)):
+            trials = [i for i, fs in enumerate(originals) if len(fs) > step]
+            apply_fault_batch(
+                c_batch,
+                np.asarray(trials, dtype=np.intp),
+                [originals[i][step] for i in trials],
+            )
+        return c_batch
 
     @staticmethod
     def _checksum_faults(faults: Iterable[FaultSpec]) -> list[FaultSpec]:

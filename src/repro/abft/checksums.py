@@ -24,6 +24,14 @@ Weight-side reductions are split out into standalone builders
 requests (paper §2.5 precomputes them offline), so the prepared-execution
 engine builds them once per layer and feeds them back into the combined
 builders, which then skip the ``B``-side work bit-identically.
+
+Output-side reducers are *batch-aware*: the ``_batch`` variants reduce a
+stacked ``(N, m_full, n_full)`` accumulator array — N fault trials in
+single NumPy calls — and the scalar variants are thin ``N == 1``
+wrappers.  Sharing one reduction path (and NumPy's guarantee that a
+stacked reduction applies the identical core loop per slice) is what
+makes :meth:`~repro.abft.base.PreparedExecution.inject_batch`
+bit-identical to sequential ``inject`` calls.
 """
 
 from __future__ import annotations
@@ -105,9 +113,38 @@ def global_checksums(
     )
 
 
+def _slice_sum_f32(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Left-to-right float32 accumulation of ``arr`` along ``axis``.
+
+    A fixed sequential order over the (short) tile axis, realized as
+    ``len - 1`` whole-array adds.  FP32 accumulation mirrors the
+    hardware check these reducers model — the per-thread row/tile sums
+    run on FP32 CUDA-core registers — and the detection tolerance
+    (:mod:`repro.abft.detection`) is built from the FP32 unit roundoff,
+    so it is the precision the comparison already budgets for.
+    Streaming slice adds are several times faster than NumPy's generic
+    pairwise reduction when the reduced axis is a handful of elements,
+    and the order is independent of every other axis, which keeps
+    batched reductions bit-identical per trial slice.
+    """
+    view = np.moveaxis(arr, axis, -1)
+    acc = view[..., 0].astype(np.float32)
+    for j in range(1, view.shape[-1]):
+        acc += view[..., j]
+    return acc
+
+
 def output_summation(c_pad: np.ndarray) -> float:
     """Fused output summation (paper §2.5 step 2): sum of all of ``C``."""
-    return float(_as_f32(c_pad).sum(dtype=np.float64))
+    return float(output_summation_batch(c_pad[None])[0])
+
+
+def output_summation_batch(c_batch: np.ndarray) -> np.ndarray:
+    """Per-trial output summations of a stacked accumulator: ``(N,)``."""
+    if c_batch.ndim != 3:
+        raise ShapeError(f"stacked C must be 3-D, got {c_batch.ndim}-D")
+    flat = _as_f32(c_batch).reshape(len(c_batch), -1)
+    return flat.sum(axis=1, dtype=np.float64)
 
 
 # ----------------------------------------------------------------------
@@ -180,9 +217,16 @@ def one_sided_checksums(
 
 def one_sided_output_rowsums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
     """Row-sums of ``C`` within each thread column-tile: (m_full, n_tiles)."""
-    view = executor.thread_tile_view(c_pad)  # (m_tiles, mt, n_tiles, nt)
-    sums = view.sum(axis=3, dtype=np.float64)  # (m_tiles, mt, n_tiles)
-    return sums.reshape(executor.m_full, executor.n_tiles)
+    return one_sided_output_rowsums_batch(executor, c_pad[None])[0]
+
+
+def one_sided_output_rowsums_batch(
+    executor: TiledGemm, c_batch: np.ndarray
+) -> np.ndarray:
+    """Per-trial thread-tile row-sums: ``(N, m_full, n_tiles)``."""
+    view = executor.thread_tile_view_batch(c_batch)
+    sums = _slice_sum_f32(view, 4)  # (N, m_tiles, mt, n_tiles)
+    return sums.reshape(len(c_batch), executor.m_full, executor.n_tiles)
 
 
 @dataclass(frozen=True)
@@ -218,8 +262,14 @@ def two_sided_checksums(
 
 def thread_tile_sums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
     """Sum of each thread's ``Ct`` fragment: (m_tiles, n_tiles)."""
-    view = executor.thread_tile_view(c_pad)
-    return view.sum(axis=(1, 3), dtype=np.float64)
+    return thread_tile_sums_batch(executor, c_pad[None])[0]
+
+
+def thread_tile_sums_batch(executor: TiledGemm, c_batch: np.ndarray) -> np.ndarray:
+    """Per-trial thread-fragment sums: ``(N, m_tiles, n_tiles)``."""
+    view = executor.thread_tile_view_batch(c_batch)
+    rows = _slice_sum_f32(view, 4)  # (N, m_tiles, mt, n_tiles)
+    return _slice_sum_f32(rows, 2)
 
 
 # ----------------------------------------------------------------------
@@ -273,3 +323,25 @@ def multi_weight_checksums(b_pad: np.ndarray, count: int) -> MultiWeightChecksum
     combos = w_n @ b32.T  # (count, K) in one matmul
     abs_combos = np.abs(w_n) @ np.abs(b32).T
     return MultiWeightChecksums(weights_n=w_n, combos=combos, abs_combos=abs_combos)
+
+
+def multi_weighted_output_sums(
+    c_batch: np.ndarray,
+    weights_m: np.ndarray,
+    weights_n: np.ndarray,
+) -> np.ndarray:
+    """Weighted output summations ``w_m[s] @ C @ w_n[s]``: ``(N, count)``.
+
+    The row-weight contraction is one stacked float64 matmul across all
+    trials; the column-weight contraction is expressed as stacked
+    ``(1, n) @ (n, 1)`` matmuls so each (trial, check) scalar comes from
+    the same core dot-product loop regardless of the batch size.
+    """
+    if c_batch.ndim != 3:
+        raise ShapeError(f"stacked C must be 3-D, got {c_batch.ndim}-D")
+    c64 = np.asarray(c_batch, dtype=np.float64)
+    w_m = np.asarray(weights_m, dtype=np.float64)  # (count, m_full)
+    w_n = np.asarray(weights_n, dtype=np.float64)  # (count, n_full)
+    partial = w_m @ c64  # (N, count, n_full)
+    out = partial[:, :, None, :] @ w_n[:, :, None]  # (N, count, 1, 1)
+    return out[..., 0, 0]

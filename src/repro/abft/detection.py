@@ -98,3 +98,94 @@ def compare_checksums(
         tolerance=float(tol.max()) if tol.size else 0.0,
         checks=int(lhs.size),
     )
+
+
+def compare_checksums_batch(
+    checksum_side: np.ndarray,
+    output_side: np.ndarray,
+    *,
+    n_terms: int,
+    magnitudes: np.ndarray | float,
+    constants: DetectionConstants = DEFAULT_DETECTION,
+) -> list[CheckVerdict]:
+    """Render one :class:`CheckVerdict` per trial of a stacked comparison.
+
+    Axis 0 indexes independent trials; the remaining axes are per-trial
+    check arrays.  Either side may carry a leading axis of 1 when its
+    values are fault-invariant (it broadcasts across trials without
+    copying), and ``magnitudes`` broadcasts against the per-trial check
+    shape.
+
+    Every operation is elementwise, so trial ``i`` of the result is
+    independent of the batch size — the batched schemes rely on this to
+    make ``inject_batch`` bit-identical to sequential ``inject`` calls
+    (which route through this same function with ``N == 1``).  Note the
+    working dtype follows the inputs (see below), so results can differ
+    in the last bit from :func:`compare_checksums`, which always
+    compares in float64; that scalar function remains the standalone
+    reference API, not the engine's code path.
+    """
+    lhs = np.asarray(checksum_side)
+    rhs = np.asarray(output_side)
+    if lhs.ndim < 2 or rhs.ndim < 2 or lhs.shape[1:] != rhs.shape[1:]:
+        raise DetectionError(
+            f"batched checksum comparison shape mismatch: {lhs.shape} vs {rhs.shape}"
+        )
+    n = max(lhs.shape[0], rhs.shape[0])
+    if lhs.shape[0] not in (1, n) or rhs.shape[0] not in (1, n):
+        raise DetectionError(
+            f"batched checksum comparison trial-axis mismatch: "
+            f"{lhs.shape[0]} vs {rhs.shape[0]}"
+        )
+    tail = lhs.shape[1:]
+
+    # One difference array is the only batch-sized temporary; inputs
+    # cast on the fly inside the ufunc.  The working dtype follows the
+    # inputs (thread-level reducers hand over FP32, matching their FP32
+    # hardware accumulation; scalar checks arrive as float64), so the
+    # memory-bound comparison never pays for precision the tolerance
+    # model does not assume.
+    dtype = np.result_type(lhs, rhs, np.float32)
+    residual = np.subtract(lhs, rhs, dtype=dtype)
+    np.abs(residual, out=residual)
+    residual = np.broadcast_to(residual, (n, *tail)).reshape(n, -1)
+
+    terms = max(int(n_terms), 2)
+    gamma = (np.log2(terms) + 1.0) * constants.fp32_unit_roundoff
+    mags = np.asarray(magnitudes, dtype=np.float64)
+    tol = np.maximum(constants.atol_floor, constants.rtol_slack * gamma * np.abs(mags))
+    if tol.ndim > len(tail):  # per-trial magnitudes (e.g. replication)
+        tol_flat = np.broadcast_to(tol, (n, *tail)).reshape(n, -1)
+        tolerance = (
+            tol_flat.max(axis=1) if tol_flat.shape[1] else np.zeros(n)
+        )
+    else:  # fault-invariant magnitudes: one tolerance serves every trial
+        tol_flat = np.broadcast_to(tol, tail).reshape(1, -1)
+        tolerance = np.full(n, float(tol.max()) if tol.size else 0.0)
+
+    checks = residual.shape[1]
+    bad = (residual > tol_flat) | ~np.isfinite(residual)
+    detected = bad.any(axis=1)
+    if checks:
+        # max propagates both NaN and inf, so one reduction yields the
+        # "inf when any residual is non-finite, max otherwise" contract.
+        raw_max = residual.max(axis=1)
+        max_residual = np.where(np.isfinite(raw_max), raw_max, np.inf)
+    else:
+        max_residual = np.full(n, np.inf)
+
+    verdicts: list[CheckVerdict] = []
+    for i in range(n):
+        violations = (
+            tuple(int(j) for j in np.flatnonzero(bad[i])) if detected[i] else ()
+        )
+        verdicts.append(
+            CheckVerdict(
+                detected=bool(detected[i]),
+                violations=violations,
+                max_residual=float(max_residual[i]),
+                tolerance=float(tolerance[i]),
+                checks=checks,
+            )
+        )
+    return verdicts

@@ -24,6 +24,8 @@ cycles, which is what thread-level ABFT exploits.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
@@ -50,9 +52,9 @@ from .checksums import (
     GlobalWeightChecksums,
     global_checksums,
     global_weight_checksums,
-    output_summation,
+    output_summation_batch,
 )
-from .detection import compare_checksums
+from .detection import compare_checksums_batch
 
 
 class GlobalABFT(Scheme):
@@ -142,25 +144,26 @@ class GlobalABFT(Scheme):
     ) -> GlobalChecksums:
         return global_checksums(a_pad, b_pad, weights=weight_state)
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         chks: GlobalChecksums = prepared.state
         executor = prepared.executor
-        reference = chks.reference
-        for spec in self._checksum_faults(faults):
-            reference = corrupted_value(reference, spec)
+        references = np.full(len(faults_batch), chks.reference, dtype=np.float64)
+        for i, faults in enumerate(faults_batch):
+            for spec in self._checksum_faults(faults):
+                references[i] = corrupted_value(float(references[i]), spec)
 
-        out_sum = output_summation(c_faulty)
-        verdict = compare_checksums(
-            np.asarray([reference]),
-            np.asarray([out_sum]),
+        out_sums = output_summation_batch(c_batch)
+        verdicts = compare_checksums_batch(
+            references[:, None],
+            out_sums[:, None],
             n_terms=executor.m_full * executor.n_full + executor.k_full,
             magnitudes=chks.magnitude,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)

@@ -12,6 +12,7 @@ that jointly detect up to ``r`` faulty output values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -34,9 +35,10 @@ from .base import (
 from .checksums import (
     MultiWeightChecksums,
     multi_weight_checksums,
+    multi_weighted_output_sums,
     vandermonde_weights,
 )
-from .detection import compare_checksums
+from .detection import compare_checksums_batch
 
 
 @dataclass(frozen=True)
@@ -155,34 +157,34 @@ class MultiChecksumGlobalABFT(Scheme):
             references=references, magnitudes=magnitudes,
         )
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         state: _MultiState = prepared.state
         executor = prepared.executor
-        out_sums = np.empty(self.num_checksums, dtype=np.float64)
-        c64 = c_faulty.astype(np.float64)
-        for s in range(self.num_checksums):
-            out_sums[s] = float(
-                state.weights_m[s].astype(np.float64)
-                @ c64
-                @ state.weights_n[s].astype(np.float64)
-            )
+        out_sums = multi_weighted_output_sums(
+            c_batch, state.weights_m, state.weights_n
+        )  # (N, r)
 
-        references = state.references.copy()
-        for spec in self._checksum_faults(faults):
-            idx = spec.row % self.num_checksums
-            references[idx] = corrupted_value(float(references[idx]), spec)
+        references = np.broadcast_to(
+            state.references, out_sums.shape
+        ).copy()
+        for i, faults in enumerate(faults_batch):
+            for spec in self._checksum_faults(faults):
+                idx = spec.row % self.num_checksums
+                references[i, idx] = corrupted_value(
+                    float(references[i, idx]), spec
+                )
 
-        verdict = compare_checksums(
+        verdicts = compare_checksums_batch(
             references,
             out_sums,
             n_terms=executor.m_full * executor.n_full + executor.k_full,
             magnitudes=state.magnitudes,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)

@@ -6,6 +6,8 @@ execution time (``T_o`` in §6.2).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
@@ -41,11 +43,13 @@ class NoProtection(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
-        return self._outcome(prepared, c_faulty, None, faults)
+    ) -> list[ExecutionOutcome]:
+        return self._outcome_batch(
+            prepared, c_batch, [None] * len(faults_batch), faults_batch
+        )

@@ -15,6 +15,8 @@ Two variants the paper explored before settling on ABFT:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
@@ -31,8 +33,8 @@ from .base import (
     Scheme,
     SchemePlan,
 )
-from .checksums import thread_tile_sums
-from .detection import compare_checksums
+from .checksums import thread_tile_sums, thread_tile_sums_batch
+from .detection import compare_checksums_batch
 
 
 class ReplicationTraditional(Scheme):
@@ -64,32 +66,42 @@ class ReplicationTraditional(Scheme):
         )
         return SchemePlan(self.name, problem, tile, (kernel,))
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         # The replica runs the identical MMA sequence on the identical
         # fragments, so absent faults it reproduces the accumulator
         # exactly; checksum-path faults corrupt the replica instead.
-        replica = prepared.c_clean.copy()
-        for spec in self._checksum_faults(faults):
-            apply_fault_to_accumulator(replica, spec)
+        struck = [
+            (i, specs)
+            for i, faults in enumerate(faults_batch)
+            if (specs := self._checksum_faults(faults))
+        ]
+        replicas = prepared.c_clean[None]
+        if struck:
+            replicas = np.broadcast_to(
+                prepared.c_clean, c_batch.shape
+            ).copy()
+            for i, specs in struck:
+                for spec in specs:
+                    apply_fault_to_accumulator(replicas[i], spec)
 
         # Identical operation orders on both sides: tolerance only needs
         # to cover non-associativity-free comparison, i.e. none — but we
         # keep the standard machinery with a magnitude bound from |C|.
-        magnitudes = np.maximum(np.abs(replica), np.abs(c_faulty))
-        verdict = compare_checksums(
-            replica,
-            c_faulty,
+        magnitudes = np.maximum(np.abs(replicas), np.abs(c_batch))
+        verdicts = compare_checksums_batch(
+            replicas,
+            c_batch,
             n_terms=1,
             magnitudes=magnitudes,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
 
 class ReplicationSingleAccumulator(Scheme):
@@ -135,31 +147,41 @@ class ReplicationSingleAccumulator(Scheme):
         magnitudes = view.sum(axis=(1, 3), dtype=np.float64)
         return replica_sums, magnitudes
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         executor = prepared.executor
         chosen = prepared.tile
         clean_sums, magnitudes = prepared.state
         # Checksum-path faults corrupt the replica accumulator.
-        replica_sums = clean_sums.copy()
-        for spec in self._checksum_faults(faults):
-            tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
-            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
-            replica_sums[tile_row, tile_col] = corrupted_value(
-                float(replica_sums[tile_row, tile_col]), spec
-            )
+        struck = [
+            (i, specs)
+            for i, faults in enumerate(faults_batch)
+            if (specs := self._checksum_faults(faults))
+        ]
+        replica_sums = clean_sums[None]
+        if struck:
+            replica_sums = np.broadcast_to(
+                clean_sums, (len(faults_batch), *clean_sums.shape)
+            ).copy()
+            for i, specs in struck:
+                for spec in specs:
+                    tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
+                    tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+                    replica_sums[i, tile_row, tile_col] = corrupted_value(
+                        float(replica_sums[i, tile_row, tile_col]), spec
+                    )
 
-        original_sums = thread_tile_sums(executor, c_faulty)
-        verdict = compare_checksums(
+        original_sums = thread_tile_sums_batch(executor, c_batch)
+        verdicts = compare_checksums_batch(
             replica_sums,
             original_sums,
             n_terms=chosen.mt * chosen.nt,
             magnitudes=magnitudes,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)

@@ -19,6 +19,8 @@ checksum is *recomputed online* (not loaded), again to avoid loads
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
@@ -39,10 +41,10 @@ from .checksums import (
     OneSidedChecksums,
     TileWeightChecksums,
     one_sided_checksums,
-    one_sided_output_rowsums,
+    one_sided_output_rowsums_batch,
     tile_weight_checksums,
 )
-from .detection import compare_checksums
+from .detection import compare_checksums_batch
 
 
 class ThreadLevelOneSided(Scheme):
@@ -98,33 +100,47 @@ class ThreadLevelOneSided(Scheme):
     ) -> OneSidedChecksums:
         return one_sided_checksums(executor, a_pad, b_pad, weights=weight_state)
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         chks: OneSidedChecksums = prepared.state
         executor = prepared.executor
         chosen = prepared.tile
-        reference = chks.reference.copy()
-        for spec in self._checksum_faults(faults):
-            # A checksum-path fault corrupts the thread's ABFT
-            # accumulator for the row/tile addressed by the spec.
-            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
-            row = min(spec.row, executor.m_full - 1)
-            apply_fault_to_accumulator(
-                reference, type(spec)(row=row, col=tile_col, kind=spec.kind,
-                                      bit=spec.bit, value=spec.value, path=spec.path)
-            )
+        # The checksum side is fault-invariant for most trials: broadcast
+        # it, materializing per-trial copies only when checksum-path
+        # faults actually strike.
+        struck = [
+            (i, specs)
+            for i, faults in enumerate(faults_batch)
+            if (specs := self._checksum_faults(faults))
+        ]
+        references = chks.reference[None]
+        if struck:
+            references = np.broadcast_to(
+                chks.reference, (len(faults_batch), *chks.reference.shape)
+            ).copy()
+            for i, specs in struck:
+                for spec in specs:
+                    # A checksum-path fault corrupts the thread's ABFT
+                    # accumulator for the row/tile addressed by the spec.
+                    tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+                    row = min(spec.row, executor.m_full - 1)
+                    apply_fault_to_accumulator(
+                        references[i],
+                        type(spec)(row=row, col=tile_col, kind=spec.kind,
+                                   bit=spec.bit, value=spec.value, path=spec.path),
+                    )
 
-        rowsums = one_sided_output_rowsums(executor, c_faulty)
-        verdict = compare_checksums(
-            reference,
+        rowsums = one_sided_output_rowsums_batch(executor, c_batch)
+        verdicts = compare_checksums_batch(
+            references,
             rowsums,
             n_terms=executor.k_full + chosen.nt,
             magnitudes=chks.magnitude,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)

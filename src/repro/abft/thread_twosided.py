@@ -16,6 +16,8 @@ that comparison is the point of implementing this scheme.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
@@ -35,11 +37,11 @@ from .base import (
 from .checksums import (
     TileWeightChecksums,
     TwoSidedChecksums,
-    thread_tile_sums,
+    thread_tile_sums_batch,
     tile_weight_checksums,
     two_sided_checksums,
 )
-from .detection import compare_checksums
+from .detection import compare_checksums_batch
 
 
 class ThreadLevelTwoSided(Scheme):
@@ -94,32 +96,42 @@ class ThreadLevelTwoSided(Scheme):
     ) -> TwoSidedChecksums:
         return two_sided_checksums(executor, a_pad, b_pad, weights=weight_state)
 
-    def _finish(
+    def _finish_batch(
         self,
         prepared: PreparedExecution,
-        c_faulty: np.ndarray,
-        faults: tuple[FaultSpec, ...],
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
-    ) -> ExecutionOutcome:
+    ) -> list[ExecutionOutcome]:
         chks: TwoSidedChecksums = prepared.state
         executor = prepared.executor
         chosen = prepared.tile
-        reference = chks.reference.copy()
-        for spec in self._checksum_faults(faults):
-            tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
-            tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
-            apply_fault_to_accumulator(
-                reference,
-                type(spec)(row=tile_row, col=tile_col, kind=spec.kind,
-                           bit=spec.bit, value=spec.value, path=spec.path),
-            )
+        struck = [
+            (i, specs)
+            for i, faults in enumerate(faults_batch)
+            if (specs := self._checksum_faults(faults))
+        ]
+        references = chks.reference[None]
+        if struck:
+            references = np.broadcast_to(
+                chks.reference, (len(faults_batch), *chks.reference.shape)
+            ).copy()
+            for i, specs in struck:
+                for spec in specs:
+                    tile_row = min(spec.row // chosen.mt, executor.m_tiles - 1)
+                    tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
+                    apply_fault_to_accumulator(
+                        references[i],
+                        type(spec)(row=tile_row, col=tile_col, kind=spec.kind,
+                                   bit=spec.bit, value=spec.value, path=spec.path),
+                    )
 
-        tile_sums = thread_tile_sums(executor, c_faulty)
-        verdict = compare_checksums(
-            reference,
+        tile_sums = thread_tile_sums_batch(executor, c_batch)
+        verdicts = compare_checksums_batch(
+            references,
             tile_sums,
             n_terms=executor.k_full * chosen.mt + chosen.mt * chosen.nt,
             magnitudes=chks.magnitude,
             constants=detection,
         )
-        return self._outcome(prepared, c_faulty, verdict, faults)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)

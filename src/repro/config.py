@@ -15,7 +15,7 @@ values, and the ablation benchmarks exercise exactly that.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from .errors import ConfigurationError

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from ..config import DEFAULT_CONSTANTS
 from ..core import IntensityGuidedABFT
-from ..core.profiler import PredeploymentProfiler
 from ..gemm import GemmProblem, TileConfig
 from ..gpu import T4, get_gpu, list_gpus
 from ..nn import build_model

@@ -45,7 +45,7 @@ def fault_coverage_experiment(
         if not scheme.protects:
             continue
         campaign = FaultCampaign(scheme, a, b, seed=seed)
-        result = campaign.run(trials)
+        result = campaign.run_batch(trials)
         table.add_row(
             [
                 name,

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from ..abft import get_scheme
 from ..gemm import GemmProblem, TileConfig, mainloop_cost
-from ..gemm.tiles import FLOPS_PER_MMA
 from ..utils import Table
 
 #: Scheme rows in the paper's order.

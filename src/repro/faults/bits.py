@@ -14,10 +14,15 @@ from ..errors import FaultInjectionError
 
 
 def flip_fp16_bit(value: float, bit: int) -> float:
-    """Return ``value`` (as FP16) with bit ``bit`` (0 = LSB) flipped."""
+    """Return ``value`` (as FP16) with bit ``bit`` (0 = LSB) flipped.
+
+    Values beyond the FP16 range quantize to inf first — that is the
+    word the hardware would hold, so the overflow is expected.
+    """
     if not 0 <= bit < 16:
         raise FaultInjectionError(f"FP16 bit index must be in [0, 16), got {bit}")
-    raw = np.float16(value).view(np.uint16)
+    with np.errstate(over="ignore"):
+        raw = np.float16(value).view(np.uint16)
     flipped = np.uint16(raw ^ np.uint16(1 << bit))
     return float(flipped.view(np.float16))
 

@@ -10,10 +10,13 @@ rounding noise.
 
 The campaign rides the prepared-execution engine: the operands are
 prepared **once** at construction (padding, tile selection, the clean
-GEMM, operand checksums), and every trial only pays
-:meth:`~repro.abft.base.PreparedExecution.inject` — so N trials run the
-clean padded GEMM and the operand-side reductions exactly once instead
-of N+1 times.
+GEMM, operand checksums), and trials execute in stacked
+:meth:`~repro.abft.base.PreparedExecution.inject_batch` calls — so N
+trials run the clean padded GEMM and the operand-side reductions
+exactly once instead of N+1 times, and the per-trial accumulator
+copies, output-side re-reductions, and verdicts all happen in
+batch-wide NumPy calls (chunked at :attr:`FaultCampaign.batch_size`
+trials to bound the stacked-accumulator memory).
 """
 
 from __future__ import annotations
@@ -92,6 +95,10 @@ class FaultCampaign:
         coarsest check (the output summation).  Sub-significant flips
         (e.g. LSB mantissa flips) are below the rounding-noise floor by
         construction and no checksum scheme can — or needs to — see them.
+    batch_size:
+        Trials per stacked ``inject_batch`` call; bounds the transient
+        ``(batch, m_full, n_full)`` accumulator memory while keeping the
+        per-trial Python overhead amortized.
     """
 
     def __init__(
@@ -104,11 +111,16 @@ class FaultCampaign:
         detection: DetectionConstants = DEFAULT_DETECTION,
         significance_factor: float = 4.0,
         seed: int = 0,
+        batch_size: int = 128,
     ) -> None:
         if not scheme.protects:
             raise FaultInjectionError(
                 f"scheme {scheme.name!r} performs no checks; a campaign "
                 f"against it cannot measure coverage"
+            )
+        if batch_size <= 0:
+            raise FaultInjectionError(
+                f"batch_size must be positive, got {batch_size}"
             )
         self.scheme = scheme
         self.a = np.asarray(a, dtype=np.float16)
@@ -116,7 +128,9 @@ class FaultCampaign:
         self.tile = tile
         self.detection = detection
         self.significance_factor = significance_factor
+        self.batch_size = batch_size
         self.rng = np.random.default_rng(seed)
+        self._scratch: np.ndarray | None = None
 
         # All fault-invariant work happens exactly once, here; trials
         # only inject into copies of the prepared accumulator.
@@ -137,9 +151,20 @@ class FaultCampaign:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def fault_domain(self) -> tuple[int, int]:
+        """Padded accumulator shape every random fault site is drawn from.
+
+        The single source of truth for both :meth:`random_fault` and
+        :meth:`draw_faults` — the prepared clean accumulator, whose grid
+        is what injection indexes into.
+        """
+        rows, cols = self._prepared.c_clean.shape
+        return int(rows), int(cols)
+
     def random_fault(self) -> FaultSpec:
         """Draw one original-path fault at a random output element."""
-        rows, cols = self._baseline.c_accumulator.shape
+        rows, cols = self.fault_domain
         row = int(self.rng.integers(rows))
         col = int(self.rng.integers(cols))
         kind = self.rng.choice(
@@ -148,7 +173,7 @@ class FaultCampaign:
         if kind is FaultKind.ADD:
             # A corrupted MMA partial product: magnitude comparable to a
             # legitimate partial sum, random sign.
-            scale = float(np.abs(self._baseline.c_accumulator).mean() + 1.0)
+            scale = float(np.abs(self._prepared.c_clean).mean() + 1.0)
             value = float(self.rng.normal(0.0, scale))
             return FaultSpec(row=row, col=col, kind=kind, value=value)
         bits = 32 if kind is FaultKind.BITFLIP_FP32 else 16
@@ -165,7 +190,7 @@ class FaultCampaign:
         """
         if n < 0:
             raise FaultInjectionError(f"cannot draw {n} faults")
-        rows_total, cols_total = self._prepared.c_clean.shape
+        rows_total, cols_total = self.fault_domain
         rows = self.rng.integers(rows_total, size=n)
         cols = self.rng.integers(cols_total, size=n)
         kinds = self.rng.choice(
@@ -197,10 +222,15 @@ class FaultCampaign:
     def run_trial(self, spec: FaultSpec) -> TrialRecord:
         """Execute one trial with the given fault injected."""
         outcome = self._prepared.inject([spec], detection=self.detection)
-        clean = self._baseline.c_accumulator
-        faulty = outcome.c_accumulator
+        return self._record(spec, outcome)
+
+    def _record(self, spec: FaultSpec, outcome) -> TrialRecord:
+        """Classify one trial outcome against the clean accumulator."""
         if spec.path is FaultPath.ORIGINAL:
-            delta = float(faulty[spec.row, spec.col]) - float(clean[spec.row, spec.col])
+            clean = self._prepared.c_clean
+            delta = float(outcome.c_accumulator[spec.row, spec.col]) - float(
+                clean[spec.row, spec.col]
+            )
         else:
             delta = float("nan")
         significant = (
@@ -211,6 +241,33 @@ class FaultCampaign:
             spec=spec, delta=delta, detected=outcome.detected, significant=significant
         )
 
+    def _run_specs(self, specs: Sequence[FaultSpec]) -> list[TrialRecord]:
+        """Execute all specs through chunked ``inject_batch`` calls.
+
+        One scratch buffer of ``batch_size`` stacked accumulators is
+        allocated lazily and reused across chunks (and campaign runs):
+        records are extracted from each chunk's outcomes before the next
+        chunk overwrites the buffer.
+        """
+        records: list[TrialRecord] = []
+        size = min(self.batch_size, len(specs))
+        if size and (self._scratch is None or len(self._scratch) < size):
+            self._scratch = np.empty(
+                (size, *self._prepared.c_clean.shape), dtype=np.float32
+            )
+        for start in range(0, len(specs), self.batch_size):
+            chunk = list(specs[start:start + self.batch_size])
+            outcomes = self._prepared.inject_batch(
+                [(spec,) for spec in chunk],
+                detection=self.detection,
+                out=self._scratch[: len(chunk)],
+            )
+            records.extend(
+                self._record(spec, outcome)
+                for spec, outcome in zip(chunk, outcomes)
+            )
+        return records
+
     def run(self, n_trials: int, specs: Sequence[FaultSpec] | None = None) -> CampaignResult:
         """Run ``n_trials`` random trials, or the provided specs.
 
@@ -219,21 +276,22 @@ class FaultCampaign:
         many specs there are") or exactly ``len(specs)``.  Any other
         combination raises :class:`FaultInjectionError` rather than
         silently ignoring ``n_trials``.
+
+        All trials execute through the batched injection engine
+        (bit-identical to per-trial :meth:`run_trial` calls).
         """
         if n_trials < 0:
             raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
-        result = CampaignResult(scheme=self.scheme.name)
         if specs is not None:
             if n_trials not in (0, len(specs)):
                 raise FaultInjectionError(
                     f"n_trials={n_trials} disagrees with {len(specs)} explicit "
                     f"specs; pass 0 or len(specs)"
                 )
-            for spec in specs:
-                result.trials.append(self.run_trial(spec))
-            return result
-        for _ in range(n_trials):
-            result.trials.append(self.run_trial(self.random_fault()))
+        else:
+            specs = [self.random_fault() for _ in range(n_trials)]
+        result = CampaignResult(scheme=self.scheme.name)
+        result.trials.extend(self._run_specs(specs))
         return result
 
     def run_batch(self, n_trials: int) -> CampaignResult:
@@ -242,6 +300,6 @@ class FaultCampaign:
         Equivalent coverage semantics to :meth:`run` (each trial is one
         single-fault injection against the shared prepared state), but
         the randomness is drawn in vectorized batch RNG calls before any
-        trial executes.
+        trial executes — the fastest path through a campaign.
         """
         return self.run(n_trials, specs=self.draw_faults(n_trials))

@@ -1,6 +1,18 @@
-"""Application of fault specs to numeric accumulators."""
+"""Application of fault specs to numeric accumulators.
+
+Two granularities: :func:`apply_fault_to_accumulator` corrupts one
+element of one accumulator (the scalar path reference semantics), and
+:func:`apply_fault_batch` applies one fault per *trial slice* of a
+stacked ``(N, rows, cols)`` accumulator with fancy indexing — the hot
+path of :meth:`repro.abft.base.PreparedExecution.inject_batch`.  The
+batch path is bit-identical to the scalar path per element: additive
+faults accumulate in float64 before rounding back to float32, and bit
+flips operate on the same FP32/FP16 views the scalar helpers use.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -43,3 +55,80 @@ def apply_fault_to_accumulator(c_pad: np.ndarray, spec: FaultSpec) -> float:
         pass
     c_pad[spec.row, spec.col] = np.float32(new)
     return float(np.float32(new)) - old
+
+
+def apply_fault_batch(
+    c_batch: np.ndarray,
+    trials: np.ndarray,
+    specs: Sequence[FaultSpec],
+) -> None:
+    """Corrupt one element per listed trial of a stacked accumulator.
+
+    ``specs[i]`` strikes ``c_batch[trials[i], specs[i].row, specs[i].col]``.
+    Faults are grouped by kind and each group is applied with one fancy
+    indexed read-modify-write, so the whole call is a handful of NumPy
+    operations regardless of how many trials it covers.  A trial may
+    appear at most once per call; callers sequencing multiple faults
+    into the same trial make one call per ordering step.
+    """
+    if len(trials) != len(specs):
+        raise FaultInjectionError(
+            f"{len(trials)} trial indices for {len(specs)} fault specs"
+        )
+    if not len(specs):
+        return
+    _, rows_total, cols_total = c_batch.shape
+    count = len(specs)
+    rows = np.fromiter((s.row for s in specs), dtype=np.intp, count=count)
+    cols = np.fromiter((s.col for s in specs), dtype=np.intp, count=count)
+    out_of_bounds = (rows >= rows_total) | (cols >= cols_total)
+    if out_of_bounds.any():
+        bad = specs[int(np.flatnonzero(out_of_bounds)[0])]
+        raise FaultInjectionError(
+            f"fault site ({bad.row}, {bad.col}) outside accumulator "
+            f"{rows_total}x{cols_total}"
+        )
+
+    groups: dict[FaultKind, list[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(spec.kind, []).append(i)
+    for kind, members in groups.items():
+        sel = np.asarray(members, dtype=np.intp)
+        t, r, c = trials[sel], rows[sel], cols[sel]
+        if kind is FaultKind.ADD:
+            deltas = np.fromiter(
+                (specs[i].value for i in members), dtype=np.float64,
+                count=len(members),
+            )
+            c_batch[t, r, c] = (
+                c_batch[t, r, c].astype(np.float64) + deltas
+            ).astype(np.float32)
+        elif kind is FaultKind.SET:
+            values = np.fromiter(
+                (specs[i].value for i in members), dtype=np.float64,
+                count=len(members),
+            )
+            c_batch[t, r, c] = values.astype(np.float32)
+        elif kind is FaultKind.BITFLIP_FP32:
+            masks = np.fromiter(
+                (1 << specs[i].bit for i in members), dtype=np.uint32,
+                count=len(members),
+            )
+            flipped = (c_batch[t, r, c].view(np.uint32) ^ masks).view(np.float32)
+            # Round-trip through float64 exactly like the scalar helpers
+            # (float() then np.float32): a flip into the NaN space stores
+            # the quieted pattern, not the raw signaling bits.
+            with np.errstate(invalid="ignore"):
+                c_batch[t, r, c] = flipped.astype(np.float64).astype(np.float32)
+        elif kind is FaultKind.BITFLIP_FP16:
+            masks = np.fromiter(
+                (1 << specs[i].bit for i in members), dtype=np.uint16,
+                count=len(members),
+            )
+            with np.errstate(over="ignore"):
+                halves = c_batch[t, r, c].astype(np.float16)
+            flipped = (halves.view(np.uint16) ^ masks).view(np.float16)
+            with np.errstate(invalid="ignore"):
+                c_batch[t, r, c] = flipped.astype(np.float64).astype(np.float32)
+        else:
+            raise FaultInjectionError(f"unhandled fault kind {kind!r}")

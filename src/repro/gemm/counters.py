@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from ..config import DEFAULT_CONSTANTS, ModelConstants
 from ..gpu.timing import KernelWork
 from .problem import GemmProblem
-from .tiles import FLOPS_PER_MMA, KSTEP, TileConfig
+from .tiles import FLOPS_PER_MMA, TileConfig
 
 #: Bytes a single warp-wide 128-bit-per-thread load instruction moves.
 BYTES_PER_MEM_INSTR = 32 * 16

@@ -161,6 +161,20 @@ class TiledGemm:
             )
         return c_pad.reshape(self.m_tiles, self.tile.mt, self.n_tiles, self.tile.nt)
 
+    def thread_tile_view_batch(self, c_batch: np.ndarray) -> np.ndarray:
+        """Stacked grids as ``(N, m_tiles, mt, n_tiles, nt)`` fragments."""
+        self._check_batch(c_batch)
+        return c_batch.reshape(
+            len(c_batch), self.m_tiles, self.tile.mt, self.n_tiles, self.tile.nt
+        )
+
+    def _check_batch(self, c_batch: np.ndarray) -> None:
+        if c_batch.ndim != 3 or c_batch.shape[1:] != (self.m_full, self.n_full):
+            raise ShapeError(
+                f"stacked padded C must be (N, {self.m_full}, {self.n_full}), "
+                f"got {c_batch.shape}"
+            )
+
     def tile_of_element(self, row: int, col: int) -> tuple[int, int]:
         """Thread-tile grid coordinates owning output element (row, col)."""
         if not (0 <= row < self.m_full and 0 <= col < self.n_full):

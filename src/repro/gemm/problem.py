@@ -11,7 +11,7 @@ which is how this module computes FLOPs and bytes by default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import DEFAULT_CONSTANTS
 from ..errors import ShapeError

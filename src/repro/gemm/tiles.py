@@ -15,7 +15,7 @@ module supplies the candidate set and the same selection heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import TilingError
 from ..utils import ceil_div, check_positive_int

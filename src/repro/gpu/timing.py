@@ -18,7 +18,7 @@ traditional thread-level replication's register bloat (paper §4).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import DEFAULT_CONSTANTS, ModelConstants
 from ..errors import ConfigurationError

@@ -9,7 +9,7 @@ annotated with enough metadata to label figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import ModelZooError

@@ -206,11 +206,13 @@ class ProtectedInference:
         ABFT produces); missing names fall back to ``default_scheme``.
 
     Weights are constant across forward passes, so the engine caches a
-    :class:`~repro.abft.base.PreparedWeights` per linear layer (keyed by
-    layer name and activation row count): the padded ``B`` and the
-    weight-side checksum reductions are built on the first pass and
-    reused bit-identically on every subsequent pass — the paper's §2.5
-    offline weight-checksum precomputation, applied engine-wide.
+    :class:`~repro.abft.base.PreparedWeights` per linear layer: the
+    padded ``B`` and the weight-side checksum reductions are built on
+    the first pass and reused bit-identically on every subsequent pass —
+    the paper's §2.5 offline weight-checksum precomputation, applied
+    engine-wide.  The state is m-independent, so one entry per layer
+    serves every activation row count (batch size, spatial resolution);
+    the first pass pins each layer's tile via its activation row count.
     """
 
     def __init__(
@@ -228,7 +230,7 @@ class ProtectedInference:
         else:
             self._scheme_map = dict(schemes)
         self._default = default_scheme or NoProtection()
-        self._weight_cache: dict[tuple[str, int], PreparedWeights] = {}
+        self._weight_cache: dict[str, PreparedWeights] = {}
 
     def scheme_for(self, layer_name: str) -> Scheme:
         """The scheme protecting the named linear layer."""
@@ -237,19 +239,18 @@ class ProtectedInference:
     def _weights_for(self, name: str, scheme: Scheme, b: np.ndarray, m: int) -> PreparedWeights:
         """Cached weight-side state for one linear layer.
 
-        Keyed by (layer, activation row count): the scheme per layer is
-        fixed for the engine's lifetime, and ``B`` never changes, so the
-        entry is valid for every forward pass at the same input shape.
-        The cache grows by one entry per distinct input shape seen
-        (conv ``m`` varies with batch and spatial dims); engines serving
-        many shapes long-term should be recreated periodically until
-        m-independent weight sharing lands (see ROADMAP).
+        Keyed by layer alone: the scheme per layer is fixed for the
+        engine's lifetime, ``B`` never changes, and the weight-side
+        state is m-independent, so one entry serves every forward pass
+        regardless of input shape (conv ``m`` varies with batch and
+        spatial dims).  The first pass pins the layer's tile via its
+        activation row count; later passes at other row counts execute
+        with that tile.
         """
-        key = (name, m)
-        prepared = self._weight_cache.get(key)
+        prepared = self._weight_cache.get(name)
         if prepared is None:
             prepared = scheme.prepare_weights(b, m=m)
-            self._weight_cache[key] = prepared
+            self._weight_cache[name] = prepared
         return prepared
 
     def run(

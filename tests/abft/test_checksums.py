@@ -13,7 +13,7 @@ from repro.abft.checksums import (
     vandermonde_weights,
 )
 from repro.errors import ShapeError
-from repro.gemm import GemmProblem, TileConfig, TiledGemm
+from repro.gemm import GemmProblem, TiledGemm
 
 
 @pytest.fixture

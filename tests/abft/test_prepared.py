@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.abft import MultiChecksumGlobalABFT, get_scheme, list_schemes
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, FaultInjectionError, ShapeError
 from repro.faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
 from repro.gemm import EXECUTION_STATS, TileConfig
 
@@ -88,6 +88,68 @@ class TestPreparedVsDirect:
         )
 
 
+class TestInjectBatch:
+    """The batched engine: one inject_batch call == N sequential injects."""
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_batch_matches_sequential(self, name, small_operands):
+        a, b = small_operands
+        prepared = make_scheme(name).prepare(a, b)
+        trials = [FAULT_CASES[case] for case in sorted(FAULT_CASES)]
+        batch = prepared.inject_batch(trials)
+        for faults, outcome in zip(trials, batch):
+            assert_outcomes_identical(prepared.inject(faults), outcome)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_batch_keeps_fault_invariant_work_amortized(self, name, small_operands):
+        a, b = small_operands
+        prepared = make_scheme(name).prepare(a, b)
+        EXECUTION_STATS.reset()
+        prepared.inject_batch([FAULT_CASES["original_add"]] * 20)
+        assert EXECUTION_STATS.snapshot() == (0, 0, 0)
+
+    def test_empty_batch(self, small_operands):
+        a, b = small_operands
+        assert get_scheme("global").prepare(a, b).inject_batch([]) == []
+
+    def test_trials_are_independent(self, small_operands):
+        """A fault in trial i must not leak into trial j's accumulator."""
+        a, b = small_operands
+        prepared = get_scheme("global").prepare(a, b)
+        clean, faulty, clean_again = prepared.inject_batch(
+            [(), FAULT_CASES["original_bitflip"], ()]
+        )
+        assert_outcomes_identical(clean, clean_again)
+        assert not clean.detected
+        assert faulty.detected
+
+    def test_multiple_faults_per_trial_apply_in_order(self, small_operands):
+        """SET-then-ADD differs from ADD-then-SET; the batched rounds
+        must preserve each trial's sequential application order."""
+        a, b = small_operands
+        prepared = get_scheme("global").prepare(a, b)
+        set_spec = FaultSpec(row=0, col=0, kind=FaultKind.SET, value=7.0)
+        add_spec = FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0)
+        set_then_add, add_then_set = prepared.inject_batch(
+            [(set_spec, add_spec), (add_spec, set_spec)]
+        )
+        assert float(set_then_add.c_accumulator[0, 0]) == 107.0
+        assert float(add_then_set.c_accumulator[0, 0]) == 7.0
+        for faults in [(set_spec, add_spec), (add_spec, set_spec)]:
+            sequential = prepared.inject(faults)
+            batched = prepared.inject_batch([faults])[0]
+            assert_outcomes_identical(sequential, batched)
+
+    def test_out_of_bounds_site_rejected(self, small_operands):
+        a, b = small_operands
+        prepared = get_scheme("global").prepare(a, b)
+        rows, _ = prepared.c_clean.shape
+        with pytest.raises(FaultInjectionError):
+            prepared.inject_batch(
+                [(FaultSpec(row=rows + 5, col=0, kind=FaultKind.ADD, value=1.0),)]
+            )
+
+
 class TestPreparedWeights:
     @pytest.mark.parametrize("name", ALL_SCHEMES)
     @pytest.mark.parametrize("case", ["clean", "original_add", "checksum_add"])
@@ -116,11 +178,42 @@ class TestPreparedWeights:
         with pytest.raises(ConfigurationError):
             get_scheme("thread_onesided").execute(a, b, weights=weights)
 
-    def test_shape_mismatch_rejected(self, small_operands):
+    def test_weight_shape_mismatch_rejected(self, small_operands):
         a, b = small_operands
-        weights = get_scheme("global").prepare_weights(b, m=a.shape[0] + 8)
+        weights = get_scheme("global").prepare_weights(b[:, :-8], m=a.shape[0])
         with pytest.raises(ShapeError):
             get_scheme("global").execute(a, b, weights=weights)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_weights_are_m_independent(self, name, small_operands, rng):
+        """One weight-side entry serves a different activation row count,
+        bit-identically to uncached execution at the pinned tile."""
+        a, b = small_operands
+        scheme = make_scheme(name)
+        weights = scheme.prepare_weights(b, m=a.shape[0])
+        other_a = (rng.standard_normal((a.shape[0] + 24, a.shape[1])) * 0.5).astype(
+            np.float16
+        )
+        cached = scheme.execute(
+            other_a, b, faults=FAULT_CASES["original_add"], weights=weights
+        )
+        direct = make_scheme(name).execute(
+            other_a, b, tile=weights.tile, faults=FAULT_CASES["original_add"]
+        )
+        assert_outcomes_identical(direct, cached)
+
+    def test_weights_need_m_or_tile(self, small_operands):
+        _, b = small_operands
+        with pytest.raises(ConfigurationError):
+            get_scheme("global").prepare_weights(b)
+
+    def test_weights_from_explicit_tile_need_no_m(self, small_operands, small_tile):
+        a, b = small_operands
+        scheme = get_scheme("global")
+        weights = scheme.prepare_weights(b, tile=small_tile)
+        direct = scheme.execute(a, b, tile=small_tile)
+        cached = scheme.execute(a, b, weights=weights)
+        assert_outcomes_identical(direct, cached)
 
     def test_multi_checksum_count_mismatch_rejected(self, small_operands):
         a, b = small_operands

@@ -1,7 +1,5 @@
 """Tests for the experiment drivers (each regenerates one paper artifact)."""
 
-import pytest
-
 from repro.experiments import (
     ablation_check_overlap,
     ablation_device_sweep,

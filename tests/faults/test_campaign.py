@@ -93,6 +93,54 @@ class TestCampaign:
         assert result.coverage == 1.0
         assert not result.false_negatives
 
+    def test_random_fault_and_draw_faults_share_site_domain(self, operands):
+        """Both random-spec generators must draw fault sites from the
+        same source — the prepared clean accumulator's padded grid."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b, seed=3)
+        assert campaign.fault_domain == campaign._prepared.c_clean.shape
+        rows, cols = campaign.fault_domain
+        singles = [campaign.random_fault() for _ in range(300)]
+        drawn = campaign.draw_faults(300)
+        for spec in singles + drawn:
+            assert 0 <= spec.row < rows and 0 <= spec.col < cols
+        # Both generators reach the full padded grid, not just the
+        # logical corner (the padded rows/cols are legal fault sites).
+        for specs in (singles, drawn):
+            assert max(s.row for s in specs) >= rows - 8
+            assert max(s.col for s in specs) >= cols - 8
+
+    def test_run_matches_per_trial_records(self, operands):
+        """The chunked batched path must reproduce run_trial records."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("thread_onesided"), a, b, seed=21,
+                                 batch_size=7)
+        specs = campaign.draw_faults(23)
+        batched = campaign.run(0, specs=specs).trials
+        for spec, record in zip(specs, batched):
+            single = campaign.run_trial(spec)
+            assert single.spec == record.spec
+            assert single.detected == record.detected
+            assert single.significant == record.significant
+            assert (single.delta == record.delta) or (
+                np.isnan(single.delta) and np.isnan(record.delta)
+            )
+
+    def test_scratch_reuse_does_not_corrupt_records(self, operands):
+        """Chunks share one scratch buffer; records must be extracted
+        before the next chunk overwrites it."""
+        a, b = operands
+        one_chunk = FaultCampaign(get_scheme("global"), a, b, seed=5,
+                                  batch_size=1000).run_batch(40)
+        many_chunks = FaultCampaign(get_scheme("global"), a, b, seed=5,
+                                    batch_size=3).run_batch(40)
+        assert [t.spec for t in one_chunk.trials] == [
+            t.spec for t in many_chunks.trials
+        ]
+        assert [t.detected for t in one_chunk.trials] == [
+            t.detected for t in many_chunks.trials
+        ]
+
     def test_significance_classification(self, operands):
         a, b = operands
         campaign = FaultCampaign(get_scheme("thread_onesided"), a, b)

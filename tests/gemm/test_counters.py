@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONSTANTS
 from repro.gemm import GemmProblem, TileConfig, mainloop_cost
 from repro.gemm.tiles import FLOPS_PER_MMA
 

@@ -166,3 +166,37 @@ class TestWeightCache:
         fault = FaultSpec(row=3, col=2, kind=FaultKind.ADD, value=50.0)
         result = engine.run(tiny_input, faults={"conv1": [fault]})
         assert result.detected
+
+    def test_one_entry_serves_every_batch_size(self, tiny_cnn, tiny_input):
+        """The weight-side state is m-independent: a different batch
+        size reuses the same cache entries with zero new weight-side
+        reductions."""
+        from repro.gemm import EXECUTION_STATS
+
+        engine = ProtectedInference(tiny_cnn, GlobalABFT())
+        engine.run(tiny_input)
+        assert len(engine._weight_cache) == 3
+        doubled = np.concatenate([tiny_input, tiny_input], axis=0)
+        EXECUTION_STATS.reset()
+        result = engine.run(doubled)
+        assert EXECUTION_STATS.weight_reductions == 0
+        assert len(engine._weight_cache) == 3
+        assert not result.detected
+        assert result.output.shape[0] == doubled.shape[0]
+
+    def test_other_batch_size_output_matches_fresh_engine(
+        self, tiny_cnn, tiny_input
+    ):
+        """Warm-cache execution at a new activation row count must agree
+        with a fresh engine (the pinned tile is a legal configuration
+        for any m)."""
+        doubled = np.concatenate([tiny_input, tiny_input], axis=0)
+        warm = ProtectedInference(tiny_cnn, GlobalABFT())
+        warm.run(tiny_input)  # pins each layer's tile at batch size 1
+        warm_result = warm.run(doubled)
+        fresh_result = ProtectedInference(tiny_cnn, GlobalABFT()).run(doubled)
+        np.testing.assert_allclose(
+            warm_result.output.astype(np.float32),
+            fresh_result.output.astype(np.float32),
+            rtol=5e-3, atol=5e-3,
+        )

@@ -6,7 +6,6 @@ sufficiently large single-output corruption is always detected.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.abft import get_scheme

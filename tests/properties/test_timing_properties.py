@@ -1,6 +1,5 @@
 """Property-based tests for the latency model and selection invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DEFAULT_CONSTANTS

@@ -1,0 +1,61 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _report(speedup, trials=200, warm_weight_reductions=0):
+    return {
+        "campaign": {
+            "global": {"trials": trials, "speedup": speedup},
+        },
+        "inference": {"warm_weight_reductions": warm_weight_reductions},
+    }
+
+
+class TestGate:
+    def test_equal_speedup_passes(self):
+        assert check_regression.check(_report(10.0), _report(10.0), 0.25) == []
+
+    def test_improvement_passes(self):
+        assert check_regression.check(_report(30.0), _report(10.0), 0.25) == []
+
+    def test_within_threshold_passes(self):
+        assert check_regression.check(_report(7.6), _report(10.0), 0.25) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = check_regression.check(_report(7.4), _report(10.0), 0.25)
+        assert len(failures) == 1
+        assert "global" in failures[0]
+
+    def test_missing_scheme_fails(self):
+        bench = {"campaign": {}, "inference": {"warm_weight_reductions": 0}}
+        failures = check_regression.check(bench, _report(10.0), 0.25)
+        assert any("missing" in f for f in failures)
+
+    def test_trial_count_mismatch_fails(self):
+        failures = check_regression.check(
+            _report(10.0, trials=25), _report(10.0, trials=200), 0.25
+        )
+        assert any("25 trials" in f for f in failures)
+
+    def test_warm_weight_reductions_fail(self):
+        failures = check_regression.check(
+            _report(10.0, warm_weight_reductions=3), _report(10.0), 0.25
+        )
+        assert any("weight-side reductions" in f for f in failures)
+
+    def test_committed_baseline_parses_and_self_passes(self):
+        """The repo's committed baseline must pass its own gate."""
+        import json
+
+        baseline = json.loads((REPO_ROOT / "BENCH_prepared.json").read_text())
+        assert check_regression.check(baseline, baseline, 0.25) == []
