@@ -6,13 +6,14 @@ Measures the two hot paths the engine amortizes (DESIGN.md §4):
 * **Campaign throughput** (trials/sec): a fault-injection campaign via
   the old direct path (full ``scheme.execute`` per trial — padding,
   tile selection, clean GEMM, operand checksums every time) versus the
-  batched prepared path (``prepare`` once, chunked ``inject_batch``
-  over all trials).  Both run the *same* pre-drawn fault specs, so the
-  numeric work per verdict is identical; only the amortization and
-  batching differ.  Each path takes the best of several repetitions
-  after one untimed warmup, so the number is steady-state campaign
-  throughput (construction included) rather than first-touch page
-  faults or background load.
+  batched prepared engine on *both* of its re-reduction paths — the
+  dense stacked batch (``sparse=False``) and sparse re-reduction
+  (DESIGN.md §1.3), reported side by side.  All paths run the *same*
+  pre-drawn fault specs, so the numeric work per verdict is identical;
+  only the amortization, batching, and slice sparsity differ.  Each
+  path takes the best of several repetitions after one untimed warmup,
+  so the number is steady-state campaign throughput (construction
+  included) rather than first-touch page faults or background load.
 * **Per-inference latency**: repeated ``ProtectedInference.run`` passes
   on one engine, cold (first pass builds the per-layer weight-checksum
   cache) versus warm (weight side fully reused).
@@ -71,7 +72,7 @@ def _best_time(run, *, repeats: int) -> float:
 def bench_campaign(
     scheme_name: str, *, trials: int, seed: int, repeats: int
 ) -> dict:
-    """Direct-execute vs batched prepared-inject campaign, same specs."""
+    """Direct-execute vs dense vs sparse prepared campaigns, same specs."""
     rng = np.random.default_rng(seed)
     a = (rng.standard_normal((DEFAULT_M, DEFAULT_K)) * 0.5).astype(np.float16)
     b = (rng.standard_normal((DEFAULT_K, DEFAULT_N)) * 0.5).astype(np.float16)
@@ -79,17 +80,18 @@ def bench_campaign(
     campaign = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
     specs = campaign.draw_faults(trials)
 
-    # Cross-check once: both paths must agree on every verdict.
+    # Cross-check once: every path must agree on every verdict.
     scheme = get_scheme(scheme_name)
     direct_detected = [
         scheme.execute(a, b, faults=[spec]).detected for spec in specs
     ]
-    batched = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed).run(
-        len(specs), specs=specs
-    )
-    assert [t.detected for t in batched.trials] == direct_detected, (
-        "paths disagree on verdicts"
-    )
+    for sparse in (False, True):
+        batched = FaultCampaign(
+            get_scheme(scheme_name), a, b, seed=seed, sparse=sparse
+        ).run(len(specs), specs=specs)
+        assert [t.detected for t in batched.trials] == direct_detected, (
+            f"{'sparse' if sparse else 'dense'} path disagrees on verdicts"
+        )
 
     # Direct baseline: what every trial cost before this engine existed.
     direct_s = _best_time(
@@ -97,21 +99,35 @@ def bench_campaign(
         repeats=repeats,
     )
 
-    # Batched prepared path, construction included (prepare + baseline).
-    def prepared_run():
-        fresh = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
+    # Batched prepared paths, construction included (prepare + baseline):
+    # the dense stacked batch and sparse re-reduction, side by side.
+    def prepared_run(sparse: bool):
+        fresh = FaultCampaign(
+            get_scheme(scheme_name), a, b, seed=seed, sparse=sparse
+        )
         fresh.run(len(specs), specs=specs)
 
-    prepared_s = _best_time(prepared_run, repeats=repeats)
+    paths = {}
+    for label, sparse in (("dense", False), ("sparse", True)):
+        path_s = _best_time(lambda s=sparse: prepared_run(s), repeats=repeats)
+        paths[label] = {
+            "s": path_s,
+            "trials_per_s": trials / path_s,
+            "speedup": direct_s / path_s,
+        }
 
+    # ``prepared_*`` mirrors the engine's default path (sparse) so the
+    # ROADMAP trajectory and history rows stay directly comparable
+    # across PRs.
     return {
         "trials": trials,
         "repeats": repeats,
         "direct_s": direct_s,
-        "prepared_s": prepared_s,
         "direct_trials_per_s": trials / direct_s,
-        "prepared_trials_per_s": trials / prepared_s,
-        "speedup": direct_s / prepared_s,
+        "paths": paths,
+        "prepared_s": paths["sparse"]["s"],
+        "prepared_trials_per_s": paths["sparse"]["trials_per_s"],
+        "speedup": paths["sparse"]["speedup"],
     }
 
 
@@ -190,9 +206,12 @@ def main() -> None:
             name, trials=trials, seed=17, repeats=repeats
         )
         row = report["campaign"][name]
+        dense, sparse = row["paths"]["dense"], row["paths"]["sparse"]
         print(f"campaign[{name}]: direct {row['direct_trials_per_s']:8.1f} "
-              f"trials/s -> prepared {row['prepared_trials_per_s']:8.1f} "
-              f"trials/s ({row['speedup']:.1f}x)")
+              f"trials/s -> dense {dense['trials_per_s']:8.1f} "
+              f"({dense['speedup']:.1f}x) -> sparse "
+              f"{sparse['trials_per_s']:8.1f} ({sparse['speedup']:.1f}x, "
+              f"{sparse['speedup'] / dense['speedup']:.1f}x over dense)")
 
     report["inference"] = bench_inference(passes=passes, seed=17)
     inf = report["inference"]
@@ -218,14 +237,18 @@ def main() -> None:
     print(f"wrote {args.output}")
 
     # Gross sanity floor only — machine-portable by design (a broken
-    # batched path collapses to ~1x).  The real ratchet is
+    # batched or sparse path collapses to ~1x).  The real ratchet is
     # check_regression.py against the committed baseline.
     floor = 1.5 if args.quick else 3.0
-    slowest = min(r["speedup"] for r in report["campaign"].values())
+    slowest = min(
+        path["speedup"]
+        for r in report["campaign"].values()
+        for path in r["paths"].values()
+    )
     if slowest < floor:
         raise SystemExit(
-            f"campaign speedup regression: slowest scheme at {slowest:.2f}x "
-            f"(floor is {floor}x)"
+            f"campaign speedup regression: slowest scheme/path at "
+            f"{slowest:.2f}x (floor is {floor}x)"
         )
 
 

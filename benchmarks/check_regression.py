@@ -7,13 +7,21 @@ the engine regressed, so CI *fails* on a perf regression instead of
 merely archiving an artifact.
 
 Absolute trials/sec depends on the runner, so campaign throughput is
-compared through the machine-normalized **speedup** — the prepared
+compared through the machine-normalized **speedup** — each prepared
 path's throughput in units of the direct path's, both measured in the
-same run on the same machine.  A scheme fails the gate when its speedup
-drops more than ``--threshold`` (default 25%) below the committed
-value.  The inference section gates on the structural property (zero
+same run on the same machine.  Every ``(scheme, path)`` pair the
+baseline commits to is gated independently — the dense stacked batch
+and sparse re-reduction each fail the gate when their speedup drops
+more than ``--threshold`` (default 25%) below the committed value, so
+a regression confined to one path of one scheme cannot hide behind the
+others.  The inference section gates on the structural property (zero
 warm-pass weight-side reductions: the m-independent cache did its job)
 rather than on noisy small-latency ratios.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (it is, in Actions), the per
+scheme/path comparison is also appended there as a markdown table, so
+a regression is readable from the run's Summary page without digging
+through logs.
 
 The speedup normalizes machine *speed* away but not machine *shape*:
 interpreter version and NumPy build shift the Python-bound direct path
@@ -34,16 +42,37 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_THRESHOLD = 0.25
 
+#: Columns of the per-(scheme, path) comparison, shared by the console
+#: log and the markdown step summary.
+_COLUMNS = ("scheme", "path", "speedup", "baseline", "floor", "status")
 
-def check(bench: dict, baseline: dict, threshold: float) -> list[str]:
-    """All gate violations of ``bench`` against ``baseline``."""
+
+def _iter_paths(row: dict):
+    """``(path_name, path_row)`` pairs of one scheme's campaign row.
+
+    Reads the per-path table; falls back to the flat pre-sparse schema
+    (a single ``speedup``) so the gate still runs against an old
+    baseline during a transition.
+    """
+    paths = row.get("paths")
+    if paths:
+        return sorted(paths.items())
+    return [("prepared", {"speedup": row["speedup"]})]
+
+
+def check(
+    bench: dict, baseline: dict, threshold: float
+) -> tuple[list[str], list[dict]]:
+    """Gate violations and per-(scheme, path) comparison rows."""
     failures: list[str] = []
+    rows: list[dict] = []
     for scheme, base_row in sorted(baseline.get("campaign", {}).items()):
         row = bench.get("campaign", {}).get(scheme)
         if row is None:
@@ -57,18 +86,41 @@ def check(bench: dict, baseline: dict, threshold: float) -> list[str]:
                 f"--quick / with --trials {base_row['trials']}"
             )
             continue
-        floor = base_row["speedup"] * (1.0 - threshold)
-        status = "ok" if row["speedup"] >= floor else "REGRESSED"
-        print(
-            f"{scheme:>18s}: speedup {row['speedup']:6.1f}x "
-            f"(baseline {base_row['speedup']:6.1f}x, floor {floor:6.1f}x) "
-            f"[{status}]"
-        )
-        if row["speedup"] < floor:
-            failures.append(
-                f"{scheme}: speedup {row['speedup']:.2f}x fell more than "
-                f"{threshold:.0%} below the committed {base_row['speedup']:.2f}x"
+        bench_paths = dict(_iter_paths(row))
+        for path, base_path in _iter_paths(base_row):
+            bench_path = bench_paths.get(path)
+            if bench_path is None and path == "prepared" and "speedup" in row:
+                # Flat pre-sparse baseline vs per-path bench output: the
+                # bench still emits the engine-default flat speedup, so
+                # the transition gates on that instead of hard-failing.
+                bench_path = {"speedup": row["speedup"]}
+            if bench_path is None:
+                failures.append(
+                    f"{scheme}/{path}: missing from the benchmark output"
+                )
+                continue
+            floor = base_path["speedup"] * (1.0 - threshold)
+            ok = bench_path["speedup"] >= floor
+            rows.append({
+                "scheme": scheme,
+                "path": path,
+                "speedup": bench_path["speedup"],
+                "baseline": base_path["speedup"],
+                "floor": floor,
+                "status": "ok" if ok else "REGRESSED",
+            })
+            print(
+                f"{scheme:>18s}/{path:<6s}: speedup "
+                f"{bench_path['speedup']:6.1f}x (baseline "
+                f"{base_path['speedup']:6.1f}x, floor {floor:6.1f}x) "
+                f"[{rows[-1]['status']}]"
             )
+            if not ok:
+                failures.append(
+                    f"{scheme}/{path}: speedup {bench_path['speedup']:.2f}x "
+                    f"fell more than {threshold:.0%} below the committed "
+                    f"{base_path['speedup']:.2f}x"
+                )
 
     inference = bench.get("inference")
     if inference is not None:
@@ -80,7 +132,38 @@ def check(bench: dict, baseline: dict, threshold: float) -> list[str]:
             )
         else:
             print(f"{'inference':>18s}: warm-pass weight reductions 0 [ok]")
-    return failures
+    return failures, rows
+
+
+def render_summary(rows: list[dict], failures: list[str]) -> str:
+    """Markdown summary of the gate run for the Actions UI."""
+    lines = [
+        "### Prepared-engine perf gate",
+        "",
+        "| " + " | ".join(_COLUMNS) + " |",
+        "| " + " | ".join("---" for _ in _COLUMNS) + " |",
+    ]
+    for row in rows:
+        status = "✅ ok" if row["status"] == "ok" else "❌ REGRESSED"
+        lines.append(
+            f"| {row['scheme']} | {row['path']} | {row['speedup']:.1f}x "
+            f"| {row['baseline']:.1f}x | {row['floor']:.1f}x | {status} |"
+        )
+    if failures:
+        lines += ["", "**Gate FAILED:**", ""]
+        lines += [f"- {failure}" for failure in failures]
+    else:
+        lines += ["", "Gate passed: no scheme/path regressed."]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(rows: list[dict], failures: list[str]) -> None:
+    """Append the markdown table to ``$GITHUB_STEP_SUMMARY`` if set."""
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(render_summary(rows, failures))
 
 
 def main() -> None:
@@ -99,7 +182,8 @@ def main() -> None:
 
     bench = json.loads(args.bench.read_text())
     baseline = json.loads(args.baseline.read_text())
-    failures = check(bench, baseline, args.threshold)
+    failures, rows = check(bench, baseline, args.threshold)
+    write_step_summary(rows, failures)
     if failures:
         print("\nperf-regression gate FAILED:", file=sys.stderr)
         for failure in failures:

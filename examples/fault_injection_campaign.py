@@ -7,6 +7,8 @@ and prints detection coverage, plus a demonstration of the numerical
 sensitivity hierarchy between global and thread-level checks.
 """
 
+import argparse
+
 import numpy as np
 
 import repro
@@ -15,20 +17,29 @@ from repro.utils import Table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=80,
+                        help="single-fault trials per scheme (default 80; "
+                             "CI smoke runs use a small count)")
+    args = parser.parse_args()
+    if args.trials <= 0:
+        parser.error(f"--trials must be positive, got {args.trials}")
+
     rng = np.random.default_rng(21)
     a = (rng.standard_normal((128, 96)) * 0.5).astype(np.float16)
     b = (rng.standard_normal((96, 64)) * 0.5).astype(np.float16)
 
     table = Table(
         ["scheme", "trials", "significant", "coverage", "sensitivity floor"],
-        title="Single-fault campaigns (128x64x96 FP16 GEMM, 80 trials each)",
+        title=(f"Single-fault campaigns (128x64x96 FP16 GEMM, "
+               f"{args.trials} trials each)"),
     )
     for name in repro.list_schemes():
         scheme = repro.get_scheme(name)
         if not scheme.protects:
             continue
         campaign = FaultCampaign(scheme, a, b, seed=21)
-        result = campaign.run(80)
+        result = campaign.run(args.trials)
         table.add_row([
             name, result.n_trials, result.n_significant,
             f"{result.coverage * 100:.1f}%", campaign._tolerance_scale,

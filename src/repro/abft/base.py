@@ -27,6 +27,20 @@ dispatch.  Because both paths share one set of batch-aware reducers
 (and NumPy applies the identical core reduction per stacked slice),
 ``inject_batch`` is bit-identical to sequential ``inject`` calls.
 
+On top of the dense batch sits **sparse re-reduction** (DESIGN.md
+§1.3): a single-element fault perturbs exactly one reduction slice —
+one row partial for the global schemes, one row/tile sum for the
+thread-level ones — so schemes that declare :attr:`Scheme.
+supports_sparse` derive each trial's struck slices from its fault
+coordinates (:func:`repro.faults.injector.faulted_site_values`), fully
+recompute *only those slices* in the dense composition order, and
+splice them into broadcast copies of the clean check arrays.  The
+stacked accumulator is never materialized on this path — outcomes
+build theirs lazily on first access — yet every verdict and every
+accumulator element is bit-identical to the dense batch, because each
+slice is recomputed by the identical core reduction on identically
+laid-out data.
+
 One level further, :class:`PreparedWeights` carries just the
 weight-side state (padded ``B`` + weight checksums), which is constant
 across inference requests (paper §2.5), m-independent given the tile,
@@ -38,7 +52,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -49,13 +63,23 @@ from ..config import (
     ModelConstants,
 )
 from ..errors import ConfigurationError, ShapeError
+from ..faults.injector import (
+    FaultSites,
+    apply_fault_to_accumulator,
+    faulted_site_values,
+    subset_sites,
+)
 from ..faults.model import FaultPath, FaultSpec
 from ..gemm.executor import TiledGemm
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig, select_tile
 from ..gpu.specs import GPUSpec
 from ..gpu.timing import KernelWork, time_kernel
-from .detection import CheckVerdict
+from .detection import (
+    CheckVerdict,
+    compare_checksums_sparse,
+    prepare_clean_comparison,
+)
 
 
 @dataclass(frozen=True)
@@ -132,30 +156,57 @@ class ExecutionOutcome:
         access: fault campaigns read only verdicts and accumulators, so
         batched trials skip the epilogue quantization entirely.
     c_accumulator:
-        Padded FP32 accumulator grid after fault application.
+        Padded FP32 accumulator grid after fault application.  Sparse
+        re-reduction never materializes per-trial accumulators, so
+        outcomes it produces build this lazily on first access (clean
+        copy plus the scalar fault applications — bit-identical to the
+        dense batch's slice); campaigns that read only verdicts and
+        fault sites never pay for it.
     verdict:
         Consistency-check outcome (None for the unprotected scheme).
     injected:
         The fault specs that were applied.
     """
 
-    __slots__ = ("scheme", "c_accumulator", "verdict", "injected", "_crop", "_c")
+    __slots__ = (
+        "scheme",
+        "verdict",
+        "injected",
+        "_crop",
+        "_c",
+        "_acc",
+        "_acc_factory",
+    )
 
     def __init__(
         self,
         scheme: str,
-        c_accumulator: np.ndarray,
+        c_accumulator: np.ndarray | None,
         verdict: CheckVerdict | None,
         injected: tuple[FaultSpec, ...] = (),
         *,
         crop: tuple[int, int] | None = None,
+        acc_factory: Callable[[], np.ndarray] | None = None,
     ) -> None:
+        if c_accumulator is None and acc_factory is None:
+            raise ConfigurationError(
+                "ExecutionOutcome needs an accumulator or a factory for one"
+            )
         self.scheme = scheme
-        self.c_accumulator = c_accumulator
+        self._acc = c_accumulator
+        self._acc_factory = acc_factory
         self.verdict = verdict
         self.injected = tuple(injected)
-        self._crop = crop if crop is not None else c_accumulator.shape
+        # Reading the shape materializes a factory-only accumulator, so
+        # lazy producers always pass an explicit crop.
+        self._crop = crop if crop is not None else self.c_accumulator.shape
         self._c: np.ndarray | None = None
+
+    @property
+    def c_accumulator(self) -> np.ndarray:
+        if self._acc is None:
+            self._acc = self._acc_factory()
+        return self._acc
 
     @property
     def c(self) -> np.ndarray:
@@ -234,10 +285,26 @@ class PreparedExecution:
     the operand-side reductions, so a campaign of N trials pays the
     expensive half exactly once and the Python dispatch overhead once
     per batch instead of once per trial.
+
+    Schemes with :attr:`Scheme.supports_sparse` additionally get
+    **sparse re-reduction**: :attr:`clean_reductions` caches the clean
+    output-side check arrays (built lazily, once), and sparse batches
+    recompute only the reduction slices each trial's faults actually
+    struck — see the module docstring and DESIGN.md §1.3.
     """
 
-    __slots__ = ("scheme", "problem", "tile", "executor", "a_pad", "b_pad",
-                 "c_clean", "state")
+    __slots__ = (
+        "scheme",
+        "problem",
+        "tile",
+        "executor",
+        "a_pad",
+        "b_pad",
+        "c_clean",
+        "state",
+        "_clean_reductions",
+        "_clean_comparisons",
+    )
 
     def __init__(
         self,
@@ -258,6 +325,41 @@ class PreparedExecution:
         self.b_pad = b_pad
         self.c_clean = c_clean
         self.state = state
+        self._clean_reductions: Any = None
+        self._clean_comparisons: dict[DetectionConstants, Any] = {}
+
+    @property
+    def clean_reductions(self) -> Any:
+        """Clean output-side check arrays for sparse splicing.
+
+        Scheme-specific (row partials, row sums, or tile sums of the
+        *clean* accumulator), built by the scheme's
+        :meth:`Scheme._clean_output_reductions` hook on first sparse
+        batch and cached for the lifetime of the prepared state.
+        """
+        if self._clean_reductions is None:
+            self._clean_reductions = self.scheme._clean_output_reductions(self)
+        return self._clean_reductions
+
+    def clean_comparison(self, detection: DetectionConstants):
+        """Fault-invariant comparison state for sparse verdicts.
+
+        The scheme's clean checksum-vs-output comparison
+        (:class:`repro.abft.detection.CleanComparison`), built once per
+        detection-constants value and cached — the other half of what
+        sparse batches splice against.
+        """
+        cached = self._clean_comparisons.get(detection)
+        if cached is None:
+            lhs, rhs, n_terms, magnitudes = (
+                self.scheme._clean_comparison_inputs(self)
+            )
+            cached = prepare_clean_comparison(
+                lhs, rhs, n_terms=n_terms, magnitudes=magnitudes,
+                constants=detection,
+            )
+            self._clean_comparisons[detection] = cached
+        return cached
 
     def inject(
         self,
@@ -279,30 +381,69 @@ class PreparedExecution:
         *,
         detection: DetectionConstants = DEFAULT_DETECTION,
         out: np.ndarray | None = None,
+        sparse: bool | None = None,
+        sites: FaultSites | None = None,
     ) -> list[ExecutionOutcome]:
         """N independent fault trials against the prepared state at once.
 
         ``specs_batch[i]`` holds trial ``i``'s fault specs (empty for a
-        clean trial).  All trials' accumulators are stacked into one
-        ``(N, m_full, n_full)`` array, faults land via vectorized fancy
-        indexing, the output side is re-reduced for every trial in
-        single NumPy calls, and all verdicts render at once —
-        bit-identical, element for element, to N sequential
+        clean trial).  On the dense path all trials' accumulators are
+        stacked into one ``(N, m_full, n_full)`` array, faults land via
+        vectorized fancy indexing, the output side is re-reduced for
+        every trial in single NumPy calls, and all verdicts render at
+        once — bit-identical, element for element, to N sequential
         :meth:`inject` calls with the same specs.
 
-        Memory scales with ``N * m_full * n_full`` FP32 values (plus the
-        float64 reduction intermediates); callers running very large
-        campaigns should chunk — :meth:`repro.faults.FaultCampaign.run`
-        does.  ``out``, if given, is used as the stacked accumulator
-        storage (shape ``(N, m_full, n_full)`` float32), letting such
-        callers reuse one scratch buffer across chunks instead of
-        faulting in fresh pages per call; the returned outcomes'
-        ``c_accumulator`` arrays are then views into ``out`` and are
-        invalidated when the buffer is next reused.
+        ``sparse`` selects the re-reduction path: ``None`` (default)
+        uses sparse re-reduction whenever the scheme supports it,
+        ``False`` forces the dense batch, ``True`` demands sparse and
+        raises :class:`~repro.errors.ConfigurationError` for schemes
+        without a sparse path.  The sparse path recomputes only the
+        reduction slices each trial's faults struck and never
+        materializes the stacked accumulator (outcomes build theirs
+        lazily on first ``c_accumulator`` access), but is — by the
+        recompute-in-order contract, pinned by the hypothesis suite in
+        ``tests/properties/test_sparse_reduction.py`` — bit-identical
+        to the dense path.
+
+        Dense memory scales with ``N * m_full * n_full`` FP32 values
+        (plus the float64 reduction intermediates); callers running
+        very large campaigns should chunk —
+        :meth:`repro.faults.FaultCampaign.run` does.  ``out``, if
+        given, is used as the dense stacked accumulator storage (shape
+        ``(N, m_full, n_full)`` float32), letting such callers reuse
+        one scratch buffer across chunks instead of faulting in fresh
+        pages per call; the returned outcomes' ``c_accumulator`` arrays
+        are then views into ``out`` and are invalidated when the buffer
+        is next reused.  Sparse batches ignore ``out``.
+
+        ``sites``, if given, must be the
+        :func:`~repro.faults.injector.faulted_site_values` map of
+        exactly ``specs_batch`` — callers that already derived it (the
+        campaign runner shares one map between injection and record
+        classification) pass it to skip the recomputation.  Only the
+        sparse path consumes it.
         """
         faults_batch = [tuple(faults) for faults in specs_batch]
         if not faults_batch:
             return []
+        use_sparse = self.scheme.supports_sparse if sparse is None else sparse
+        if use_sparse:
+            if not self.scheme.supports_sparse:
+                raise ConfigurationError(
+                    f"scheme {self.scheme.name!r} has no sparse "
+                    f"re-reduction path; call with sparse=False or None"
+                )
+            if sites is None:
+                sites = faulted_site_values(self.c_clean, faults_batch)
+            elif sites.n_trials != len(faults_batch):
+                raise ConfigurationError(
+                    f"precomputed sites cover {sites.n_trials} trials, "
+                    f"batch has {len(faults_batch)}"
+                )
+            return self.scheme._finish_batch_sparse(
+                self, sites, faults_batch, detection
+            )
         c_batch = Scheme._apply_original_faults_batch(
             self.c_clean, faults_batch, out=out
         )
@@ -317,6 +458,13 @@ class Scheme(abc.ABC):
 
     #: Whether the scheme performs any checking at all.
     protects: bool = True
+
+    #: Whether the scheme implements sparse re-reduction — a
+    #: slice-decomposable output check whose struck slices can be
+    #: recomputed alone (:meth:`_finish_batch_sparse`).  Schemes whose
+    #: check is elementwise over the full output (replication) or
+    #: nonexistent (none) leave this False and always run dense.
+    supports_sparse: bool = False
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -459,6 +607,119 @@ class Scheme(abc.ABC):
         on trial ``i`` alone (use elementwise ops and the batch-aware
         reducers in :mod:`repro.abft.checksums`, which guarantee it)."""
 
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> Any:
+        """Clean output-side check arrays backing sparse splicing.
+
+        Sparse-capable schemes return the reduction of the *clean*
+        accumulator that the sparse engine splices struck slices into
+        (cached on the prepared state by
+        :attr:`PreparedExecution.clean_reductions`).
+        """
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no sparse re-reduction path"
+        )
+
+    def _clean_comparison_inputs(
+        self, prepared: PreparedExecution
+    ) -> tuple[np.ndarray, np.ndarray, int, Any]:
+        """``(checksum_side, output_side, n_terms, magnitudes)`` of the
+        clean comparison — the same four quantities the scheme's dense
+        ``_verdicts`` feeds :func:`~repro.abft.detection.
+        compare_checksums_batch`, evaluated on the clean state."""
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no sparse re-reduction path"
+        )
+
+    def _struck_checks(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(trials, checks, values)`` of every struck check.
+
+        One entry per unique (trial, flat check index) pair in
+        trial-major order, ``values`` holding the re-reduced output
+        -side check value (the ``*_struck_*`` reducers in
+        :mod:`repro.abft.checksums`)."""
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no sparse re-reduction path"
+        )
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        """Full per-trial output-side check arrays, spliced sparsely.
+
+        The ``splice_*`` reducers in :mod:`repro.abft.checksums`: the
+        dense-shaped arrays the engine's fallback needs for trials
+        whose checksum side was corrupted."""
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no sparse re-reduction path"
+        )
+
+    def _references_batch(
+        self,
+        prepared: PreparedExecution,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+    ) -> np.ndarray:
+        """Per-trial checksum-side values, checksum-path faults applied."""
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no batched reference builder"
+        )
+
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        references: np.ndarray,
+        output_side: np.ndarray,
+        detection: DetectionConstants,
+    ) -> list[CheckVerdict]:
+        """Dense verdicts for prepared references vs output reductions."""
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no batched verdict renderer"
+        )
+
+    def _finish_batch_sparse(
+        self,
+        prepared: PreparedExecution,
+        sites: FaultSites,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[ExecutionOutcome]:
+        """Sparse counterpart of :meth:`_finish_batch` (engine template).
+
+        Never materializes per-trial accumulators or check arrays:
+        struck checks are re-reduced alone (:meth:`_struck_checks`, in
+        the dense composition order) and verdicts assembled against the
+        cached clean comparison — field-for-field bit-identical to
+        :meth:`_finish_batch`, pinned by the sparse-equivalence
+        hypothesis suite.  Trials whose *checksum side* was corrupted
+        (checksum-path faults) have no clean half to compare against;
+        they fall back to the dense comparison on sparsely spliced
+        check arrays (:meth:`_sparse_output_reduction`), still without
+        touching an accumulator stack.
+        """
+        corrupted = [
+            i for i, faults in enumerate(faults_batch)
+            if self._checksum_faults(faults)
+        ]
+        trials, checks, values = self._struck_checks(prepared, sites)
+        verdicts = compare_checksums_sparse(
+            prepared.clean_comparison(detection),
+            trials, checks, values,
+            n_trials=len(faults_batch),
+            skip=corrupted,
+        )
+        if corrupted:
+            sub_sites = subset_sites(sites, corrupted)
+            sub_faults = [faults_batch[i] for i in corrupted]
+            references = self._references_batch(prepared, sub_faults)
+            output_side = self._sparse_output_reduction(prepared, sub_sites)
+            dense_verdicts = self._verdicts(
+                prepared, references, output_side, detection
+            )
+            for i, verdict in zip(corrupted, dense_verdicts):
+                verdicts[i] = verdict
+        return self._outcome_batch_sparse(prepared, verdicts, faults_batch)
+
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
     # ------------------------------------------------------------------
@@ -527,6 +788,34 @@ class Scheme(abc.ABC):
             for i in range(len(faults_batch))
         ]
 
+    def _outcome_batch_sparse(
+        self,
+        prepared: PreparedExecution,
+        verdicts: Sequence[CheckVerdict | None],
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+    ) -> list[ExecutionOutcome]:
+        """Outcome records for a sparse batch: lazy accumulators.
+
+        No stacked accumulator exists on the sparse path, so each
+        outcome carries a factory that materializes its padded grid on
+        first access (clean copy + the trial's original-path faults in
+        spec order — bit-identical to the dense batch's slice, pinned
+        by the injector equivalence properties).
+        """
+        crop = (prepared.problem.m, prepared.problem.n)
+        c_clean = prepared.c_clean
+        return [
+            ExecutionOutcome(
+                scheme=self.name,
+                c_accumulator=None,
+                verdict=verdicts[i],
+                injected=faults_batch[i],
+                crop=crop,
+                acc_factory=_accumulator_factory(c_clean, faults_batch[i]),
+            )
+            for i in range(len(faults_batch))
+        ]
+
     @staticmethod
     def _apply_original_faults_batch(
         c_clean: np.ndarray,
@@ -582,3 +871,18 @@ class Scheme(abc.ABC):
         """
         with np.errstate(over="ignore"):
             return values.astype(np.float16)
+
+
+def _accumulator_factory(
+    c_clean: np.ndarray, faults: tuple[FaultSpec, ...]
+) -> Callable[[], np.ndarray]:
+    """Deferred materialization of one sparse trial's faulted accumulator."""
+
+    def materialize() -> np.ndarray:
+        acc = c_clean.copy()
+        for spec in faults:
+            if spec.path is FaultPath.ORIGINAL:
+                apply_fault_to_accumulator(acc, spec)
+        return acc
+
+    return materialize

@@ -32,6 +32,17 @@ wrappers.  Sharing one reduction path (and NumPy's guarantee that a
 stacked reduction applies the identical core loop per slice) is what
 makes :meth:`~repro.abft.base.PreparedExecution.inject_batch`
 bit-identical to sequential ``inject`` calls.
+
+They are additionally *slice-decomposable*: every dense reducer is
+structured so each output check value is produced by an independent
+core reduction over one contiguous slice of the accumulator (a row, a
+thread tile, or a row partial), composed in a fixed sequential-slice
+-add order.  The ``splice_*`` variants exploit this for sparse
+re-reduction (DESIGN.md §1.3): given the fault sites of a batch they
+fully recompute *only the struck slices* — with the identical core
+reduction on identically laid-out data — and splice the results into
+broadcast copies of the clean check arrays, which is why the sparse
+path is bit-identical to the dense one rather than merely close.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ShapeError
+from ..faults.injector import FaultSites
 from ..gemm.executor import EXECUTION_STATS, TiledGemm
 
 
@@ -139,12 +151,83 @@ def output_summation(c_pad: np.ndarray) -> float:
     return float(output_summation_batch(c_pad[None])[0])
 
 
+def output_row_sums(c_pad: np.ndarray) -> np.ndarray:
+    """Per-row float64 partial sums of one accumulator: ``(m_full,)``.
+
+    The slice stage of the global output summation — each row reduced
+    independently over its contiguous extent.  Kept as its own function
+    because the sparse path recomputes exactly these slices.
+    """
+    if c_pad.ndim != 2:
+        raise ShapeError(f"C must be a 2-D accumulator, got {c_pad.ndim}-D")
+    return _as_f32(c_pad).sum(axis=1, dtype=np.float64)
+
+
 def output_summation_batch(c_batch: np.ndarray) -> np.ndarray:
-    """Per-trial output summations of a stacked accumulator: ``(N,)``."""
+    """Per-trial output summations of a stacked accumulator: ``(N,)``.
+
+    Two-stage, slice-decomposable order: per-row float64 partial sums
+    (each row an independent reduction over its contiguous extent,
+    matching :func:`output_row_sums`), then one reduction over the row
+    partials.  A single-element fault therefore perturbs exactly one
+    row partial, which is what lets :func:`splice_output_summation`
+    recompute one row instead of the whole output.
+    """
     if c_batch.ndim != 3:
         raise ShapeError(f"stacked C must be 3-D, got {c_batch.ndim}-D")
-    flat = _as_f32(c_batch).reshape(len(c_batch), -1)
-    return flat.sum(axis=1, dtype=np.float64)
+    rows = _as_f32(c_batch).sum(axis=2, dtype=np.float64)
+    return rows.sum(axis=1)
+
+
+def struck_output_summations(
+    clean_row_sums: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Output summations of only the trials holding fault sites.
+
+    Returns ``(touched_trials, values)``: for each trial with at least
+    one site (ascending order), the full summation rebuilt sparsely —
+    struck rows recomputed from the clean row plus the sites' final
+    values with the same contiguous-axis core reduction the dense path
+    uses, spliced into a copy of the clean row partials, then combined
+    by the same final reduction.  Bit-identical per trial to
+    :func:`output_summation_batch` on the materialized accumulator.
+    """
+    if not len(sites):
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+    m_full = len(clean_row_sums)
+    keys = sites.trials * m_full + sites.rows
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    u_trials, u_rows = np.divmod(uniq, m_full)
+    struck = c_clean[u_rows].astype(np.float32, copy=True)
+    struck[inverse, sites.cols] = sites.values
+    new_rows = struck.sum(axis=1, dtype=np.float64)
+
+    touched, compact = np.unique(u_trials, return_inverse=True)
+    row_sums = np.broadcast_to(clean_row_sums, (len(touched), m_full)).copy()
+    row_sums[compact, u_rows] = new_rows
+    return touched, row_sums.sum(axis=1)
+
+
+def splice_output_summation(
+    clean_row_sums: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> np.ndarray:
+    """Sparse per-trial output summations: ``(N,)``.
+
+    Trials without fault sites take the clean summation (the dense
+    per-trial combine reduces the identical row-partial vector, so the
+    value is bit-equal); struck trials get
+    :func:`struck_output_summations`.  Bit-identical to
+    :func:`output_summation_batch` on the materialized batch.
+    """
+    clean_total = clean_row_sums.sum()
+    out = np.full(sites.n_trials, clean_total, dtype=np.float64)
+    touched, values = struck_output_summations(clean_row_sums, c_clean, sites)
+    out[touched] = values
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +312,62 @@ def one_sided_output_rowsums_batch(
     return sums.reshape(len(c_batch), executor.m_full, executor.n_tiles)
 
 
+def one_sided_struck_rowsums(
+    executor: TiledGemm,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Re-reduced one-sided row-sum slices struck by fault sites.
+
+    A fault at ``(row, col)`` perturbs exactly one row-sum check — the
+    ``Nt`` elements of row ``row`` owned by thread column ``col // Nt``.
+    Returns ``(trials, checks, values)``, one entry per unique struck
+    (trial, check) pair in trial-major order: ``checks`` indexes the
+    flattened ``(m_full, n_tiles)`` check array, and ``values`` is the
+    slice rebuilt from the clean accumulator plus the sites' final
+    values, re-reduced with the same left-to-right slice adds as
+    :func:`_slice_sum_f32` — bit-identical to the dense reducer's
+    element for that slice.
+    """
+    nt = executor.tile.nt
+    m_full, n_tiles = executor.m_full, executor.n_tiles
+    if not len(sites):
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, np.empty(0, dtype=np.float32)
+    tile_cols = sites.cols // nt
+    keys = (sites.trials * m_full + sites.rows) * n_tiles + tile_cols
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    u_trials, u_checks = np.divmod(uniq, m_full * n_tiles)
+    u_rows = u_checks // n_tiles
+    u_tile_cols = u_checks % n_tiles
+    struck = c_clean[
+        u_rows[:, None], (u_tile_cols * nt)[:, None] + np.arange(nt)
+    ]  # (S, nt) — fresh contiguous copies of the struck slices
+    struck[inverse, sites.cols % nt] = sites.values
+    return u_trials, u_checks, _slice_sum_f32(struck, 1)
+
+
+def splice_one_sided_rowsums(
+    executor: TiledGemm,
+    clean_rowsums: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> np.ndarray:
+    """Sparse per-trial thread-tile row-sums: ``(N, m_full, n_tiles)``.
+
+    Broadcast copies of the clean row-sums with the struck slices of
+    :func:`one_sided_struck_rowsums` spliced in.  Bit-identical to
+    :func:`one_sided_output_rowsums_batch` on the materialized batch.
+    """
+    m_full, n_tiles = executor.m_full, executor.n_tiles
+    out = np.broadcast_to(
+        clean_rowsums, (sites.n_trials, m_full, n_tiles)
+    ).copy()
+    trials, checks, values = one_sided_struck_rowsums(executor, c_clean, sites)
+    out[trials, checks // n_tiles, checks % n_tiles] = values
+    return out
+
+
 @dataclass(frozen=True)
 class TwoSidedChecksums:
     """Checksum side of two-sided thread-level ABFT (one scalar per thread)."""
@@ -270,6 +409,64 @@ def thread_tile_sums_batch(executor: TiledGemm, c_batch: np.ndarray) -> np.ndarr
     view = executor.thread_tile_view_batch(c_batch)
     rows = _slice_sum_f32(view, 4)  # (N, m_tiles, mt, n_tiles)
     return _slice_sum_f32(rows, 2)
+
+
+def thread_tile_struck_sums(
+    executor: TiledGemm,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Re-reduced thread-tile sums struck by fault sites.
+
+    A fault at ``(row, col)`` perturbs exactly one ``Mt x Nt`` tile
+    sum.  Returns ``(trials, checks, values)``, one entry per unique
+    struck (trial, check) pair in trial-major order: ``checks`` indexes
+    the flattened ``(m_tiles, n_tiles)`` check array, and ``values`` is
+    the tile rebuilt from the clean accumulator plus the sites' final
+    values, re-reduced in the dense composition order — left-to-right
+    adds over the ``Nt`` axis, then over the ``Mt`` axis — bit
+    -identical to the dense reducer's element for that tile.
+    """
+    mt, nt = executor.tile.mt, executor.tile.nt
+    m_tiles, n_tiles = executor.m_tiles, executor.n_tiles
+    if not len(sites):
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, np.empty(0, dtype=np.float32)
+    tile_rows = sites.rows // mt
+    tile_cols = sites.cols // nt
+    keys = (sites.trials * m_tiles + tile_rows) * n_tiles + tile_cols
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    u_trials, u_checks = np.divmod(uniq, m_tiles * n_tiles)
+    u_tile_rows = u_checks // n_tiles
+    u_tile_cols = u_checks % n_tiles
+    struck = c_clean[
+        (u_tile_rows * mt)[:, None, None] + np.arange(mt)[None, :, None],
+        (u_tile_cols * nt)[:, None, None] + np.arange(nt)[None, None, :],
+    ]  # (S, mt, nt) — fresh contiguous copies of the struck tiles
+    struck[inverse, sites.rows % mt, sites.cols % nt] = sites.values
+    rows = _slice_sum_f32(struck, 2)  # (S, mt)
+    return u_trials, u_checks, _slice_sum_f32(rows, 1)
+
+
+def splice_thread_tile_sums(
+    executor: TiledGemm,
+    clean_tile_sums: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+) -> np.ndarray:
+    """Sparse per-trial thread-fragment sums: ``(N, m_tiles, n_tiles)``.
+
+    Broadcast copies of the clean tile sums with the struck tiles of
+    :func:`thread_tile_struck_sums` spliced in.  Bit-identical to
+    :func:`thread_tile_sums_batch` on the materialized batch.
+    """
+    m_tiles, n_tiles = executor.m_tiles, executor.n_tiles
+    out = np.broadcast_to(
+        clean_tile_sums, (sites.n_trials, m_tiles, n_tiles)
+    ).copy()
+    trials, checks, values = thread_tile_struck_sums(executor, c_clean, sites)
+    out[trials, checks // n_tiles, checks % n_tiles] = values
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -325,6 +522,47 @@ def multi_weight_checksums(b_pad: np.ndarray, count: int) -> MultiWeightChecksum
     return MultiWeightChecksums(weights_n=w_n, combos=combos, abs_combos=abs_combos)
 
 
+def _weights_n_t(weights_n: np.ndarray) -> np.ndarray:
+    """Contiguous ``(n_full, count)`` float64 column-weight operand.
+
+    Built identically by the dense, clean, and sparse row-partial
+    stages so every ``(1, n) @ (n, count)`` core call sees the same
+    operand layout.
+    """
+    return np.ascontiguousarray(np.asarray(weights_n, dtype=np.float64).T)
+
+
+def multi_row_partials(c_pad: np.ndarray, weights_n: np.ndarray) -> np.ndarray:
+    """Per-row column-weight contractions of one accumulator: ``(m, count)``.
+
+    Row ``i`` holds ``C[i, :] @ w_n[s]`` for every check ``s`` — the
+    slice stage of the weighted output summation, expressed as stacked
+    ``(1, n) @ (n, count)`` matmuls so each row's result comes from an
+    independent core call on that row's contiguous data.  A
+    single-element fault perturbs exactly one row of this array.
+    """
+    if c_pad.ndim != 2:
+        raise ShapeError(f"C must be a 2-D accumulator, got {c_pad.ndim}-D")
+    c64 = np.asarray(c_pad, dtype=np.float64)
+    out = c64[:, None, :] @ _weights_n_t(weights_n)  # (m, 1, count)
+    return out[:, 0, :]
+
+
+def _multi_combine_row_partials(
+    row_partials: np.ndarray, weights_m: np.ndarray
+) -> np.ndarray:
+    """Row-weight contraction of stacked row partials: ``(N, count)``.
+
+    ``out[i, s] = w_m[s] @ row_partials[i, :, s]`` via stacked
+    ``(1, m) @ (m, 1)`` matmuls, the same final combine for the dense
+    and sparse paths.
+    """
+    w_m = np.asarray(weights_m, dtype=np.float64)  # (count, m_full)
+    stacked = row_partials.transpose(0, 2, 1)[:, :, :, None]  # (N, count, m, 1)
+    out = w_m[None, :, None, :] @ stacked  # (N, count, 1, 1)
+    return out[..., 0, 0]
+
+
 def multi_weighted_output_sums(
     c_batch: np.ndarray,
     weights_m: np.ndarray,
@@ -332,16 +570,81 @@ def multi_weighted_output_sums(
 ) -> np.ndarray:
     """Weighted output summations ``w_m[s] @ C @ w_n[s]``: ``(N, count)``.
 
-    The row-weight contraction is one stacked float64 matmul across all
-    trials; the column-weight contraction is expressed as stacked
-    ``(1, n) @ (n, 1)`` matmuls so each (trial, check) scalar comes from
-    the same core dot-product loop regardless of the batch size.
+    Two-stage, slice-decomposable order: per-row column-weight
+    contractions (:func:`multi_row_partials` — one independent core
+    call per row), then the row-weight combine.  Each (trial, check)
+    scalar comes from the same core loops regardless of the batch size,
+    and a single-element fault perturbs exactly one row partial, which
+    is what :func:`splice_multi_weighted_output_sums` exploits.
     """
     if c_batch.ndim != 3:
         raise ShapeError(f"stacked C must be 3-D, got {c_batch.ndim}-D")
     c64 = np.asarray(c_batch, dtype=np.float64)
-    w_m = np.asarray(weights_m, dtype=np.float64)  # (count, m_full)
-    w_n = np.asarray(weights_n, dtype=np.float64)  # (count, n_full)
-    partial = w_m @ c64  # (N, count, n_full)
-    out = partial[:, :, None, :] @ w_n[:, :, None]  # (N, count, 1, 1)
-    return out[..., 0, 0]
+    partials = c64[:, :, None, :] @ _weights_n_t(weights_n)  # (N, m, 1, count)
+    return _multi_combine_row_partials(partials[:, :, 0, :], weights_m)
+
+
+def struck_multi_weighted_sums(
+    clean_row_partials: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+    weights_m: np.ndarray,
+    weights_n: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weighted output summations of only the trials holding fault sites.
+
+    Returns ``(touched_trials, values)`` with ``values[i]`` the
+    ``(count,)`` weighted summations of touched trial ``i``: struck
+    rows are rebuilt from the clean accumulator plus the sites' final
+    values and contracted through the same ``(1, n) @ (n, count)``
+    core call as the dense path, spliced into a copy of the clean row
+    partials, then run through the shared final combine.  Bit-identical
+    per trial to :func:`multi_weighted_output_sums` on the materialized
+    accumulator.
+    """
+    count = clean_row_partials.shape[1]
+    if not len(sites):
+        return np.empty(0, dtype=np.intp), np.empty((0, count))
+    m_full = len(clean_row_partials)
+    keys = sites.trials * m_full + sites.rows
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    u_trials, u_rows = np.divmod(uniq, m_full)
+    struck = c_clean[u_rows].astype(np.float32, copy=True)
+    struck[inverse, sites.cols] = sites.values
+    struck64 = struck.astype(np.float64)
+    new_partials = struck64[:, None, :] @ _weights_n_t(weights_n)
+
+    touched, compact = np.unique(u_trials, return_inverse=True)
+    partials = np.broadcast_to(
+        clean_row_partials, (len(touched), *clean_row_partials.shape)
+    ).copy()
+    partials[compact, u_rows] = new_partials[:, 0, :]
+    return touched, _multi_combine_row_partials(partials, weights_m)
+
+
+def splice_multi_weighted_output_sums(
+    clean_row_partials: np.ndarray,
+    c_clean: np.ndarray,
+    sites: FaultSites,
+    weights_m: np.ndarray,
+    weights_n: np.ndarray,
+) -> np.ndarray:
+    """Sparse weighted output summations: ``(N, count)``.
+
+    Trials without fault sites take the clean summations (the dense
+    combine contracts the identical row-partial array through the same
+    core calls, so the values are bit-equal); struck trials get
+    :func:`struck_multi_weighted_sums`.  Bit-identical to
+    :func:`multi_weighted_output_sums` on the materialized batch.
+    """
+    clean_sums = _multi_combine_row_partials(
+        clean_row_partials[None], weights_m
+    )[0]
+    out = np.broadcast_to(
+        clean_sums, (sites.n_trials, len(clean_sums))
+    ).copy()
+    touched, values = struck_multi_weighted_sums(
+        clean_row_partials, c_clean, sites, weights_m, weights_n
+    )
+    out[touched] = values
+    return out

@@ -11,6 +11,7 @@ accumulated magnitude can explain.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -164,7 +165,8 @@ def compare_checksums_batch(
         tolerance = np.full(n, float(tol.max()) if tol.size else 0.0)
 
     checks = residual.shape[1]
-    bad = (residual > tol_flat) | ~np.isfinite(residual)
+    bad = residual > tol_flat
+    bad |= ~np.isfinite(residual)
     detected = bad.any(axis=1)
     if checks:
         # max propagates both NaN and inf, so one reduction yields the
@@ -174,18 +176,243 @@ def compare_checksums_batch(
     else:
         max_residual = np.full(n, np.inf)
 
+    # One batch-wide nonzero replaces a per-trial scan: undetected
+    # trials contribute no entries, and searchsorted locates each
+    # detected trial's span in the sorted trial indices.
+    violations_per_trial: list[tuple[int, ...]] = [()] * n
+    detected_trials = np.flatnonzero(detected)
+    if detected_trials.size:
+        trial_idx, check_idx = np.nonzero(bad)
+        starts = np.searchsorted(trial_idx, detected_trials, side="left")
+        ends = np.searchsorted(trial_idx, detected_trials, side="right")
+        for t, lo, hi in zip(detected_trials, starts, ends):
+            violations_per_trial[int(t)] = tuple(
+                int(j) for j in check_idx[lo:hi]
+            )
+
     verdicts: list[CheckVerdict] = []
     for i in range(n):
-        violations = (
-            tuple(int(j) for j in np.flatnonzero(bad[i])) if detected[i] else ()
-        )
         verdicts.append(
             CheckVerdict(
                 detected=bool(detected[i]),
-                violations=violations,
+                violations=violations_per_trial[i],
                 max_residual=float(max_residual[i]),
                 tolerance=float(tolerance[i]),
                 checks=checks,
             )
+        )
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Sparse (slice-wise) comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CleanComparison:
+    """Fault-invariant half of a checksum comparison, prepared once.
+
+    Holds the clean check arrays' full comparison — per-check residuals,
+    violation mask, tolerances — plus a descending residual ordering,
+    so :func:`compare_checksums_sparse` can render a trial's verdict
+    from *only its struck checks*: untouched checks keep their clean
+    residuals, and the trial's ``max_residual`` is found by walking the
+    precomputed order past the handful of struck indices instead of
+    re-reducing the whole check array.  Valid only while the checksum
+    side stays clean (checksum-path faults corrupt it; those trials
+    take the dense comparison).
+
+    Attributes
+    ----------
+    checksum_side:
+        Flat clean checksum-side values (the comparison's lhs).
+    residual:
+        Flat clean ``|lhs - rhs|`` in the comparison working dtype.
+    key:
+        ``residual`` with non-finite entries mapped to ``+inf`` — the
+        max-reduction key (``max`` must report inf whenever any
+        residual is non-finite).
+    order:
+        Check indices sorted by descending ``key`` (ties stable).
+    tol_flat:
+        Per-check tolerances (fault-invariant magnitudes only).
+    bad:
+        Clean violation mask; ``violations``/``n_violations`` cache its
+        nonzero indices and count.
+    max_residual, tolerance, checks:
+        The clean verdict's scalar fields.
+    dtype:
+        Working dtype of the dense comparison these checks would use.
+    """
+
+    checksum_side: np.ndarray
+    residual: np.ndarray
+    key: np.ndarray
+    order: np.ndarray
+    tol_flat: np.ndarray
+    bad: np.ndarray
+    violations: tuple[int, ...]
+    n_violations: int
+    max_residual: float
+    tolerance: float
+    checks: int
+    dtype: np.dtype
+
+    def clean_verdict(self) -> CheckVerdict:
+        """The verdict of a trial whose checks are all untouched."""
+        return CheckVerdict(
+            detected=self.n_violations > 0,
+            violations=self.violations if self.n_violations else (),
+            max_residual=self.max_residual,
+            tolerance=self.tolerance,
+            checks=self.checks,
+        )
+
+
+def prepare_clean_comparison(
+    checksum_side: np.ndarray,
+    output_side: np.ndarray,
+    *,
+    n_terms: int,
+    magnitudes: np.ndarray | float,
+    constants: DetectionConstants = DEFAULT_DETECTION,
+) -> CleanComparison:
+    """Build the fault-invariant comparison state for one clean check set.
+
+    Runs the same elementwise operations as
+    :func:`compare_checksums_batch` on the (flattened) clean arrays and
+    keeps every intermediate the sparse path needs.  ``magnitudes``
+    must be fault-invariant (it is for every sparse-capable scheme);
+    per-trial magnitudes would make the tolerance trial-dependent and
+    have no clean half to prepare.
+    """
+    lhs = np.asarray(checksum_side).reshape(-1)
+    rhs = np.asarray(output_side).reshape(-1)
+    if lhs.shape != rhs.shape:
+        raise DetectionError(
+            f"checksum comparison shape mismatch: {lhs.shape} vs {rhs.shape}"
+        )
+    dtype = np.result_type(lhs, rhs, np.float32)
+    residual = np.subtract(lhs, rhs, dtype=dtype)
+    np.abs(residual, out=residual)
+
+    terms = max(int(n_terms), 2)
+    gamma = (np.log2(terms) + 1.0) * constants.fp32_unit_roundoff
+    mags = np.asarray(magnitudes, dtype=np.float64)
+    if mags.ndim > np.asarray(checksum_side).ndim:
+        raise DetectionError(
+            "prepare_clean_comparison needs fault-invariant magnitudes"
+        )
+    tol = np.maximum(constants.atol_floor, constants.rtol_slack * gamma * np.abs(mags))
+    tol_flat = np.ascontiguousarray(
+        np.broadcast_to(tol, np.asarray(output_side).shape).reshape(-1),
+        dtype=np.float64,
+    )
+
+    finite = np.isfinite(residual)
+    bad = residual > tol_flat
+    bad |= ~finite
+    key = np.where(finite, residual.astype(np.float64), np.inf)
+    order = np.argsort(-key, kind="stable")
+    violations = tuple(int(i) for i in np.flatnonzero(bad))
+    checks = int(residual.size)
+    if checks:
+        raw_max = float(residual.max())
+        max_residual = raw_max if np.isfinite(raw_max) else float("inf")
+    else:
+        max_residual = float("inf")
+    return CleanComparison(
+        checksum_side=lhs,
+        residual=residual,
+        key=key,
+        order=order,
+        tol_flat=tol_flat,
+        bad=bad,
+        violations=violations,
+        n_violations=len(violations),
+        max_residual=max_residual,
+        tolerance=float(tol.max()) if tol.size else 0.0,
+        checks=checks,
+        dtype=dtype,
+    )
+
+
+def compare_checksums_sparse(
+    clean: CleanComparison,
+    trials: np.ndarray,
+    checks: np.ndarray,
+    values: np.ndarray,
+    *,
+    n_trials: int,
+    skip: Sequence[int] = (),
+) -> list[CheckVerdict | None]:
+    """Verdicts from struck checks alone, against a clean comparison.
+
+    ``(trials, checks, values)`` hold one entry per unique struck
+    (trial, check) pair in trial-major order — a re-reduced output-side
+    check value per struck slice.  Each listed trial's verdict combines
+    its struck checks' fresh residuals with the clean comparison's
+    untouched remainder (set arithmetic for ``detected``/``violations``,
+    an order walk for ``max_residual``); unlisted trials get the clean
+    verdict outright.  Bit-identical, field for field, to
+    :func:`compare_checksums_batch` on the materialized check arrays —
+    pinned by the sparse-equivalence hypothesis suite.
+
+    Trials in ``skip`` (their checksum side was corrupted, so the clean
+    half does not apply) are left as ``None`` for the caller to fill
+    via the dense comparison.
+    """
+    residual = np.abs(
+        np.subtract(clean.checksum_side[checks], values, dtype=clean.dtype)
+    )
+    finite = np.isfinite(residual)
+    new_bad = residual > clean.tol_flat[checks]
+    new_bad |= ~finite
+    new_key = np.where(finite, residual.astype(np.float64), np.inf)
+
+    verdicts: list[CheckVerdict | None] = [None] * n_trials
+    clean_verdict = clean.clean_verdict()
+    skip_set = set(int(i) for i in skip)
+    for i in range(n_trials):
+        if i not in skip_set:
+            verdicts[i] = clean_verdict
+
+    if not len(trials):
+        return verdicts
+    spans = np.flatnonzero(np.diff(trials)) + 1
+    starts = np.concatenate(([0], spans))
+    ends = np.concatenate((spans, [len(trials)]))
+    for lo, hi in zip(starts, ends):
+        t = int(trials[lo])
+        if t in skip_set:
+            continue
+        struck = [int(c) for c in checks[lo:hi]]
+        struck_set = set(struck)
+
+        # Violations: clean ones outside the struck set, plus struck
+        # checks that now violate — ascending, like the dense nonzero.
+        fresh = [struck[j] for j in range(hi - lo) if new_bad[lo + j]]
+        if clean.n_violations:
+            kept = [v for v in clean.violations if v not in struck_set]
+            fresh = sorted(kept + fresh)
+        violations = tuple(fresh)
+
+        # Max residual: the fresh struck keys vs the clean order walked
+        # past the struck indices (expected O(1) steps — a struck check
+        # is rarely the clean argmax).
+        best = -np.inf
+        for idx in clean.order:
+            if int(idx) not in struck_set:
+                best = clean.key[idx]
+                break
+        if hi > lo:
+            best = max(best, new_key[lo:hi].max())
+        max_residual = float(best) if np.isfinite(best) else float("inf")
+
+        verdicts[t] = CheckVerdict(
+            detected=bool(violations),
+            violations=violations,
+            max_residual=max_residual,
+            tolerance=clean.tolerance,
+            checks=clean.checks,
         )
     return verdicts

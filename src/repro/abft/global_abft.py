@@ -47,12 +47,16 @@ from .base import (
     Scheme,
     SchemePlan,
 )
+from ..faults.injector import FaultSites
 from .checksums import (
     GlobalChecksums,
     GlobalWeightChecksums,
     global_checksums,
     global_weight_checksums,
+    output_row_sums,
     output_summation_batch,
+    splice_output_summation,
+    struck_output_summations,
 )
 from .detection import compare_checksums_batch
 
@@ -61,6 +65,7 @@ class GlobalABFT(Scheme):
     """Kernel-level ABFT with fused checksums and an async check kernel."""
 
     name = "global"
+    supports_sparse = True
 
     #: Threads used by the reduction/check kernel.
     CHECK_KERNEL_THREADS = 128
@@ -144,6 +149,36 @@ class GlobalABFT(Scheme):
     ) -> GlobalChecksums:
         return global_checksums(a_pad, b_pad, weights=weight_state)
 
+    def _references_batch(
+        self,
+        prepared: PreparedExecution,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+    ) -> np.ndarray:
+        """Per-trial checksum references with checksum-path faults applied."""
+        chks: GlobalChecksums = prepared.state
+        references = np.full(len(faults_batch), chks.reference, dtype=np.float64)
+        for i, faults in enumerate(faults_batch):
+            for spec in self._checksum_faults(faults):
+                references[i] = corrupted_value(float(references[i]), spec)
+        return references
+
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        references: np.ndarray,
+        out_sums: np.ndarray,
+        detection: DetectionConstants,
+    ):
+        chks: GlobalChecksums = prepared.state
+        executor = prepared.executor
+        return compare_checksums_batch(
+            references[:, None],
+            out_sums[:, None],
+            n_terms=executor.m_full * executor.n_full + executor.k_full,
+            magnitudes=chks.magnitude,
+            constants=detection,
+        )
+
     def _finish_batch(
         self,
         prepared: PreparedExecution,
@@ -151,19 +186,35 @@ class GlobalABFT(Scheme):
         faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
+        references = self._references_batch(prepared, faults_batch)
+        out_sums = output_summation_batch(c_batch)
+        verdicts = self._verdicts(prepared, references, out_sums, detection)
+        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    # -- sparse re-reduction hooks -------------------------------------
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> np.ndarray:
+        return output_row_sums(prepared.c_clean)
+
+    def _clean_comparison_inputs(self, prepared: PreparedExecution):
         chks: GlobalChecksums = prepared.state
         executor = prepared.executor
-        references = np.full(len(faults_batch), chks.reference, dtype=np.float64)
-        for i, faults in enumerate(faults_batch):
-            for spec in self._checksum_faults(faults):
-                references[i] = corrupted_value(float(references[i]), spec)
-
-        out_sums = output_summation_batch(c_batch)
-        verdicts = compare_checksums_batch(
-            references[:, None],
-            out_sums[:, None],
-            n_terms=executor.m_full * executor.n_full + executor.k_full,
-            magnitudes=chks.magnitude,
-            constants=detection,
+        return (
+            np.asarray([chks.reference], dtype=np.float64),
+            np.asarray([prepared.clean_reductions.sum()], dtype=np.float64),
+            executor.m_full * executor.n_full + executor.k_full,
+            chks.magnitude,
         )
-        return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    def _struck_checks(self, prepared: PreparedExecution, sites: FaultSites):
+        touched, values = struck_output_summations(
+            prepared.clean_reductions, prepared.c_clean, sites
+        )
+        # The output summation is the scheme's single check: index 0.
+        return touched, np.zeros(len(touched), dtype=np.intp), values
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        return splice_output_summation(
+            prepared.clean_reductions, prepared.c_clean, sites
+        )

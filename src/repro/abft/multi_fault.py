@@ -18,7 +18,7 @@ import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
 from ..errors import ConfigurationError
-from ..faults.injector import corrupted_value
+from ..faults.injector import FaultSites, corrupted_value
 from ..faults.model import FaultSpec
 from ..gemm.counters import BYTES_PER_MEM_INSTR, LANES_PER_ALU_INSTR, mainloop_cost
 from ..gemm.executor import EXECUTION_STATS, TiledGemm
@@ -34,8 +34,12 @@ from .base import (
 )
 from .checksums import (
     MultiWeightChecksums,
+    _multi_combine_row_partials,
+    multi_row_partials,
     multi_weight_checksums,
     multi_weighted_output_sums,
+    splice_multi_weighted_output_sums,
+    struck_multi_weighted_sums,
     vandermonde_weights,
 )
 from .detection import compare_checksums_batch
@@ -55,6 +59,7 @@ class MultiChecksumGlobalABFT(Scheme):
     """Global ABFT with ``r`` independent weighted checksums."""
 
     name = "global_multi"
+    supports_sparse = True
 
     def __init__(self, num_checksums: int = 2) -> None:
         if num_checksums < 1:
@@ -157,6 +162,41 @@ class MultiChecksumGlobalABFT(Scheme):
             references=references, magnitudes=magnitudes,
         )
 
+    def _references_batch(
+        self,
+        prepared: PreparedExecution,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+    ) -> np.ndarray:
+        """Per-trial weighted references with checksum-path faults applied."""
+        state: _MultiState = prepared.state
+        references = np.broadcast_to(
+            state.references, (len(faults_batch), self.num_checksums)
+        ).copy()
+        for i, faults in enumerate(faults_batch):
+            for spec in self._checksum_faults(faults):
+                idx = spec.row % self.num_checksums
+                references[i, idx] = corrupted_value(
+                    float(references[i, idx]), spec
+                )
+        return references
+
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        references: np.ndarray,
+        out_sums: np.ndarray,
+        detection: DetectionConstants,
+    ):
+        state: _MultiState = prepared.state
+        executor = prepared.executor
+        return compare_checksums_batch(
+            references,
+            out_sums,
+            n_terms=executor.m_full * executor.n_full + executor.k_full,
+            magnitudes=state.magnitudes,
+            constants=detection,
+        )
+
     def _finish_batch(
         self,
         prepared: PreparedExecution,
@@ -165,26 +205,49 @@ class MultiChecksumGlobalABFT(Scheme):
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
         state: _MultiState = prepared.state
-        executor = prepared.executor
         out_sums = multi_weighted_output_sums(
             c_batch, state.weights_m, state.weights_n
         )  # (N, r)
-
-        references = np.broadcast_to(
-            state.references, out_sums.shape
-        ).copy()
-        for i, faults in enumerate(faults_batch):
-            for spec in self._checksum_faults(faults):
-                idx = spec.row % self.num_checksums
-                references[i, idx] = corrupted_value(
-                    float(references[i, idx]), spec
-                )
-
-        verdicts = compare_checksums_batch(
-            references,
-            out_sums,
-            n_terms=executor.m_full * executor.n_full + executor.k_full,
-            magnitudes=state.magnitudes,
-            constants=detection,
-        )
+        references = self._references_batch(prepared, faults_batch)
+        verdicts = self._verdicts(prepared, references, out_sums, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    # -- sparse re-reduction hooks -------------------------------------
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> np.ndarray:
+        state: _MultiState = prepared.state
+        return multi_row_partials(prepared.c_clean, state.weights_n)
+
+    def _clean_comparison_inputs(self, prepared: PreparedExecution):
+        state: _MultiState = prepared.state
+        executor = prepared.executor
+        clean_sums = _multi_combine_row_partials(
+            prepared.clean_reductions[None], state.weights_m
+        )[0]
+        return (
+            state.references,
+            clean_sums,
+            executor.m_full * executor.n_full + executor.k_full,
+            state.magnitudes,
+        )
+
+    def _struck_checks(self, prepared: PreparedExecution, sites: FaultSites):
+        state: _MultiState = prepared.state
+        touched, values = struck_multi_weighted_sums(
+            prepared.clean_reductions, prepared.c_clean, sites,
+            state.weights_m, state.weights_n,
+        )
+        # A single-element fault perturbs one row partial, which feeds
+        # all r weighted checks: every touched trial strikes 0 .. r-1.
+        r = self.num_checksums
+        trials = np.repeat(touched, r)
+        checks = np.tile(np.arange(r, dtype=np.intp), len(touched))
+        return trials, checks, values.reshape(-1)
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        state: _MultiState = prepared.state
+        return splice_multi_weighted_output_sums(
+            prepared.clean_reductions, prepared.c_clean, sites,
+            state.weights_m, state.weights_n,
+        )

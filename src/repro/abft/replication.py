@@ -20,7 +20,11 @@ from typing import Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
-from ..faults.injector import apply_fault_to_accumulator, corrupted_value
+from ..faults.injector import (
+    FaultSites,
+    apply_fault_to_accumulator,
+    corrupted_value,
+)
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
 from ..gemm.executor import TiledGemm
@@ -33,12 +37,22 @@ from .base import (
     Scheme,
     SchemePlan,
 )
-from .checksums import thread_tile_sums, thread_tile_sums_batch
+from .checksums import (
+    splice_thread_tile_sums,
+    thread_tile_struck_sums,
+    thread_tile_sums,
+    thread_tile_sums_batch,
+)
 from .detection import compare_checksums_batch
 
 
 class ReplicationTraditional(Scheme):
-    """Duplicate MMAs into a second full accumulator set; compare all."""
+    """Duplicate MMAs into a second full accumulator set; compare all.
+
+    No sparse re-reduction path: the check *is* an elementwise compare
+    of the full output against the replica — there is no output-side
+    reduction whose slices a fault could localize to.
+    """
 
     name = "replication_traditional"
 
@@ -108,6 +122,7 @@ class ReplicationSingleAccumulator(Scheme):
     """Duplicate MMAs into one 4-register accumulator; compare sums."""
 
     name = "replication_single"
+    supports_sparse = True
 
     def plan(
         self,
@@ -147,17 +162,15 @@ class ReplicationSingleAccumulator(Scheme):
         magnitudes = view.sum(axis=(1, 3), dtype=np.float64)
         return replica_sums, magnitudes
 
-    def _finish_batch(
+    def _references_batch(
         self,
         prepared: PreparedExecution,
-        c_batch: np.ndarray,
         faults_batch: Sequence[tuple[FaultSpec, ...]],
-        detection: DetectionConstants,
-    ) -> list[ExecutionOutcome]:
+    ) -> np.ndarray:
+        """Per-trial replica sums; checksum-path faults corrupt the replica."""
         executor = prepared.executor
         chosen = prepared.tile
-        clean_sums, magnitudes = prepared.state
-        # Checksum-path faults corrupt the replica accumulator.
+        clean_sums, _ = prepared.state
         struck = [
             (i, specs)
             for i, faults in enumerate(faults_batch)
@@ -175,13 +188,59 @@ class ReplicationSingleAccumulator(Scheme):
                     replica_sums[i, tile_row, tile_col] = corrupted_value(
                         float(replica_sums[i, tile_row, tile_col]), spec
                     )
+        return replica_sums
 
-        original_sums = thread_tile_sums_batch(executor, c_batch)
-        verdicts = compare_checksums_batch(
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        replica_sums: np.ndarray,
+        original_sums: np.ndarray,
+        detection: DetectionConstants,
+    ):
+        chosen = prepared.tile
+        _, magnitudes = prepared.state
+        return compare_checksums_batch(
             replica_sums,
             original_sums,
             n_terms=chosen.mt * chosen.nt,
             magnitudes=magnitudes,
             constants=detection,
         )
+
+    def _finish_batch(
+        self,
+        prepared: PreparedExecution,
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[ExecutionOutcome]:
+        replica_sums = self._references_batch(prepared, faults_batch)
+        original_sums = thread_tile_sums_batch(prepared.executor, c_batch)
+        verdicts = self._verdicts(prepared, replica_sums, original_sums, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    # -- sparse re-reduction hooks -------------------------------------
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> np.ndarray:
+        return thread_tile_sums(prepared.executor, prepared.c_clean)
+
+    def _clean_comparison_inputs(self, prepared: PreparedExecution):
+        chosen = prepared.tile
+        clean_sums, magnitudes = prepared.state
+        return (
+            clean_sums,
+            prepared.clean_reductions,
+            chosen.mt * chosen.nt,
+            magnitudes,
+        )
+
+    def _struck_checks(self, prepared: PreparedExecution, sites: FaultSites):
+        return thread_tile_struck_sums(
+            prepared.executor, prepared.c_clean, sites
+        )
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        return splice_thread_tile_sums(
+            prepared.executor, prepared.clean_reductions, prepared.c_clean, sites
+        )

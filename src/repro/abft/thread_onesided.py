@@ -24,7 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
-from ..faults.injector import apply_fault_to_accumulator
+from ..faults.injector import FaultSites, apply_fault_to_accumulator
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
 from ..gemm.executor import TiledGemm
@@ -41,7 +41,10 @@ from .checksums import (
     OneSidedChecksums,
     TileWeightChecksums,
     one_sided_checksums,
+    one_sided_output_rowsums,
     one_sided_output_rowsums_batch,
+    one_sided_struck_rowsums,
+    splice_one_sided_rowsums,
     tile_weight_checksums,
 )
 from .detection import compare_checksums_batch
@@ -51,6 +54,7 @@ class ThreadLevelOneSided(Scheme):
     """Per-thread one-sided ABFT fused into the GEMM mainloop."""
 
     name = "thread_onesided"
+    supports_sparse = True
 
     def plan(
         self,
@@ -100,19 +104,20 @@ class ThreadLevelOneSided(Scheme):
     ) -> OneSidedChecksums:
         return one_sided_checksums(executor, a_pad, b_pad, weights=weight_state)
 
-    def _finish_batch(
+    def _references_batch(
         self,
         prepared: PreparedExecution,
-        c_batch: np.ndarray,
         faults_batch: Sequence[tuple[FaultSpec, ...]],
-        detection: DetectionConstants,
-    ) -> list[ExecutionOutcome]:
+    ) -> np.ndarray:
+        """Per-trial ABFT references with checksum-path faults applied.
+
+        The checksum side is fault-invariant for most trials: broadcast
+        it, materializing per-trial copies only when checksum-path
+        faults actually strike.
+        """
         chks: OneSidedChecksums = prepared.state
         executor = prepared.executor
         chosen = prepared.tile
-        # The checksum side is fault-invariant for most trials: broadcast
-        # it, materializing per-trial copies only when checksum-path
-        # faults actually strike.
         struck = [
             (i, specs)
             for i, faults in enumerate(faults_batch)
@@ -131,16 +136,66 @@ class ThreadLevelOneSided(Scheme):
                     row = min(spec.row, executor.m_full - 1)
                     apply_fault_to_accumulator(
                         references[i],
-                        type(spec)(row=row, col=tile_col, kind=spec.kind,
-                                   bit=spec.bit, value=spec.value, path=spec.path),
+                        type(spec)(
+                            row=row,
+                            col=tile_col,
+                            kind=spec.kind,
+                            bit=spec.bit,
+                            value=spec.value,
+                            path=spec.path,
+                        ),
                     )
+        return references
 
-        rowsums = one_sided_output_rowsums_batch(executor, c_batch)
-        verdicts = compare_checksums_batch(
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        references: np.ndarray,
+        rowsums: np.ndarray,
+        detection: DetectionConstants,
+    ):
+        chks: OneSidedChecksums = prepared.state
+        return compare_checksums_batch(
             references,
             rowsums,
-            n_terms=executor.k_full + chosen.nt,
+            n_terms=prepared.executor.k_full + prepared.tile.nt,
             magnitudes=chks.magnitude,
             constants=detection,
         )
+
+    def _finish_batch(
+        self,
+        prepared: PreparedExecution,
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[ExecutionOutcome]:
+        references = self._references_batch(prepared, faults_batch)
+        rowsums = one_sided_output_rowsums_batch(prepared.executor, c_batch)
+        verdicts = self._verdicts(prepared, references, rowsums, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    # -- sparse re-reduction hooks -------------------------------------
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> np.ndarray:
+        return one_sided_output_rowsums(prepared.executor, prepared.c_clean)
+
+    def _clean_comparison_inputs(self, prepared: PreparedExecution):
+        chks: OneSidedChecksums = prepared.state
+        return (
+            chks.reference,
+            prepared.clean_reductions,
+            prepared.executor.k_full + prepared.tile.nt,
+            chks.magnitude,
+        )
+
+    def _struck_checks(self, prepared: PreparedExecution, sites: FaultSites):
+        return one_sided_struck_rowsums(
+            prepared.executor, prepared.c_clean, sites
+        )
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        return splice_one_sided_rowsums(
+            prepared.executor, prepared.clean_reductions, prepared.c_clean, sites
+        )

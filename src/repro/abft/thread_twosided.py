@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..config import DEFAULT_CONSTANTS, DetectionConstants, ModelConstants
-from ..faults.injector import apply_fault_to_accumulator
+from ..faults.injector import FaultSites, apply_fault_to_accumulator
 from ..faults.model import FaultSpec
 from ..gemm.counters import mainloop_cost
 from ..gemm.executor import TiledGemm
@@ -37,6 +37,9 @@ from .base import (
 from .checksums import (
     TileWeightChecksums,
     TwoSidedChecksums,
+    splice_thread_tile_sums,
+    thread_tile_struck_sums,
+    thread_tile_sums,
     thread_tile_sums_batch,
     tile_weight_checksums,
     two_sided_checksums,
@@ -48,6 +51,7 @@ class ThreadLevelTwoSided(Scheme):
     """Per-thread two-sided ABFT fused into the GEMM mainloop."""
 
     name = "thread_twosided"
+    supports_sparse = True
 
     def plan(
         self,
@@ -96,13 +100,12 @@ class ThreadLevelTwoSided(Scheme):
     ) -> TwoSidedChecksums:
         return two_sided_checksums(executor, a_pad, b_pad, weights=weight_state)
 
-    def _finish_batch(
+    def _references_batch(
         self,
         prepared: PreparedExecution,
-        c_batch: np.ndarray,
         faults_batch: Sequence[tuple[FaultSpec, ...]],
-        detection: DetectionConstants,
-    ) -> list[ExecutionOutcome]:
+    ) -> np.ndarray:
+        """Per-trial ABFT references with checksum-path faults applied."""
         chks: TwoSidedChecksums = prepared.state
         executor = prepared.executor
         chosen = prepared.tile
@@ -122,16 +125,68 @@ class ThreadLevelTwoSided(Scheme):
                     tile_col = min(spec.col // chosen.nt, executor.n_tiles - 1)
                     apply_fault_to_accumulator(
                         references[i],
-                        type(spec)(row=tile_row, col=tile_col, kind=spec.kind,
-                                   bit=spec.bit, value=spec.value, path=spec.path),
+                        type(spec)(
+                            row=tile_row,
+                            col=tile_col,
+                            kind=spec.kind,
+                            bit=spec.bit,
+                            value=spec.value,
+                            path=spec.path,
+                        ),
                     )
+        return references
 
-        tile_sums = thread_tile_sums_batch(executor, c_batch)
-        verdicts = compare_checksums_batch(
+    def _verdicts(
+        self,
+        prepared: PreparedExecution,
+        references: np.ndarray,
+        tile_sums: np.ndarray,
+        detection: DetectionConstants,
+    ):
+        chks: TwoSidedChecksums = prepared.state
+        chosen = prepared.tile
+        return compare_checksums_batch(
             references,
             tile_sums,
-            n_terms=executor.k_full * chosen.mt + chosen.mt * chosen.nt,
+            n_terms=prepared.executor.k_full * chosen.mt + chosen.mt * chosen.nt,
             magnitudes=chks.magnitude,
             constants=detection,
         )
+
+    def _finish_batch(
+        self,
+        prepared: PreparedExecution,
+        c_batch: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[ExecutionOutcome]:
+        references = self._references_batch(prepared, faults_batch)
+        tile_sums = thread_tile_sums_batch(prepared.executor, c_batch)
+        verdicts = self._verdicts(prepared, references, tile_sums, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
+
+    # -- sparse re-reduction hooks -------------------------------------
+    def _clean_output_reductions(self, prepared: PreparedExecution) -> np.ndarray:
+        return thread_tile_sums(prepared.executor, prepared.c_clean)
+
+    def _clean_comparison_inputs(self, prepared: PreparedExecution):
+        chks: TwoSidedChecksums = prepared.state
+        chosen = prepared.tile
+        return (
+            chks.reference,
+            prepared.clean_reductions,
+            prepared.executor.k_full * chosen.mt + chosen.mt * chosen.nt,
+            chks.magnitude,
+        )
+
+    def _struck_checks(self, prepared: PreparedExecution, sites: FaultSites):
+        return thread_tile_struck_sums(
+            prepared.executor, prepared.c_clean, sites
+        )
+
+    def _sparse_output_reduction(
+        self, prepared: PreparedExecution, sites: FaultSites
+    ) -> np.ndarray:
+        return splice_thread_tile_sums(
+            prepared.executor, prepared.clean_reductions, prepared.c_clean, sites
+        )

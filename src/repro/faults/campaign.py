@@ -10,13 +10,19 @@ rounding noise.
 
 The campaign rides the prepared-execution engine: the operands are
 prepared **once** at construction (padding, tile selection, the clean
-GEMM, operand checksums), and trials execute in stacked
+GEMM, operand checksums), and trials execute in chunked
 :meth:`~repro.abft.base.PreparedExecution.inject_batch` calls — so N
 trials run the clean padded GEMM and the operand-side reductions
-exactly once instead of N+1 times, and the per-trial accumulator
-copies, output-side re-reductions, and verdicts all happen in
-batch-wide NumPy calls (chunked at :attr:`FaultCampaign.batch_size`
-trials to bound the stacked-accumulator memory).
+exactly once instead of N+1 times, and the output-side re-reductions
+and verdicts all happen in batch-wide NumPy calls.  Schemes with a
+sparse re-reduction path (DESIGN.md §1.3) additionally skip the
+stacked accumulator entirely: only the reduction slices each fault
+struck are recomputed, and trial records are classified from the fault
+sites' final values rather than from materialized accumulators, so the
+whole record pipeline — delta gather, significance classification,
+verdict extraction — is vectorized end to end.  The chunk size
+(:attr:`FaultCampaign.batch_size`) is auto-tuned from the scheme's
+check-array footprint unless overridden.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ if TYPE_CHECKING:  # avoid the faults <-> abft import cycle at runtime
     from ..abft.base import Scheme
 from ..errors import FaultInjectionError
 from ..gemm.tiles import TileConfig
+from .injector import faulted_site_values
 from .model import FaultKind, FaultPath, FaultSpec
 
 
@@ -96,10 +103,24 @@ class FaultCampaign:
         (e.g. LSB mantissa flips) are below the rounding-noise floor by
         construction and no checksum scheme can — or needs to — see them.
     batch_size:
-        Trials per stacked ``inject_batch`` call; bounds the transient
-        ``(batch, m_full, n_full)`` accumulator memory while keeping the
-        per-trial Python overhead amortized.
+        Trials per chunked ``inject_batch`` call.  ``None`` (default)
+        auto-tunes it from the scheme's per-trial memory footprint —
+        the check arrays alone on the sparse path, the stacked
+        ``(batch, m_full, n_full)`` accumulator plus check arrays on
+        the dense one — so every scheme's chunk fills roughly the same
+        transient-memory budget while keeping the per-trial Python
+        overhead amortized.
+    sparse:
+        Re-reduction path selector, forwarded to ``inject_batch``:
+        ``None`` (default) uses sparse re-reduction whenever the scheme
+        supports it, ``False`` forces the dense stacked batch, ``True``
+        demands sparse and rejects schemes without it.
     """
+
+    #: Transient-memory budget the auto-tuned batch size fills.
+    BATCH_MEMORY_BUDGET = 32 * 1024 * 1024
+    #: Auto-tuned batch size clamp (amortization floor / memory ceiling).
+    BATCH_SIZE_BOUNDS = (32, 2048)
 
     def __init__(
         self,
@@ -111,16 +132,22 @@ class FaultCampaign:
         detection: DetectionConstants = DEFAULT_DETECTION,
         significance_factor: float = 4.0,
         seed: int = 0,
-        batch_size: int = 128,
+        batch_size: int | None = None,
+        sparse: bool | None = None,
     ) -> None:
         if not scheme.protects:
             raise FaultInjectionError(
                 f"scheme {scheme.name!r} performs no checks; a campaign "
                 f"against it cannot measure coverage"
             )
-        if batch_size <= 0:
+        if batch_size is not None and batch_size <= 0:
             raise FaultInjectionError(
                 f"batch_size must be positive, got {batch_size}"
+            )
+        if sparse and not scheme.supports_sparse:
+            raise FaultInjectionError(
+                f"scheme {scheme.name!r} has no sparse re-reduction path; "
+                f"pass sparse=False or None"
             )
         self.scheme = scheme
         self.a = np.asarray(a, dtype=np.float16)
@@ -128,13 +155,17 @@ class FaultCampaign:
         self.tile = tile
         self.detection = detection
         self.significance_factor = significance_factor
-        self.batch_size = batch_size
+        self.sparse = sparse
         self.rng = np.random.default_rng(seed)
         self._scratch: np.ndarray | None = None
 
         # All fault-invariant work happens exactly once, here; trials
         # only inject into copies of the prepared accumulator.
         self._prepared = scheme.prepare(self.a, self.b, tile=tile)
+        self._use_sparse = scheme.supports_sparse if sparse is None else sparse
+        self.batch_size = (
+            batch_size if batch_size is not None else self._auto_batch_size()
+        )
 
         # Baseline (fault-free) run: establishes the tolerance scale and
         # sanity-checks that the clean execution raises no alarm.
@@ -151,6 +182,39 @@ class FaultCampaign:
         )
 
     # ------------------------------------------------------------------
+    def _auto_batch_size(self) -> int:
+        """Chunk size filling :attr:`BATCH_MEMORY_BUDGET` per batch.
+
+        The per-trial transient footprint depends on the execution
+        path: sparse re-reduction materializes only per-trial copies of
+        the scheme's check arrays (plus comparison intermediates of the
+        same shape), while the dense batch adds the stacked
+        ``(batch, m_full, n_full)`` float32 accumulator.  Schemes with
+        small check arrays (scalar global checks, per-tile sums) thus
+        get much larger chunks than schemes whose checks are
+        output-sized (elementwise replication), instead of everyone
+        sharing one fixed guess.
+        """
+        executor = self._prepared.executor
+        outputs = executor.m_full * executor.n_full
+        if self.scheme.supports_sparse:
+            reductions = self._prepared.clean_reductions
+            if not isinstance(reductions, tuple):
+                reductions = (reductions,)
+            check_bytes = sum(np.asarray(r).nbytes for r in reductions)
+        else:
+            # No slice-decomposable reduction: the check compares
+            # output-sized arrays elementwise (replication).
+            check_bytes = 8 * outputs
+        if self._use_sparse:
+            # Broadcast check-array copy + residual/tolerance/verdict
+            # intermediates, all check-shaped; no stacked accumulator.
+            per_trial = 6 * check_bytes + 256
+        else:
+            per_trial = 4 * outputs + 4 * check_bytes
+        low, high = self.BATCH_SIZE_BOUNDS
+        return max(low, min(high, self.BATCH_MEMORY_BUDGET // per_trial))
+
     @property
     def fault_domain(self) -> tuple[int, int]:
         """Padded accumulator shape every random fault site is drawn from.
@@ -241,31 +305,77 @@ class FaultCampaign:
             spec=spec, delta=delta, detected=outcome.detected, significant=significant
         )
 
+    def _records_batch(
+        self, specs: Sequence[FaultSpec], outcomes: Sequence, sites=None
+    ) -> list[TrialRecord]:
+        """Vectorized record assembly for one single-fault chunk.
+
+        Deltas come from the fault sites' final values
+        (:func:`~repro.faults.injector.faulted_site_values` — the same
+        corruption core injection uses), not from reading materialized
+        accumulators, so the gather is one fancy-indexed NumPy call on
+        either execution path and sparse outcomes never materialize
+        their grids.  Significance classification is a single
+        vectorized comparison.  Record-for-record identical to
+        :meth:`_record` on each (spec, outcome) pair.
+        """
+        n = len(specs)
+        clean = self._prepared.c_clean
+        deltas = np.full(n, np.nan)
+        if sites is None:
+            sites = faulted_site_values(clean, [(spec,) for spec in specs])
+        if len(sites):
+            deltas[sites.trials] = sites.values.astype(np.float64) - clean[
+                sites.rows, sites.cols
+            ].astype(np.float64)
+        threshold = self.significance_factor * self._tolerance_scale
+        with np.errstate(invalid="ignore"):
+            significant = ~np.isfinite(deltas) | (np.abs(deltas) > threshold)
+        return [
+            TrialRecord(
+                spec=specs[i],
+                delta=float(deltas[i]),
+                detected=outcomes[i].detected,
+                significant=bool(significant[i]),
+            )
+            for i in range(n)
+        ]
+
     def _run_specs(self, specs: Sequence[FaultSpec]) -> list[TrialRecord]:
         """Execute all specs through chunked ``inject_batch`` calls.
 
-        One scratch buffer of ``batch_size`` stacked accumulators is
-        allocated lazily and reused across chunks (and campaign runs):
-        records are extracted from each chunk's outcomes before the next
-        chunk overwrites the buffer.
+        On the dense path one scratch buffer of ``batch_size`` stacked
+        accumulators is allocated lazily and reused across chunks (and
+        campaign runs): records are extracted from each chunk's
+        outcomes before the next chunk overwrites the buffer.  The
+        sparse path materializes no accumulators, so it needs no
+        scratch at all.
         """
         records: list[TrialRecord] = []
-        size = min(self.batch_size, len(specs))
-        if size and (self._scratch is None or len(self._scratch) < size):
-            self._scratch = np.empty(
-                (size, *self._prepared.c_clean.shape), dtype=np.float32
-            )
+        scratch = None
+        if not self._use_sparse:
+            size = min(self.batch_size, len(specs))
+            if size and (self._scratch is None or len(self._scratch) < size):
+                self._scratch = np.empty(
+                    (size, *self._prepared.c_clean.shape), dtype=np.float32
+                )
+            scratch = self._scratch
         for start in range(0, len(specs), self.batch_size):
             chunk = list(specs[start:start + self.batch_size])
+            trials = [(spec,) for spec in chunk]
+            sites = None
+            if self._use_sparse:
+                # One fault→site valuation serves both the sparse
+                # injection and the record classification.
+                sites = faulted_site_values(self._prepared.c_clean, trials)
             outcomes = self._prepared.inject_batch(
-                [(spec,) for spec in chunk],
+                trials,
                 detection=self.detection,
-                out=self._scratch[: len(chunk)],
+                out=scratch[: len(chunk)] if scratch is not None else None,
+                sparse=self._use_sparse,
+                sites=sites,
             )
-            records.extend(
-                self._record(spec, outcome)
-                for spec, outcome in zip(chunk, outcomes)
-            )
+            records.extend(self._records_batch(chunk, outcomes, sites))
         return records
 
     def run(self, n_trials: int, specs: Sequence[FaultSpec] | None = None) -> CampaignResult:

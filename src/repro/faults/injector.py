@@ -1,24 +1,31 @@
 """Application of fault specs to numeric accumulators.
 
-Two granularities: :func:`apply_fault_to_accumulator` corrupts one
-element of one accumulator (the scalar path reference semantics), and
+Three granularities: :func:`apply_fault_to_accumulator` corrupts one
+element of one accumulator (the scalar path reference semantics),
 :func:`apply_fault_batch` applies one fault per *trial slice* of a
-stacked ``(N, rows, cols)`` accumulator with fancy indexing — the hot
-path of :meth:`repro.abft.base.PreparedExecution.inject_batch`.  The
-batch path is bit-identical to the scalar path per element: additive
+stacked ``(N, rows, cols)`` accumulator with fancy indexing, and
+:func:`faulted_site_values` computes the final post-fault value of
+every struck output element *without* materializing any per-trial
+accumulator at all — the fault→coordinate mapping that feeds the
+sparse re-reduction path of
+:meth:`repro.abft.base.PreparedExecution.inject_batch`.
+
+All paths share one corruption core (:func:`corrupted_values_batch`)
+and are bit-identical to the scalar reference per element: additive
 faults accumulate in float64 before rounding back to float32, and bit
 flips operate on the same FP32/FP16 views the scalar helpers use.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..errors import FaultInjectionError
 from .bits import flip_fp16_bit, flip_fp32_bit
-from .model import FaultKind, FaultSpec
+from .model import FaultKind, FaultPath, FaultSpec
 
 
 def corrupted_value(original: float, spec: FaultSpec) -> float:
@@ -57,27 +64,70 @@ def apply_fault_to_accumulator(c_pad: np.ndarray, spec: FaultSpec) -> float:
     return float(np.float32(new)) - old
 
 
-def apply_fault_batch(
-    c_batch: np.ndarray,
-    trials: np.ndarray,
-    specs: Sequence[FaultSpec],
-) -> None:
-    """Corrupt one element per listed trial of a stacked accumulator.
+def corrupted_values_batch(
+    values: np.ndarray, specs: Sequence[FaultSpec]
+) -> np.ndarray:
+    """Post-fault values of a flat float32 vector, one spec per element.
 
-    ``specs[i]`` strikes ``c_batch[trials[i], specs[i].row, specs[i].col]``.
-    Faults are grouped by kind and each group is applied with one fancy
-    indexed read-modify-write, so the whole call is a handful of NumPy
-    operations regardless of how many trials it covers.  A trial may
-    appear at most once per call; callers sequencing multiple faults
-    into the same trial make one call per ordering step.
+    The vectorized corruption core shared by every batch path: faults
+    are grouped by kind and each group is applied in one NumPy
+    operation, bit-identical per element to :func:`corrupted_value`
+    (additive faults accumulate in float64 before rounding back to
+    float32; bit flips round-trip through float64 exactly like the
+    scalar helpers, so a flip into the NaN space stores the quieted
+    pattern, not the raw signaling bits).
     """
-    if len(trials) != len(specs):
+    if values.shape != (len(specs),):
         raise FaultInjectionError(
-            f"{len(trials)} trial indices for {len(specs)} fault specs"
+            f"{values.shape} corruption values for {len(specs)} fault specs"
         )
-    if not len(specs):
-        return
-    _, rows_total, cols_total = c_batch.shape
+    out = np.ascontiguousarray(values, dtype=np.float32)
+    if out is values:
+        out = values.copy()
+    groups: dict[FaultKind, list[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(spec.kind, []).append(i)
+    for kind, members in groups.items():
+        sel = np.asarray(members, dtype=np.intp)
+        if kind is FaultKind.ADD:
+            deltas = np.fromiter(
+                (specs[i].value for i in members), dtype=np.float64,
+                count=len(members),
+            )
+            out[sel] = (out[sel].astype(np.float64) + deltas).astype(np.float32)
+        elif kind is FaultKind.SET:
+            news = np.fromiter(
+                (specs[i].value for i in members), dtype=np.float64,
+                count=len(members),
+            )
+            out[sel] = news.astype(np.float32)
+        elif kind is FaultKind.BITFLIP_FP32:
+            masks = np.fromiter(
+                (1 << specs[i].bit for i in members), dtype=np.uint32,
+                count=len(members),
+            )
+            flipped = (out[sel].view(np.uint32) ^ masks).view(np.float32)
+            with np.errstate(invalid="ignore"):
+                out[sel] = flipped.astype(np.float64).astype(np.float32)
+        elif kind is FaultKind.BITFLIP_FP16:
+            masks = np.fromiter(
+                (1 << specs[i].bit for i in members), dtype=np.uint16,
+                count=len(members),
+            )
+            with np.errstate(over="ignore"):
+                halves = out[sel].astype(np.float16)
+            flipped = (halves.view(np.uint16) ^ masks).view(np.float16)
+            with np.errstate(invalid="ignore"):
+                out[sel] = flipped.astype(np.float64).astype(np.float32)
+        else:
+            raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+    return out
+
+
+def _validated_coords(
+    specs: Sequence[FaultSpec], rows_total: int, cols_total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row/col index arrays of ``specs``, bounds-checked."""
     count = len(specs)
     rows = np.fromiter((s.row for s in specs), dtype=np.intp, count=count)
     cols = np.fromiter((s.col for s in specs), dtype=np.intp, count=count)
@@ -88,47 +138,131 @@ def apply_fault_batch(
             f"fault site ({bad.row}, {bad.col}) outside accumulator "
             f"{rows_total}x{cols_total}"
         )
+    return rows, cols
 
-    groups: dict[FaultKind, list[int]] = {}
-    for i, spec in enumerate(specs):
-        groups.setdefault(spec.kind, []).append(i)
-    for kind, members in groups.items():
-        sel = np.asarray(members, dtype=np.intp)
-        t, r, c = trials[sel], rows[sel], cols[sel]
-        if kind is FaultKind.ADD:
-            deltas = np.fromiter(
-                (specs[i].value for i in members), dtype=np.float64,
-                count=len(members),
-            )
-            c_batch[t, r, c] = (
-                c_batch[t, r, c].astype(np.float64) + deltas
-            ).astype(np.float32)
-        elif kind is FaultKind.SET:
-            values = np.fromiter(
-                (specs[i].value for i in members), dtype=np.float64,
-                count=len(members),
-            )
-            c_batch[t, r, c] = values.astype(np.float32)
-        elif kind is FaultKind.BITFLIP_FP32:
-            masks = np.fromiter(
-                (1 << specs[i].bit for i in members), dtype=np.uint32,
-                count=len(members),
-            )
-            flipped = (c_batch[t, r, c].view(np.uint32) ^ masks).view(np.float32)
-            # Round-trip through float64 exactly like the scalar helpers
-            # (float() then np.float32): a flip into the NaN space stores
-            # the quieted pattern, not the raw signaling bits.
-            with np.errstate(invalid="ignore"):
-                c_batch[t, r, c] = flipped.astype(np.float64).astype(np.float32)
-        elif kind is FaultKind.BITFLIP_FP16:
-            masks = np.fromiter(
-                (1 << specs[i].bit for i in members), dtype=np.uint16,
-                count=len(members),
-            )
-            with np.errstate(over="ignore"):
-                halves = c_batch[t, r, c].astype(np.float16)
-            flipped = (halves.view(np.uint16) ^ masks).view(np.float16)
-            with np.errstate(invalid="ignore"):
-                c_batch[t, r, c] = flipped.astype(np.float64).astype(np.float32)
-        else:
-            raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+
+def apply_fault_batch(
+    c_batch: np.ndarray,
+    trials: np.ndarray,
+    specs: Sequence[FaultSpec],
+) -> None:
+    """Corrupt one element per listed trial of a stacked accumulator.
+
+    ``specs[i]`` strikes ``c_batch[trials[i], specs[i].row, specs[i].col]``.
+    The struck elements are gathered with one fancy-indexed read, run
+    through :func:`corrupted_values_batch`, and scattered back, so the
+    whole call is a handful of NumPy operations regardless of how many
+    trials it covers.  A trial may appear at most once per call; callers
+    sequencing multiple faults into the same trial make one call per
+    ordering step.
+    """
+    if len(trials) != len(specs):
+        raise FaultInjectionError(
+            f"{len(trials)} trial indices for {len(specs)} fault specs"
+        )
+    if not len(specs):
+        return
+    _, rows_total, cols_total = c_batch.shape
+    rows, cols = _validated_coords(specs, rows_total, cols_total)
+    c_batch[trials, rows, cols] = corrupted_values_batch(
+        c_batch[trials, rows, cols], specs
+    )
+
+
+@dataclass(frozen=True)
+class FaultSites:
+    """Every original-path fault site of a trial batch, with final values.
+
+    One entry per **unique** ``(trial, row, col)`` site: ``values[i]``
+    is the value the accumulator element would hold after *all* of that
+    trial's faults on that site were applied in spec order.  This is
+    the sparse re-reduction engine's whole view of a batch — which
+    output elements changed and what they became — derived without
+    touching an ``(N, m, n)`` accumulator.
+    """
+
+    trials: np.ndarray  # (S,) intp — trial index per site
+    rows: np.ndarray  # (S,) intp — padded accumulator row
+    cols: np.ndarray  # (S,) intp — padded accumulator column
+    values: np.ndarray  # (S,) float32 — final post-fault element value
+    n_trials: int
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+
+def faulted_site_values(
+    c_clean: np.ndarray,
+    faults_batch: Sequence[Sequence[FaultSpec]],
+) -> FaultSites:
+    """Map a trial batch's original-path faults to final site values.
+
+    Walks the same per-trial ordering steps as the dense stacked path
+    (step ``j`` applies every trial's ``j``-th original-path fault), but
+    applies each step's corruption only to the handful of struck clean
+    values — so deriving the sparse engine's inputs costs O(faults),
+    not O(trials x outputs).  Bit-identical per element to reading the
+    struck sites out of :func:`apply_fault_batch`'s accumulator.
+    """
+    rows_total, cols_total = c_clean.shape
+    site_index: dict[tuple[int, int, int], int] = {}
+    site_trials: list[int] = []
+    site_rows: list[int] = []
+    site_cols: list[int] = []
+    steps: list[list[tuple[int, FaultSpec]]] = []
+    for t, faults in enumerate(faults_batch):
+        step = 0
+        for spec in faults:
+            if spec.path is not FaultPath.ORIGINAL:
+                continue
+            key = (t, spec.row, spec.col)
+            idx = site_index.get(key)
+            if idx is None:
+                idx = len(site_trials)
+                site_index[key] = idx
+                site_trials.append(t)
+                site_rows.append(spec.row)
+                site_cols.append(spec.col)
+            if step == len(steps):
+                steps.append([])
+            steps[step].append((idx, spec))
+            step += 1
+
+    trials = np.asarray(site_trials, dtype=np.intp)
+    rows = np.asarray(site_rows, dtype=np.intp)
+    cols = np.asarray(site_cols, dtype=np.intp)
+    if len(trials):
+        all_specs = [spec for entries in steps for _, spec in entries]
+        _validated_coords(all_specs, rows_total, cols_total)
+    values = c_clean[rows, cols].astype(np.float32, copy=True)
+    for entries in steps:
+        sel = np.asarray([idx for idx, _ in entries], dtype=np.intp)
+        values[sel] = corrupted_values_batch(
+            values[sel], [spec for _, spec in entries]
+        )
+    return FaultSites(
+        trials=trials, rows=rows, cols=cols, values=values,
+        n_trials=len(faults_batch),
+    )
+
+
+def subset_sites(sites: FaultSites, trial_indices: Sequence[int]) -> FaultSites:
+    """Sites of the listed trials, renumbered to the subset's order.
+
+    ``trial_indices[j]`` becomes trial ``j`` of the returned map — the
+    shape the sparse engine's dense-fallback takes when a few trials of
+    a batch (those with corrupted checksum sides) need fully
+    materialized check arrays.
+    """
+    renumber = {int(t): j for j, t in enumerate(trial_indices)}
+    if len(renumber) != len(trial_indices):
+        raise FaultInjectionError("trial_indices must be unique")
+    mask = np.isin(sites.trials, np.asarray(trial_indices, dtype=np.intp))
+    kept = sites.trials[mask]
+    return FaultSites(
+        trials=np.asarray([renumber[int(t)] for t in kept], dtype=np.intp),
+        rows=sites.rows[mask],
+        cols=sites.cols[mask],
+        values=sites.values[mask],
+        n_trials=len(trial_indices),
+    )

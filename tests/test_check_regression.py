@@ -12,50 +12,131 @@ check_regression = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_regression)
 
 
-def _report(speedup, trials=200, warm_weight_reductions=0):
+def _report(dense=10.0, sparse=40.0, trials=200, warm_weight_reductions=0):
     return {
         "campaign": {
-            "global": {"trials": trials, "speedup": speedup},
+            "global": {
+                "trials": trials,
+                "paths": {
+                    "dense": {"speedup": dense},
+                    "sparse": {"speedup": sparse},
+                },
+                "speedup": sparse,
+            },
         },
         "inference": {"warm_weight_reductions": warm_weight_reductions},
     }
 
 
+def _failures(bench, baseline, threshold=0.25):
+    failures, _ = check_regression.check(bench, baseline, threshold)
+    return failures
+
+
 class TestGate:
     def test_equal_speedup_passes(self):
-        assert check_regression.check(_report(10.0), _report(10.0), 0.25) == []
+        assert _failures(_report(), _report()) == []
 
     def test_improvement_passes(self):
-        assert check_regression.check(_report(30.0), _report(10.0), 0.25) == []
+        assert _failures(_report(dense=30.0, sparse=120.0), _report()) == []
 
     def test_within_threshold_passes(self):
-        assert check_regression.check(_report(7.6), _report(10.0), 0.25) == []
+        assert _failures(_report(dense=7.6, sparse=30.4), _report()) == []
 
-    def test_regression_beyond_threshold_fails(self):
-        failures = check_regression.check(_report(7.4), _report(10.0), 0.25)
+    def test_dense_regression_beyond_threshold_fails(self):
+        failures = _failures(_report(dense=7.4), _report())
         assert len(failures) == 1
-        assert "global" in failures[0]
+        assert "global/dense" in failures[0]
+
+    def test_sparse_regression_fails_even_when_dense_holds(self):
+        """Every (scheme, path) pair is gated independently."""
+        failures = _failures(_report(sparse=29.0), _report())
+        assert len(failures) == 1
+        assert "global/sparse" in failures[0]
 
     def test_missing_scheme_fails(self):
         bench = {"campaign": {}, "inference": {"warm_weight_reductions": 0}}
-        failures = check_regression.check(bench, _report(10.0), 0.25)
+        failures = _failures(bench, _report())
         assert any("missing" in f for f in failures)
 
+    def test_missing_path_fails(self):
+        bench = _report()
+        del bench["campaign"]["global"]["paths"]["sparse"]
+        failures = _failures(bench, _report())
+        assert any("global/sparse" in f and "missing" in f for f in failures)
+
     def test_trial_count_mismatch_fails(self):
-        failures = check_regression.check(
-            _report(10.0, trials=25), _report(10.0, trials=200), 0.25
-        )
+        failures = _failures(_report(trials=25), _report(trials=200))
         assert any("25 trials" in f for f in failures)
 
     def test_warm_weight_reductions_fail(self):
-        failures = check_regression.check(
-            _report(10.0, warm_weight_reductions=3), _report(10.0), 0.25
+        failures = _failures(
+            _report(warm_weight_reductions=3), _report()
         )
         assert any("weight-side reductions" in f for f in failures)
+
+    def test_pre_sparse_flat_schema_still_gates(self):
+        """A baseline predating the per-path table gates on its flat
+        speedup, so the gate survives a schema transition."""
+        old = {
+            "campaign": {"global": {"trials": 200, "speedup": 10.0}},
+            "inference": {"warm_weight_reductions": 0},
+        }
+        assert _failures(old, old) == []
+        slow = {
+            "campaign": {"global": {"trials": 200, "speedup": 7.0}},
+            "inference": {"warm_weight_reductions": 0},
+        }
+        assert any("global/prepared" in f for f in _failures(slow, old))
+
+    def test_flat_baseline_gates_new_per_path_bench(self):
+        """An old flat baseline against new per-path bench output gates
+        on the bench's flat engine-default speedup — an improved engine
+        must pass, a regressed one must fail."""
+        old = {
+            "campaign": {"global": {"trials": 200, "speedup": 10.0}},
+            "inference": {"warm_weight_reductions": 0},
+        }
+        assert _failures(_report(dense=12.0, sparse=40.0), old) == []
+        failures = _failures(_report(dense=6.0, sparse=7.0), old)
+        assert any("global/prepared" in f for f in failures)
 
     def test_committed_baseline_parses_and_self_passes(self):
         """The repo's committed baseline must pass its own gate."""
         import json
 
         baseline = json.loads((REPO_ROOT / "BENCH_prepared.json").read_text())
-        assert check_regression.check(baseline, baseline, 0.25) == []
+        assert _failures(baseline, baseline) == []
+
+
+class TestStepSummary:
+    def test_summary_renders_every_pair_and_verdict(self):
+        failures, rows = check_regression.check(
+            _report(sparse=29.0), _report(), 0.25
+        )
+        text = check_regression.render_summary(rows, failures)
+        assert "| global | dense |" in text
+        assert "| global | sparse |" in text
+        assert "REGRESSED" in text
+        assert "Gate FAILED" in text
+
+    def test_summary_reports_clean_pass(self):
+        failures, rows = check_regression.check(_report(), _report(), 0.25)
+        text = check_regression.render_summary(rows, failures)
+        assert "REGRESSED" not in text
+        assert "Gate passed" in text
+
+    def test_summary_appends_to_env_target(self, tmp_path, monkeypatch):
+        target = tmp_path / "summary.md"
+        target.write_text("earlier content\n")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+        failures, rows = check_regression.check(_report(), _report(), 0.25)
+        check_regression.write_step_summary(rows, failures)
+        text = target.read_text()
+        assert text.startswith("earlier content\n")
+        assert "Prepared-engine perf gate" in text
+
+    def test_summary_skipped_without_env(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        # Must be a no-op, not an error.
+        check_regression.write_step_summary([], [])
