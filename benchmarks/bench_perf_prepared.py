@@ -14,6 +14,10 @@ Measures the two hot paths the engine amortizes (DESIGN.md §4):
   path takes the best of several repetitions after one untimed warmup,
   so the number is steady-state campaign throughput (construction
   included) rather than first-touch page faults or background load.
+  A fourth row (``global_multi_r2_4f``) runs the §2.4 multi-fault
+  campaign mode — ``global_multi`` with two checksums and four
+  simultaneous faults per trial — so the per-trial fault-set machinery
+  is perf-gated alongside the single-fault paths.
 * **Per-inference latency**: repeated ``ProtectedInference.run`` passes
   on one engine, cold (first pass builds the per-layer weight-checksum
   cache) versus warm (weight side fully reused).
@@ -36,7 +40,7 @@ import time
 
 import numpy as np
 
-from repro.abft import get_scheme
+from repro.abft import MultiChecksumGlobalABFT, get_scheme
 from repro.faults import FaultCampaign
 from repro.gemm import EXECUTION_STATS
 from repro.nn import ProtectedInference, SequentialModel
@@ -50,6 +54,18 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_M, DEFAULT_N, DEFAULT_K = 192, 160, 256
 DEFAULT_TRIALS = 200
 CAMPAIGN_SCHEMES = ("global", "thread_onesided", "thread_twosided")
+
+#: Multi-fault campaign row: the §2.4 scheme under its target workload
+#: (r simultaneous faults per trial through the sparse batched path).
+MULTI_FAULT_KEY = "global_multi_r2_4f"
+MULTI_FAULT_CHECKSUMS = 2
+MULTI_FAULTS_PER_TRIAL = 4
+
+
+def _make_scheme(name: str):
+    if name == "global_multi":
+        return MultiChecksumGlobalABFT(MULTI_FAULT_CHECKSUMS)
+    return get_scheme(name)
 
 
 def _best_time(run, *, repeats: int) -> float:
@@ -70,32 +86,48 @@ def _best_time(run, *, repeats: int) -> float:
 
 
 def bench_campaign(
-    scheme_name: str, *, trials: int, seed: int, repeats: int
+    scheme_name: str,
+    *,
+    trials: int,
+    seed: int,
+    repeats: int,
+    faults_per_trial: int = 1,
 ) -> dict:
-    """Direct-execute vs dense vs sparse prepared campaigns, same specs."""
+    """Direct-execute vs dense vs sparse prepared campaigns, same specs.
+
+    ``faults_per_trial > 1`` benches the multi-fault campaign mode:
+    every trial injects that many simultaneous faults, so the direct
+    baseline pays the same per-trial fault work as the batched paths.
+    """
     rng = np.random.default_rng(seed)
     a = (rng.standard_normal((DEFAULT_M, DEFAULT_K)) * 0.5).astype(np.float16)
     b = (rng.standard_normal((DEFAULT_K, DEFAULT_N)) * 0.5).astype(np.float16)
 
-    campaign = FaultCampaign(get_scheme(scheme_name), a, b, seed=seed)
-    specs = campaign.draw_faults(trials)
+    campaign = FaultCampaign(_make_scheme(scheme_name), a, b, seed=seed)
+    drawn = campaign.draw_faults(trials, faults_per_trial=faults_per_trial)
+    trial_sets = [
+        entry if isinstance(entry, tuple) else (entry,) for entry in drawn
+    ]
 
     # Cross-check once: every path must agree on every verdict.
-    scheme = get_scheme(scheme_name)
+    scheme = _make_scheme(scheme_name)
     direct_detected = [
-        scheme.execute(a, b, faults=[spec]).detected for spec in specs
+        scheme.execute(a, b, faults=list(faults)).detected
+        for faults in trial_sets
     ]
     for sparse in (False, True):
         batched = FaultCampaign(
-            get_scheme(scheme_name), a, b, seed=seed, sparse=sparse
-        ).run(len(specs), specs=specs)
+            _make_scheme(scheme_name), a, b, seed=seed, sparse=sparse
+        ).run(len(trial_sets), specs=trial_sets)
         assert [t.detected for t in batched.trials] == direct_detected, (
             f"{'sparse' if sparse else 'dense'} path disagrees on verdicts"
         )
 
     # Direct baseline: what every trial cost before this engine existed.
     direct_s = _best_time(
-        lambda: [scheme.execute(a, b, faults=[spec]) for spec in specs],
+        lambda: [
+            scheme.execute(a, b, faults=list(faults)) for faults in trial_sets
+        ],
         repeats=repeats,
     )
 
@@ -103,9 +135,9 @@ def bench_campaign(
     # the dense stacked batch and sparse re-reduction, side by side.
     def prepared_run(sparse: bool):
         fresh = FaultCampaign(
-            get_scheme(scheme_name), a, b, seed=seed, sparse=sparse
+            _make_scheme(scheme_name), a, b, seed=seed, sparse=sparse
         )
-        fresh.run(len(specs), specs=specs)
+        fresh.run(len(trial_sets), specs=trial_sets)
 
     paths = {}
     for label, sparse in (("dense", False), ("sparse", True)):
@@ -121,6 +153,7 @@ def bench_campaign(
     # across PRs.
     return {
         "trials": trials,
+        "faults_per_trial": faults_per_trial,
         "repeats": repeats,
         "direct_s": direct_s,
         "direct_trials_per_s": trials / direct_s,
@@ -201,17 +234,22 @@ def main() -> None:
         "campaign_problem": {"m": DEFAULT_M, "n": DEFAULT_N, "k": DEFAULT_K},
         "campaign": {},
     }
-    for name in CAMPAIGN_SCHEMES:
-        report["campaign"][name] = bench_campaign(
-            name, trials=trials, seed=17, repeats=repeats
+    campaign_rows = [(name, 1) for name in CAMPAIGN_SCHEMES]
+    campaign_rows.append(("global_multi", MULTI_FAULTS_PER_TRIAL))
+    for name, faults_per_trial in campaign_rows:
+        key = name if faults_per_trial == 1 else MULTI_FAULT_KEY
+        report["campaign"][key] = bench_campaign(
+            name, trials=trials, seed=17, repeats=repeats,
+            faults_per_trial=faults_per_trial,
         )
-        row = report["campaign"][name]
-        dense, sparse = row["paths"]["dense"], row["paths"]["sparse"]
-        print(f"campaign[{name}]: direct {row['direct_trials_per_s']:8.1f} "
-              f"trials/s -> dense {dense['trials_per_s']:8.1f} "
-              f"({dense['speedup']:.1f}x) -> sparse "
-              f"{sparse['trials_per_s']:8.1f} ({sparse['speedup']:.1f}x, "
-              f"{sparse['speedup'] / dense['speedup']:.1f}x over dense)")
+        row = report["campaign"][key]
+        print(f"campaign[{key}]: direct {row['direct_trials_per_s']:8.1f} "
+              f"trials/s -> dense {row['paths']['dense']['trials_per_s']:8.1f} "
+              f"({row['paths']['dense']['speedup']:.1f}x) -> sparse "
+              f"{row['paths']['sparse']['trials_per_s']:8.1f} "
+              f"({row['paths']['sparse']['speedup']:.1f}x, "
+              f"{row['paths']['sparse']['speedup'] / row['paths']['dense']['speedup']:.1f}x "
+              f"over dense)")
 
     report["inference"] = bench_inference(passes=passes, seed=17)
     inf = report["inference"]

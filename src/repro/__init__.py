@@ -31,6 +31,7 @@ from .abft import (
     GlobalABFT,
     MultiChecksumGlobalABFT,
     NoProtection,
+    PreparedCache,
     PreparedExecution,
     PreparedWeights,
     ReplicationSingleAccumulator,
@@ -83,6 +84,7 @@ __all__ = [
     "select_tile",
     # abft
     "Scheme",
+    "PreparedCache",
     "PreparedExecution",
     "PreparedWeights",
     "NoProtection",

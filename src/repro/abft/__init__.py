@@ -20,6 +20,7 @@ across activations of any row count.
 from .base import (
     ExecutionOutcome,
     PlannedKernel,
+    PreparedCache,
     PreparedExecution,
     PreparedWeights,
     Scheme,
@@ -66,6 +67,7 @@ __all__ = [
     "SchemePlan",
     "PlannedKernel",
     "ExecutionOutcome",
+    "PreparedCache",
     "PreparedExecution",
     "PreparedWeights",
     "CheckVerdict",

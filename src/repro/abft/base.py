@@ -51,6 +51,8 @@ activation batches of different row counts.
 from __future__ import annotations
 
 import abc
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -450,6 +452,110 @@ class PreparedExecution:
         return self.scheme._finish_batch(self, c_batch, faults_batch, detection)
 
 
+class PreparedCache:
+    """Cross-campaign cache of :class:`PreparedExecution` states.
+
+    Parameter sweeps — several :class:`~repro.faults.FaultCampaign`
+    instances over one problem, varying significance factors, detection
+    constants, or per-trial fault counts — repeat the *identical*
+    fault-invariant work per campaign: padding, tile selection, the
+    clean GEMM, and the operand-side reductions depend only on
+    ``(scheme, a, b, tile)``.  This cache keys prepared states by
+    exactly that tuple — the scheme's :attr:`Scheme.cache_token`, a
+    content digest of each operand, and the *resolved* tile (an
+    explicit override and the tile ``select_tile`` would pick
+    deduplicate to one entry) — so a sweep of N campaigns runs the
+    expensive half exactly once, asserted in tests via
+    ``EXECUTION_STATS``.  Lazily built sparse-path state
+    (:attr:`PreparedExecution.clean_reductions`, the per-constants
+    ``CleanComparison``) lives on the shared entry too, so later
+    campaigns skip even that.
+
+    Entries stand in for their operands exactly like any prepared plan:
+    the digest is taken at :meth:`get` time, so *mutating* an operand
+    array after a hit was cached is safe (the new content digests
+    differently) — but the cached state must not be mutated by
+    consumers, which no engine path does.
+
+    Parameters
+    ----------
+    maxsize:
+        Optional LRU bound on the number of cached states (each holds
+        padded operands plus the clean accumulator).  ``None`` —
+        the default — keeps every entry, which is right for sweeps
+        over a handful of problems.
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ConfigurationError(
+                f"maxsize must be positive or None, got {maxsize}"
+            )
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, PreparedExecution] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _digest(arr: np.ndarray) -> bytes:
+        """Content digest of one operand (dtype, shape, and bytes)."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+        return h.digest()
+
+    def key_for(
+        self,
+        scheme: "Scheme",
+        a: np.ndarray,
+        b: np.ndarray,
+        tile: TileConfig | None = None,
+    ) -> tuple:
+        """The cache key ``(scheme, a, b, tile)`` resolves to."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if tile is None and a.ndim == 2 and b.ndim == 2 and a.shape[1] == b.shape[0]:
+            tile = select_tile(GemmProblem(a.shape[0], b.shape[1], a.shape[1]))
+        return (scheme.cache_token, self._digest(a), self._digest(b), tile)
+
+    def get(
+        self,
+        scheme: "Scheme",
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tile: TileConfig | None = None,
+    ) -> PreparedExecution:
+        """The shared prepared state for ``(scheme, a, b, tile)``.
+
+        A hit returns the cached :class:`PreparedExecution` (prepared
+        by an equivalent scheme on identical operand contents — the
+        state is fault-invariant, so results are bit-identical to a
+        private ``scheme.prepare``); a miss prepares, caches, and
+        returns.  Malformed operands raise ``prepare``'s own errors.
+        """
+        key = self.key_for(scheme, a, b, tile)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        prepared = scheme.prepare(a, b, tile=tile)
+        self._entries[key] = prepared
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return prepared
+
+    def clear(self) -> None:
+        """Drop every cached state (hit/miss counters keep counting)."""
+        self._entries.clear()
+
+
 class Scheme(abc.ABC):
     """Abstract redundant-execution scheme."""
 
@@ -465,6 +571,19 @@ class Scheme(abc.ABC):
     #: check is elementwise over the full output (replication) or
     #: nonexistent (none) leave this False and always run dense.
     supports_sparse: bool = False
+
+    @property
+    def cache_token(self) -> Any:
+        """Hashable identity under which prepared state may be shared.
+
+        Two scheme instances with equal tokens must produce
+        bit-identical prepared state for identical operands —
+        :class:`PreparedCache` relies on this.  The registry name
+        suffices for parameterless schemes; schemes whose constructor
+        arguments change the prepared state (e.g. ``global_multi``'s
+        checksum count) must fold them in.
+        """
+        return self.name
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

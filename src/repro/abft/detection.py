@@ -81,7 +81,10 @@ def compare_checksums(
         )
     mags = np.broadcast_to(np.asarray(magnitudes, dtype=np.float64), lhs.shape)
 
-    residual = np.abs(lhs - rhs)
+    # inf - inf (both sides blown up by faults) is a legitimate NaN
+    # residual — non-finite always counts as detected below.
+    with np.errstate(invalid="ignore"):
+        residual = np.abs(lhs - rhs)
     n = max(int(n_terms), 2)
     gamma = (np.log2(n) + 1.0) * constants.fp32_unit_roundoff
     tol = np.maximum(constants.atol_floor, constants.rtol_slack * gamma * np.abs(mags))
@@ -147,7 +150,10 @@ def compare_checksums_batch(
     # memory-bound comparison never pays for precision the tolerance
     # model does not assume.
     dtype = np.result_type(lhs, rhs, np.float32)
-    residual = np.subtract(lhs, rhs, dtype=dtype)
+    # inf - inf (both sides blown up by faults) is a legitimate NaN
+    # residual — non-finite always counts as detected below.
+    with np.errstate(invalid="ignore"):
+        residual = np.subtract(lhs, rhs, dtype=dtype)
     np.abs(residual, out=residual)
     residual = np.broadcast_to(residual, (n, *tail)).reshape(n, -1)
 
@@ -292,7 +298,8 @@ def prepare_clean_comparison(
             f"checksum comparison shape mismatch: {lhs.shape} vs {rhs.shape}"
         )
     dtype = np.result_type(lhs, rhs, np.float32)
-    residual = np.subtract(lhs, rhs, dtype=dtype)
+    with np.errstate(invalid="ignore"):
+        residual = np.subtract(lhs, rhs, dtype=dtype)
     np.abs(residual, out=residual)
 
     terms = max(int(n_terms), 2)
@@ -361,9 +368,10 @@ def compare_checksums_sparse(
     half does not apply) are left as ``None`` for the caller to fill
     via the dense comparison.
     """
-    residual = np.abs(
-        np.subtract(clean.checksum_side[checks], values, dtype=clean.dtype)
-    )
+    with np.errstate(invalid="ignore"):
+        residual = np.abs(
+            np.subtract(clean.checksum_side[checks], values, dtype=clean.dtype)
+        )
     finite = np.isfinite(residual)
     new_bad = residual > clean.tol_flat[checks]
     new_bad |= ~finite

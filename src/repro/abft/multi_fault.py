@@ -68,6 +68,11 @@ class MultiChecksumGlobalABFT(Scheme):
             )
         self.num_checksums = num_checksums
 
+    @property
+    def cache_token(self):
+        """Prepared state depends on ``r``: one cache identity per count."""
+        return (self.name, self.num_checksums)
+
     def plan(
         self,
         problem: GemmProblem,

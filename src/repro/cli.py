@@ -81,6 +81,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import EXPERIMENTS
 
+    if args.list:
+        if args.names:
+            print("--list takes no experiment names", file=sys.stderr)
+            return 2
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -129,6 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("names", nargs="*",
                        help="artifact names (default: all)")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list registered experiment names and exit")
     p_exp.set_defaults(fn=_cmd_experiments)
     return parser
 

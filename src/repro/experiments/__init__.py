@@ -17,6 +17,7 @@ from .fig10_dlrm import fig10_dlrm
 from .fig11_specialized import fig11_specialized
 from .fig12_square import fig12_square_sweep
 from .fault_coverage import fault_coverage_experiment
+from .multi_fault_coverage import multi_fault_coverage_experiment
 from .ablations import (
     ablation_check_overlap,
     ablation_device_sweep,
@@ -36,6 +37,7 @@ __all__ = [
     "fig11_specialized",
     "fig12_square_sweep",
     "fault_coverage_experiment",
+    "multi_fault_coverage_experiment",
     "ablation_check_overlap",
     "ablation_device_sweep",
     "ablation_thread_tile",

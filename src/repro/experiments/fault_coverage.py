@@ -53,7 +53,7 @@ def fault_coverage_experiment(
                 result.n_significant,
                 result.n_detected,
                 result.coverage,
-                campaign._tolerance_scale,
+                campaign.tolerance_scale,
             ]
         )
     return table

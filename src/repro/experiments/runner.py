@@ -14,6 +14,7 @@ from .agreement import agreement_study
 from .ablations import ablation_check_overlap, ablation_device_sweep, ablation_thread_tile
 from .fault_coverage import fault_coverage_experiment
 from .fig04_intensity import fig04_aggregate_intensity
+from .multi_fault_coverage import multi_fault_coverage_experiment
 from .fig05_layers import fig05_resnet_layer_intensity, fig05_summary
 from .fig08_models import fig08_all_models
 from .fig09_cnns import fig09_general_cnns
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[[], Table]] = {
     "fig11": fig11_specialized,
     "fig12": fig12_square_sweep,
     "fault_coverage": fault_coverage_experiment,
+    "multi_fault_coverage": multi_fault_coverage_experiment,
     "ablation_overlap": ablation_check_overlap,
     "ablation_tile": ablation_thread_tile,
     "ablation_devices": ablation_device_sweep,

@@ -10,7 +10,7 @@ benign false alarms rather than silent corruption.
 from .bits import flip_fp16_bit, flip_fp32_bit
 from .model import FaultKind, FaultPath, FaultSpec
 from .injector import apply_fault_to_accumulator, corrupted_value
-from .campaign import CampaignResult, FaultCampaign
+from .campaign import CampaignResult, FaultCampaign, TrialRecord
 
 __all__ = [
     "flip_fp16_bit",
@@ -22,4 +22,5 @@ __all__ = [
     "corrupted_value",
     "CampaignResult",
     "FaultCampaign",
+    "TrialRecord",
 ]

@@ -1,12 +1,16 @@
 """Fault-injection campaigns measuring detection coverage.
 
 A campaign runs a scheme's protected GEMM many times, each trial
-injecting one fault (the paper's single-fault model), and tallies
-detections.  Trials whose corruption is numerically negligible (below
-the detection tolerance *and* below any sensible significance threshold)
-are tracked separately: ABFT's guarantee is about *significant* faults,
-and FP bit flips in low mantissa bits can be smaller than legitimate
-rounding noise.
+injecting one *fault set* — a single fault in the paper's §2.3 model,
+or ``r`` simultaneous faults when exercising the §2.4 multi-checksum
+extension — and tallies detections.  Trials whose corruption is
+numerically negligible (below the detection tolerance *and* below any
+sensible significance threshold) are tracked separately: ABFT's
+guarantee is about *significant* faults, and FP bit flips in low
+mantissa bits can be smaller than legitimate rounding noise.
+Checksum-path faults corrupt the redundant computation, not the
+output; per the fault model they can only raise *benign false alarms*
+and are never counted as significant corruption.
 
 The campaign rides the prepared-execution engine: the operands are
 prepared **once** at construction (padding, tile selection, the clean
@@ -14,42 +18,92 @@ GEMM, operand checksums), and trials execute in chunked
 :meth:`~repro.abft.base.PreparedExecution.inject_batch` calls — so N
 trials run the clean padded GEMM and the operand-side reductions
 exactly once instead of N+1 times, and the output-side re-reductions
-and verdicts all happen in batch-wide NumPy calls.  Schemes with a
-sparse re-reduction path (DESIGN.md §1.3) additionally skip the
-stacked accumulator entirely: only the reduction slices each fault
-struck are recomputed, and trial records are classified from the fault
-sites' final values rather than from materialized accumulators, so the
-whole record pipeline — delta gather, significance classification,
-verdict extraction — is vectorized end to end.  The chunk size
-(:attr:`FaultCampaign.batch_size`) is auto-tuned from the scheme's
-check-array footprint unless overridden.
+and verdicts all happen in batch-wide NumPy calls.  Passing a shared
+:class:`~repro.abft.base.PreparedCache` amortizes one step further:
+parameter sweeps (several campaigns over one problem, varying
+significance factors, detection constants, or per-trial fault counts)
+reuse a single prepared state, so the whole sweep runs the clean GEMM
+exactly once.  Schemes with a sparse re-reduction path (DESIGN.md
+§1.3) additionally skip the stacked accumulator entirely: only the
+reduction slices each fault struck are recomputed, and trial records
+are classified from the fault sites' final values rather than from
+materialized accumulators, so the whole record pipeline — delta
+gather, significance classification, verdict extraction — is
+vectorized end to end and scales with the *faults per trial*, not the
+output.  The chunk size (:attr:`FaultCampaign.batch_size`) is
+auto-tuned from the scheme's check-array footprint unless overridden.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from ..config import DEFAULT_DETECTION, DetectionConstants
 
 if TYPE_CHECKING:  # avoid the faults <-> abft import cycle at runtime
-    from ..abft.base import Scheme
+    from ..abft.base import PreparedCache, Scheme
 from ..errors import FaultInjectionError
 from ..gemm.tiles import TileConfig
 from .injector import faulted_site_values
 from .model import FaultKind, FaultPath, FaultSpec
 
+#: One campaign trial's fault set, or a bare spec (normalized to a
+#: 1-tuple) — what ``run``/``run_batch`` accept per trial.
+TrialFaults = "FaultSpec | Sequence[FaultSpec]"
+
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One campaign trial: the fault, its magnitude, and the verdict."""
+    """One campaign trial: the fault set, its magnitude, and the verdict.
 
-    spec: FaultSpec
+    Attributes
+    ----------
+    faults:
+        Every fault injected in this trial, in application order.
+    delta:
+        The largest-magnitude per-site output corruption (signed; the
+        site whose ``|new - clean|`` is greatest, non-finite ranking
+        above everything).  NaN when no original-path fault struck the
+        output (checksum-path-only trials).
+    detected:
+        Whether the scheme's checks flagged the trial.
+    significant:
+        Whether any struck output element moved by more than the
+        campaign's significance threshold.  Always False for
+        checksum-path-only trials: they corrupt the redundant path,
+        not the output.
+    benign_alarm:
+        The trial raised an alarm attributable to checksum-path
+        corruption alone: it was detected, every injected fault hit
+        the checksum path (so no output corruption exists the alarm
+        could stem from), and accordingly nothing was significant — a
+        false positive by construction of the fault model, tracked
+        separately from coverage.  Mixed trials never carry the flag:
+        with both paths struck, attribution is ambiguous.
+    """
+
+    faults: tuple[FaultSpec, ...]
     delta: float
     detected: bool
     significant: bool
+    benign_alarm: bool = False
+
+    @property
+    def n_faults(self) -> int:
+        """Number of faults injected in this trial."""
+        return len(self.faults)
+
+    @property
+    def spec(self) -> FaultSpec:
+        """The injected fault of a single-fault trial (compat accessor)."""
+        if len(self.faults) != 1:
+            raise FaultInjectionError(
+                f"trial injected {len(self.faults)} faults; use .faults"
+            )
+        return self.faults[0]
 
 
 @dataclass
@@ -72,6 +126,11 @@ class CampaignResult:
         return sum(t.significant for t in self.trials)
 
     @property
+    def n_benign_alarms(self) -> int:
+        """Trials whose alarm is attributable to checksum-path faults."""
+        return sum(t.benign_alarm for t in self.trials)
+
+    @property
     def coverage(self) -> float:
         """Detection rate over *significant* faults (the ABFT guarantee)."""
         significant = [t for t in self.trials if t.significant]
@@ -84,9 +143,34 @@ class CampaignResult:
         """Significant faults that escaped detection."""
         return [t for t in self.trials if t.significant and not t.detected]
 
+    def by_fault_count(self) -> dict[int, "CampaignResult"]:
+        """Per-simultaneous-fault-count sub-results, ascending.
+
+        Groups trials by :attr:`TrialRecord.n_faults` so coverage (and
+        every other statistic) can be reported *as a function of the
+        number of simultaneous faults* — the axis of the paper's §2.4
+        multi-fault detection claim.
+        """
+        grouped: dict[int, CampaignResult] = {}
+        for trial in self.trials:
+            grouped.setdefault(
+                trial.n_faults, CampaignResult(scheme=self.scheme)
+            ).trials.append(trial)
+        return dict(sorted(grouped.items()))
+
+    def coverage_by_fault_count(self) -> dict[int, float]:
+        """Detection coverage keyed by per-trial fault count, ascending."""
+        return {k: r.coverage for k, r in self.by_fault_count().items()}
+
 
 class FaultCampaign:
-    """Run repeated single-fault trials against one scheme.
+    """Run repeated fault-injection trials against one scheme.
+
+    Each trial injects one fault set: a single fault by default (the
+    paper's §2.3 model), or several simultaneous faults via the
+    ``faults_per_trial`` arguments of :meth:`run`/:meth:`run_batch`/
+    :meth:`draw_faults` (the §2.4 extension — the sparse engine handles
+    arbitrary per-trial fault sets).
 
     Parameters
     ----------
@@ -115,6 +199,13 @@ class FaultCampaign:
         ``None`` (default) uses sparse re-reduction whenever the scheme
         supports it, ``False`` forces the dense stacked batch, ``True``
         demands sparse and rejects schemes without it.
+    cache:
+        Optional shared :class:`~repro.abft.base.PreparedCache`.  When
+        given, the campaign fetches its prepared state from the cache
+        instead of preparing privately, so a parameter sweep of many
+        campaigns over one ``(scheme, a, b, tile)`` runs the clean GEMM
+        and operand reductions exactly once (bit-identical results
+        either way — the state is fault-invariant).
     """
 
     #: Transient-memory budget the auto-tuned batch size fills.
@@ -134,6 +225,7 @@ class FaultCampaign:
         seed: int = 0,
         batch_size: int | None = None,
         sparse: bool | None = None,
+        cache: "PreparedCache | None" = None,
     ) -> None:
         if not scheme.protects:
             raise FaultInjectionError(
@@ -159,9 +251,13 @@ class FaultCampaign:
         self.rng = np.random.default_rng(seed)
         self._scratch: np.ndarray | None = None
 
-        # All fault-invariant work happens exactly once, here; trials
-        # only inject into copies of the prepared accumulator.
-        self._prepared = scheme.prepare(self.a, self.b, tile=tile)
+        # All fault-invariant work happens exactly once — here, or once
+        # per sweep inside a shared cache; trials only inject into
+        # copies of the prepared accumulator.
+        if cache is not None:
+            self._prepared = cache.get(scheme, self.a, self.b, tile=tile)
+        else:
+            self._prepared = scheme.prepare(self.a, self.b, tile=tile)
         self._use_sparse = scheme.supports_sparse if sparse is None else sparse
         self.batch_size = (
             batch_size if batch_size is not None else self._auto_batch_size()
@@ -180,6 +276,19 @@ class FaultCampaign:
             baseline.verdict.tolerance if baseline.verdict else 0.0,
             detection.atol_floor,
         )
+
+    @property
+    def tolerance_scale(self) -> float:
+        """The campaign's numerical sensitivity floor.
+
+        The largest detection tolerance of the scheme's clean baseline
+        verdict (floored at the detection constants' absolute floor) —
+        the scale the significance threshold multiplies.  Corruptions
+        below ``significance_factor * tolerance_scale`` are classified
+        insignificant: they are within the rounding noise the tolerance
+        model already budgets for.
+        """
+        return self._tolerance_scale
 
     # ------------------------------------------------------------------
     def _auto_batch_size(self) -> int:
@@ -244,31 +353,55 @@ class FaultCampaign:
         bit = int(self.rng.integers(bits))
         return FaultSpec(row=row, col=col, kind=kind, bit=bit)
 
-    def draw_faults(self, n: int) -> list[FaultSpec]:
-        """Vectorized batch of ``n`` random original-path fault specs.
+    def draw_faults(
+        self, n: int, *, faults_per_trial: int = 1
+    ) -> list[FaultSpec] | list[tuple[FaultSpec, ...]]:
+        """Vectorized batch of ``n`` random original-path fault trials.
 
         All random draws happen up front in whole-batch RNG calls; only
         the cheap per-spec assembly is a Python loop.  The stream
-        differs from ``n`` successive :meth:`random_fault` calls but is
+        differs from successive :meth:`random_fault` calls but is
         equally deterministic for a given campaign seed.
+
+        With the default ``faults_per_trial=1`` the return value is a
+        flat spec list (one fault per trial — the historical API).
+        With ``faults_per_trial=r > 1`` it is a list of ``r``-tuples,
+        each a trial's simultaneous fault set; sites are drawn i.i.d.
+        over the fault domain, so a trial occasionally strikes the same
+        element twice (then holding fewer than ``r`` distinct faulty
+        values, still within the §2.4 ``<= r`` guarantee).
         """
         if n < 0:
             raise FaultInjectionError(f"cannot draw {n} faults")
+        if faults_per_trial < 1:
+            raise FaultInjectionError(
+                f"faults_per_trial must be >= 1, got {faults_per_trial}"
+            )
+        specs = self._draw_spec_batch(n * faults_per_trial)
+        if faults_per_trial == 1:
+            return specs
+        return [
+            tuple(specs[i * faults_per_trial:(i + 1) * faults_per_trial])
+            for i in range(n)
+        ]
+
+    def _draw_spec_batch(self, total: int) -> list[FaultSpec]:
+        """``total`` random original-path specs from whole-batch RNG calls."""
         rows_total, cols_total = self.fault_domain
-        rows = self.rng.integers(rows_total, size=n)
-        cols = self.rng.integers(cols_total, size=n)
+        rows = self.rng.integers(rows_total, size=total)
+        cols = self.rng.integers(cols_total, size=total)
         kinds = self.rng.choice(
             np.array(
                 [FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16, FaultKind.ADD],
                 dtype=object,
             ),
-            size=n,
+            size=total,
         )
         scale = float(np.abs(self._prepared.c_clean).mean() + 1.0)
-        values = self.rng.normal(0.0, scale, size=n)
-        bits = self.rng.integers(32, size=n)
+        values = self.rng.normal(0.0, scale, size=total)
+        bits = self.rng.integers(32, size=total)
         specs: list[FaultSpec] = []
-        for i in range(n):
+        for i in range(total):
             kind = kinds[i]
             if kind is FaultKind.ADD:
                 specs.append(
@@ -283,66 +416,108 @@ class FaultCampaign:
                 )
         return specs
 
-    def run_trial(self, spec: FaultSpec) -> TrialRecord:
-        """Execute one trial with the given fault injected."""
-        outcome = self._prepared.inject([spec], detection=self.detection)
-        return self._record(spec, outcome)
+    @staticmethod
+    def _normalize_trials(
+        specs: Iterable["TrialFaults"],
+    ) -> list[tuple[FaultSpec, ...]]:
+        """Per-trial fault tuples from bare specs and/or spec sequences."""
+        trials: list[tuple[FaultSpec, ...]] = []
+        for entry in specs:
+            if isinstance(entry, FaultSpec):
+                trials.append((entry,))
+            else:
+                trials.append(tuple(entry))
+        return trials
 
-    def _record(self, spec: FaultSpec, outcome) -> TrialRecord:
-        """Classify one trial outcome against the clean accumulator."""
-        if spec.path is FaultPath.ORIGINAL:
-            clean = self._prepared.c_clean
-            delta = float(outcome.c_accumulator[spec.row, spec.col]) - float(
-                clean[spec.row, spec.col]
-            )
-        else:
-            delta = float("nan")
-        significant = (
-            not np.isfinite(delta)
-            or abs(delta) > self.significance_factor * self._tolerance_scale
-        )
-        return TrialRecord(
-            spec=spec, delta=delta, detected=outcome.detected, significant=significant
-        )
+    def run_trial(self, faults: "TrialFaults") -> TrialRecord:
+        """Execute one trial with the given fault (or fault set) injected."""
+        (trial,) = self._normalize_trials([faults])
+        outcome = self._prepared.inject(trial, detection=self.detection)
+        return self._record(trial, outcome)
+
+    def _record(
+        self, faults: tuple[FaultSpec, ...], outcome
+    ) -> TrialRecord:
+        """Classify one trial outcome against the clean accumulator.
+
+        Delegates to :meth:`_records_batch` with a batch of one, so the
+        two paths are record-for-record identical by construction.
+        """
+        return self._records_batch((faults,), (outcome,))[0]
 
     def _records_batch(
-        self, specs: Sequence[FaultSpec], outcomes: Sequence, sites=None
+        self,
+        trials: Sequence[tuple[FaultSpec, ...]],
+        outcomes: Sequence,
+        sites=None,
     ) -> list[TrialRecord]:
-        """Vectorized record assembly for one single-fault chunk.
+        """Vectorized record assembly for one trial chunk.
 
         Deltas come from the fault sites' final values
         (:func:`~repro.faults.injector.faulted_site_values` — the same
         corruption core injection uses), not from reading materialized
-        accumulators, so the gather is one fancy-indexed NumPy call on
-        either execution path and sparse outcomes never materialize
-        their grids.  Significance classification is a single
-        vectorized comparison.  Record-for-record identical to
-        :meth:`_record` on each (spec, outcome) pair.
+        accumulators, so the gather is a handful of fancy-indexed NumPy
+        calls on either execution path and sparse outcomes never
+        materialize their grids.  A trial is *significant* when any of
+        its struck sites moved past the significance threshold (or into
+        non-finite territory); its reported ``delta`` is the
+        largest-magnitude site delta (first site wins ties).  Trials
+        with no original-path site — checksum-path-only fault sets —
+        are never significant: they corrupt the redundant computation,
+        so a detection there is a *benign alarm*, not coverage of a
+        significant fault.
         """
-        n = len(specs)
+        n = len(trials)
         clean = self._prepared.c_clean
-        deltas = np.full(n, np.nan)
         if sites is None:
-            sites = faulted_site_values(clean, [(spec,) for spec in specs])
+            sites = faulted_site_values(clean, trials)
+        deltas = np.full(n, np.nan)
+        significant = np.zeros(n, dtype=bool)
         if len(sites):
-            deltas[sites.trials] = sites.values.astype(np.float64) - clean[
-                sites.rows, sites.cols
-            ].astype(np.float64)
-        threshold = self.significance_factor * self._tolerance_scale
-        with np.errstate(invalid="ignore"):
-            significant = ~np.isfinite(deltas) | (np.abs(deltas) > threshold)
-        return [
-            TrialRecord(
-                spec=specs[i],
-                delta=float(deltas[i]),
-                detected=outcomes[i].detected,
-                significant=bool(significant[i]),
+            site_deltas = sites.deltas(clean)
+            keys = np.where(
+                np.isfinite(site_deltas), np.abs(site_deltas), np.inf
             )
-            for i in range(n)
-        ]
+            # Representative site per trial: descending |delta| within
+            # each trial (stable lexsort keeps the first site on ties),
+            # then the head of every trial's span.
+            order = np.lexsort((-keys, sites.trials))
+            sorted_trials = sites.trials[order]
+            first = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_trials)) + 1)
+            )
+            rep = order[first]
+            touched = sorted_trials[first]
+            deltas[touched] = site_deltas[rep]
+            threshold = self.significance_factor * self._tolerance_scale
+            significant[touched] = keys[rep] > threshold
+        records: list[TrialRecord] = []
+        for i in range(n):
+            detected = bool(outcomes[i].detected)
+            # Attribution must be unambiguous: only trials whose every
+            # fault hit the checksum path can blame the alarm on it
+            # (such trials have no output corruption, hence are never
+            # significant either).
+            benign = (
+                detected
+                and bool(trials[i])
+                and all(f.path is FaultPath.CHECKSUM for f in trials[i])
+            )
+            records.append(
+                TrialRecord(
+                    faults=tuple(trials[i]),
+                    delta=float(deltas[i]),
+                    detected=detected,
+                    significant=bool(significant[i]),
+                    benign_alarm=benign,
+                )
+            )
+        return records
 
-    def _run_specs(self, specs: Sequence[FaultSpec]) -> list[TrialRecord]:
-        """Execute all specs through chunked ``inject_batch`` calls.
+    def _run_specs(
+        self, trials: Sequence[tuple[FaultSpec, ...]]
+    ) -> list[TrialRecord]:
+        """Execute all trials through chunked ``inject_batch`` calls.
 
         On the dense path one scratch buffer of ``batch_size`` stacked
         accumulators is allocated lazily and reused across chunks (and
@@ -354,22 +529,21 @@ class FaultCampaign:
         records: list[TrialRecord] = []
         scratch = None
         if not self._use_sparse:
-            size = min(self.batch_size, len(specs))
+            size = min(self.batch_size, len(trials))
             if size and (self._scratch is None or len(self._scratch) < size):
                 self._scratch = np.empty(
                     (size, *self._prepared.c_clean.shape), dtype=np.float32
                 )
             scratch = self._scratch
-        for start in range(0, len(specs), self.batch_size):
-            chunk = list(specs[start:start + self.batch_size])
-            trials = [(spec,) for spec in chunk]
+        for start in range(0, len(trials), self.batch_size):
+            chunk = list(trials[start:start + self.batch_size])
             sites = None
             if self._use_sparse:
                 # One fault→site valuation serves both the sparse
                 # injection and the record classification.
-                sites = faulted_site_values(self._prepared.c_clean, trials)
+                sites = faulted_site_values(self._prepared.c_clean, chunk)
             outcomes = self._prepared.inject_batch(
-                trials,
+                chunk,
                 detection=self.detection,
                 out=scratch[: len(chunk)] if scratch is not None else None,
                 sparse=self._use_sparse,
@@ -378,14 +552,25 @@ class FaultCampaign:
             records.extend(self._records_batch(chunk, outcomes, sites))
         return records
 
-    def run(self, n_trials: int, specs: Sequence[FaultSpec] | None = None) -> CampaignResult:
-        """Run ``n_trials`` random trials, or the provided specs.
+    def run(
+        self,
+        n_trials: int,
+        specs: Sequence["TrialFaults"] | None = None,
+        *,
+        faults_per_trial: int | None = None,
+    ) -> CampaignResult:
+        """Run ``n_trials`` random trials, or the provided fault sets.
 
         Contract: when ``specs`` is given it fully determines the
-        trials, and ``n_trials`` must agree — either ``0`` ("however
-        many specs there are") or exactly ``len(specs)``.  Any other
-        combination raises :class:`FaultInjectionError` rather than
-        silently ignoring ``n_trials``.
+        trials — each entry a bare :class:`FaultSpec` (a single-fault
+        trial) or a sequence of specs (one trial's simultaneous fault
+        set) — and ``n_trials`` must agree: either ``0`` ("however
+        many specs there are") or exactly ``len(specs)``;
+        ``faults_per_trial`` must then be left unset.  Without
+        ``specs``, each trial draws ``faults_per_trial`` (default 1)
+        random original-path faults.  Any other combination raises
+        :class:`FaultInjectionError` rather than silently ignoring an
+        argument.
 
         All trials execute through the batched injection engine
         (bit-identical to per-trial :meth:`run_trial` calls).
@@ -393,23 +578,42 @@ class FaultCampaign:
         if n_trials < 0:
             raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
         if specs is not None:
+            if faults_per_trial is not None:
+                raise FaultInjectionError(
+                    "faults_per_trial only applies to randomly drawn "
+                    "trials; explicit specs already fix each trial's faults"
+                )
             if n_trials not in (0, len(specs)):
                 raise FaultInjectionError(
                     f"n_trials={n_trials} disagrees with {len(specs)} explicit "
                     f"specs; pass 0 or len(specs)"
                 )
+            trials = self._normalize_trials(specs)
         else:
-            specs = [self.random_fault() for _ in range(n_trials)]
+            per_trial = 1 if faults_per_trial is None else faults_per_trial
+            if per_trial < 1:
+                raise FaultInjectionError(
+                    f"faults_per_trial must be >= 1, got {per_trial}"
+                )
+            trials = [
+                tuple(self.random_fault() for _ in range(per_trial))
+                for _ in range(n_trials)
+            ]
         result = CampaignResult(scheme=self.scheme.name)
-        result.trials.extend(self._run_specs(specs))
+        result.trials.extend(self._run_specs(trials))
         return result
 
-    def run_batch(self, n_trials: int) -> CampaignResult:
+    def run_batch(
+        self, n_trials: int, *, faults_per_trial: int = 1
+    ) -> CampaignResult:
         """Run ``n_trials`` random trials with all specs drawn up front.
 
         Equivalent coverage semantics to :meth:`run` (each trial is one
-        single-fault injection against the shared prepared state), but
-        the randomness is drawn in vectorized batch RNG calls before any
+        fault-set injection against the shared prepared state), but the
+        randomness is drawn in vectorized batch RNG calls before any
         trial executes — the fastest path through a campaign.
+        ``faults_per_trial`` sets every trial's simultaneous fault
+        count (see :meth:`draw_faults`).
         """
-        return self.run(n_trials, specs=self.draw_faults(n_trials))
+        drawn = self.draw_faults(n_trials, faults_per_trial=faults_per_trial)
+        return self.run(n_trials, specs=drawn)

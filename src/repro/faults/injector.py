@@ -190,6 +190,20 @@ class FaultSites:
     def __len__(self) -> int:
         return len(self.trials)
 
+    def deltas(self, c_clean: np.ndarray) -> np.ndarray:
+        """Per-site signed corruption deltas against a clean grid: ``(S,)``.
+
+        ``deltas[i] = float64(values[i]) - float64(c_clean[site i])`` —
+        what each struck output element moved by after all of its
+        trial's faults were applied.  Non-finite entries mark faults
+        that flipped an element into inf/NaN.  This is the quantity the
+        campaign layer classifies significance from, shared between the
+        single-trial and batched record paths.
+        """
+        return self.values.astype(np.float64) - c_clean[
+            self.rows, self.cols
+        ].astype(np.float64)
+
 
 def faulted_site_values(
     c_clean: np.ndarray,

@@ -4,8 +4,11 @@ A :class:`FaultSpec` names *where* a soft error strikes (an output
 accumulator element, in padded coordinates) and *how* the value is
 corrupted (bit flip, additive delta, or overwrite), and *which path*
 is hit — the original GEMM computation or the redundant checksum
-computation.  The paper's fault model is a single fault per GEMM; the
-campaign runner enforces that by injecting one spec per trial.
+computation.  The paper's primary fault model is a single fault per
+GEMM (§2.3); §2.4 extends detection to up to ``r`` simultaneous faults
+via ``r`` independent checksums, and the campaign runner accordingly
+injects one *fault set* per trial (a 1-tuple in the single-fault
+model).
 """
 
 from __future__ import annotations
@@ -55,7 +58,9 @@ class FaultSpec:
     kind:
         Corruption mechanism.
     bit:
-        Bit index for the bit-flip kinds.
+        Bit index for the bit-flip kinds.  Unused by ADD/SET but still
+        validated against the widest legal range so a nonsense spec
+        (e.g. ``bit=99``) is rejected instead of silently ignored.
     value:
         Delta for :attr:`FaultKind.ADD` or the new value for
         :attr:`FaultKind.SET`.
@@ -75,7 +80,12 @@ class FaultSpec:
             raise FaultInjectionError(
                 f"fault coordinates must be non-negative, got ({self.row}, {self.col})"
             )
-        if self.kind is FaultKind.BITFLIP_FP16 and not 0 <= self.bit < 16:
-            raise FaultInjectionError(f"FP16 bit must be in [0, 16), got {self.bit}")
-        if self.kind is FaultKind.BITFLIP_FP32 and not 0 <= self.bit < 32:
-            raise FaultInjectionError(f"FP32 bit must be in [0, 32), got {self.bit}")
+        # Every kind validates ``bit`` against its value-format width —
+        # ADD/SET ignore the field, but an out-of-range bit on them is a
+        # malformed spec, not a quietly-dropped one.
+        max_bits = 16 if self.kind is FaultKind.BITFLIP_FP16 else 32
+        if not 0 <= self.bit < max_bits:
+            raise FaultInjectionError(
+                f"bit must be in [0, {max_bits}) for {self.kind.value} "
+                f"faults, got {self.bit}"
+            )

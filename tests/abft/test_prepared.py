@@ -11,7 +11,12 @@ the operand-side reductions.
 import numpy as np
 import pytest
 
-from repro.abft import MultiChecksumGlobalABFT, get_scheme, list_schemes
+from repro.abft import (
+    MultiChecksumGlobalABFT,
+    PreparedCache,
+    get_scheme,
+    list_schemes,
+)
 from repro.errors import ConfigurationError, FaultInjectionError, ShapeError
 from repro.faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
 from repro.gemm import EXECUTION_STATS, TileConfig
@@ -259,3 +264,105 @@ class TestAmortization:
         assert EXECUTION_STATS.gemms == 1
         assert EXECUTION_STATS.weight_reductions == 1
         assert EXECUTION_STATS.activation_reductions == 1
+
+
+class TestPreparedCache:
+    """Cross-campaign amortization: one prepared state per sweep."""
+
+    def test_campaign_sweep_runs_one_clean_gemm(self, small_operands):
+        """The acceptance criterion: >= 3 campaigns over one problem
+        through a shared cache prepare exactly once."""
+        a, b = small_operands
+        cache = PreparedCache()
+        EXECUTION_STATS.reset()
+        for significance in (2.0, 4.0, 8.0):
+            campaign = FaultCampaign(
+                get_scheme("global"), a, b,
+                significance_factor=significance, cache=cache,
+            )
+            result = campaign.run_batch(10)
+            assert result.n_trials == 10
+        assert EXECUTION_STATS.gemms == 1
+        assert EXECUTION_STATS.weight_reductions == 1
+        assert EXECUTION_STATS.activation_reductions == 1
+        assert cache.misses == 1 and cache.hits == 2 and len(cache) == 1
+
+    def test_cached_campaign_bit_identical_to_private_prepare(
+        self, small_operands
+    ):
+        a, b = small_operands
+        specs = [
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0),
+            FaultSpec(row=2, col=2, kind=FaultKind.BITFLIP_FP32, bit=27),
+        ]
+        private = FaultCampaign(get_scheme("thread_onesided"), a, b).run(
+            0, specs=specs
+        )
+        cache = PreparedCache()
+        FaultCampaign(get_scheme("thread_onesided"), a, b, cache=cache)
+        cached = FaultCampaign(
+            get_scheme("thread_onesided"), a, b, cache=cache
+        ).run(0, specs=specs)
+        assert cache.hits == 1
+        assert private.trials == cached.trials
+
+    def test_distinct_problems_get_distinct_entries(self, small_operands, rng):
+        a, b = small_operands
+        other_a = (rng.standard_normal(a.shape) * 0.5).astype(np.float16)
+        cache = PreparedCache()
+        scheme = get_scheme("global")
+        first = cache.get(scheme, a, b)
+        assert cache.get(scheme, a, b) is first
+        assert cache.get(scheme, other_a, b) is not first
+        assert cache.get(get_scheme("thread_onesided"), a, b) is not first
+        assert len(cache) == 3
+
+    def test_multi_checksum_count_distinguishes_entries(self, small_operands):
+        """global_multi's prepared state depends on r; the cache must
+        not hand an r=2 state to an r=4 scheme."""
+        a, b = small_operands
+        cache = PreparedCache()
+        two = cache.get(MultiChecksumGlobalABFT(2), a, b)
+        four = cache.get(MultiChecksumGlobalABFT(4), a, b)
+        assert two is not four
+        # Equal r from a different instance hits.
+        assert cache.get(MultiChecksumGlobalABFT(2), a, b) is two
+
+    def test_default_tile_and_explicit_selected_tile_share_an_entry(
+        self, small_operands
+    ):
+        """The key carries the *resolved* tile, so passing the tile
+        select_tile would pick anyway deduplicates with the default."""
+        a, b = small_operands
+        cache = PreparedCache()
+        scheme = get_scheme("global")
+        implicit = cache.get(scheme, a, b)
+        assert cache.get(scheme, a, b, tile=implicit.tile) is implicit
+        assert len(cache) == 1
+
+    def test_lru_eviction(self, small_operands, rng):
+        a, b = small_operands
+        other_a = (rng.standard_normal(a.shape) * 0.5).astype(np.float16)
+        third_a = (rng.standard_normal(a.shape) * 0.5).astype(np.float16)
+        cache = PreparedCache(maxsize=2)
+        scheme = get_scheme("global")
+        first = cache.get(scheme, a, b)
+        cache.get(scheme, other_a, b)
+        cache.get(scheme, a, b)  # refresh: other_a is now LRU
+        cache.get(scheme, third_a, b)
+        assert len(cache) == 2
+        assert cache.get(scheme, a, b) is first  # survived
+        with pytest.raises(ConfigurationError):
+            PreparedCache(maxsize=0)
+
+    def test_mutated_operands_miss(self, small_operands):
+        """Content digests, not identities: mutating an operand after a
+        cached hit must produce a fresh entry, never stale state."""
+        a, b = small_operands
+        cache = PreparedCache()
+        scheme = get_scheme("global")
+        first = cache.get(scheme, a, b)
+        a2 = a.copy()
+        a2[0, 0] += np.float16(1.0)
+        assert cache.get(scheme, a2, b) is not first
+        assert cache.misses == 2

@@ -63,3 +63,13 @@ class TestSweepAndExperiments:
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiments", "fig99"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "multi_fault_coverage" in out and "fault_coverage" in out
+
+    def test_experiments_list_rejects_names(self, capsys):
+        """--list must not silently swallow (possibly misspelled) names."""
+        assert main(["experiments", "fig99", "--list"]) == 2
+        assert "takes no experiment names" in capsys.readouterr().err

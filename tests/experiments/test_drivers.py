@@ -5,6 +5,7 @@ from repro.experiments import (
     ablation_device_sweep,
     ablation_thread_tile,
     fault_coverage_experiment,
+    multi_fault_coverage_experiment,
     fig04_aggregate_intensity,
     fig05_resnet_layer_intensity,
     fig08_all_models,
@@ -84,6 +85,20 @@ class TestFaultCoverage:
         assert len(table) == 5  # five protecting schemes
 
 
+class TestMultiFaultCoverage:
+    def test_rows_and_guarantee(self):
+        """One row per (variant, fault count); the experiment itself
+        raises if the <=r guarantee or the one-GEMM-per-variant
+        prepared-cache amortization fails."""
+        table = multi_fault_coverage_experiment(
+            trials=8, max_faults=3, checksum_counts=(1, 2)
+        )
+        # global baseline + global_multi at r=1 and r=2, 3 counts each.
+        assert len(table) == 3 * 3
+        out = table.render()
+        assert "global_multi(r=2)" in out and "benign alarms" in out
+
+
 class TestAblations:
     def test_overlap_monotone(self):
         table = ablation_check_overlap(fractions=(0.0, 0.9))
@@ -101,8 +116,8 @@ class TestRunner:
         expected = {
             "fig04", "fig05", "sec33", "table1", "fig08", "fig09_hd",
             "fig09_224", "fig10", "fig11", "fig12", "fault_coverage",
-            "ablation_overlap", "ablation_tile", "ablation_devices",
-            "sec72_agreement",
+            "multi_fault_coverage", "ablation_overlap", "ablation_tile",
+            "ablation_devices", "sec72_agreement",
         }
         assert set(EXPERIMENTS) == expected
 

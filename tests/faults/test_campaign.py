@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.abft import get_scheme
+from repro.abft import MultiChecksumGlobalABFT, get_scheme
 from repro.errors import FaultInjectionError
-from repro.faults import FaultCampaign, FaultKind, FaultSpec
+from repro.faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
 
 
 @pytest.fixture
@@ -165,3 +165,249 @@ class TestCampaign:
         ])
         assert result.n_significant == 0
         assert result.coverage == 1.0
+
+    def test_tolerance_scale_is_public(self, operands):
+        """The sensitivity floor is part of the campaign's public API."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        assert campaign.tolerance_scale > 0.0
+        assert campaign.tolerance_scale == campaign._tolerance_scale
+
+
+class TestBenignAlarms:
+    """Checksum-path faults are benign false alarms, never significant."""
+
+    def test_checksum_path_trial_not_counted_significant(self, operands):
+        """The §2.3 fault model: a checksum-path fault corrupts the
+        redundant computation, not the output — it must land in the
+        benign-alarm tally, not the coverage denominator."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0,
+                         path=FaultPath.CHECKSUM)
+        record = campaign.run_trial(spec)
+        assert record.detected
+        assert not record.significant
+        assert record.benign_alarm
+        assert np.isnan(record.delta)
+
+        result = campaign.run(0, specs=[spec])
+        assert result.n_significant == 0
+        assert result.n_benign_alarms == 1
+        assert result.coverage == 1.0
+        assert not result.false_negatives
+
+    def test_record_and_records_batch_agree_on_checksum_faults(self, operands):
+        """Batched and per-trial classification must stay record-for-
+        record identical on the path that used to misclassify."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("thread_twosided"), a, b)
+        specs = [
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=50.0,
+                      path=FaultPath.CHECKSUM),
+            FaultSpec(row=3, col=3, kind=FaultKind.ADD, value=50.0),
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=1e-8,
+                      path=FaultPath.CHECKSUM),
+        ]
+        batched = campaign.run(0, specs=specs).trials
+        for spec, record in zip(specs, batched):
+            single = campaign.run_trial(spec)
+            assert single.faults == record.faults
+            assert single.detected == record.detected
+            assert single.significant == record.significant
+            assert single.benign_alarm == record.benign_alarm
+            assert (single.delta == record.delta) or (
+                np.isnan(single.delta) and np.isnan(record.delta)
+            )
+
+    def test_undetected_subthreshold_original_fault_is_not_benign_alarm(
+        self, operands
+    ):
+        """The flag is reserved for checksum-path alarms: original-path
+        trials never carry it, detected or not."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("thread_onesided"), a, b)
+        record = campaign.run_trial(
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=0.5)
+        )
+        assert not record.benign_alarm
+
+    def test_mixed_trial_with_significant_fault_stays_significant(
+        self, operands
+    ):
+        """A checksum-path fault riding along a significant original
+        fault must not demote the trial to a benign alarm."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        record = campaign.run_trial((
+            FaultSpec(row=2, col=2, kind=FaultKind.ADD, value=200.0),
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=50.0,
+                      path=FaultPath.CHECKSUM),
+        ))
+        assert record.significant
+        assert not record.benign_alarm
+        assert record.delta == pytest.approx(200.0, rel=1e-3)
+
+    def test_mixed_detected_insignificant_trial_is_not_benign_alarm(
+        self, operands
+    ):
+        """With both paths struck the alarm's cause is ambiguous — the
+        flag is reserved for checksum-path-only trials, where no output
+        corruption exists that could explain the detection."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("thread_onesided"), a, b)
+        # An original-path delta of 3x the tolerance scale is always in
+        # the detectable-but-insignificant window: the struck check's
+        # residual moves by the delta (>= 2x its tolerance even against
+        # a worst-case clean residual), while significance demands 4x.
+        # The checksum fault alone would also alarm, so attribution is
+        # ambiguous and neither may claim the flag.
+        record = campaign.run_trial((
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD,
+                      value=3.0 * campaign.tolerance_scale),
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=50.0,
+                      path=FaultPath.CHECKSUM),
+        ))
+        assert record.detected
+        assert not record.significant
+        assert not record.benign_alarm
+
+
+class TestMultiFaultTrials:
+    """Per-trial fault sets: the §2.4 multi-fault campaign mode."""
+
+    def test_run_batch_with_faults_per_trial(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b, seed=19)
+        result = campaign.run_batch(30, faults_per_trial=3)
+        assert result.n_trials == 30
+        assert all(t.n_faults == 3 for t in result.trials)
+        # A single global check guarantees nothing beyond one fault —
+        # partial cancellation across a trial's sites is expected (the
+        # very gap §2.4's r-checksum extension closes), so coverage may
+        # legitimately dip below 1.0 here.
+        assert 0.0 < result.coverage <= 1.0
+        # Deterministic given the seed.
+        again = FaultCampaign(get_scheme("global"), a, b, seed=19).run_batch(
+            30, faults_per_trial=3
+        )
+        assert [t.faults for t in result.trials] == [
+            t.faults for t in again.trials
+        ]
+
+    def test_draw_faults_grouping(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b, seed=2)
+        singles = campaign.draw_faults(10)
+        assert all(isinstance(s, FaultSpec) for s in singles)
+        trials = FaultCampaign(get_scheme("global"), a, b, seed=2).draw_faults(
+            10, faults_per_trial=4
+        )
+        assert len(trials) == 10
+        assert all(isinstance(t, tuple) and len(t) == 4 for t in trials)
+        # Same RNG stream: the grouped draw is the flat draw, chunked.
+        flat = FaultCampaign(get_scheme("global"), a, b, seed=2).draw_faults(40)
+        assert [spec for trial in trials for spec in trial] == flat
+
+    @pytest.mark.parametrize(
+        "scheme", ["global", "thread_onesided", "thread_twosided",
+                   "replication_single"]
+    )
+    def test_multi_fault_records_match_per_trial_classification(
+        self, scheme, operands
+    ):
+        """The chunked batched path must reproduce run_trial records on
+        arbitrary fault sets (both execution paths, small chunks)."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme(scheme), a, b, seed=23,
+                                 batch_size=5)
+        trials = campaign.draw_faults(17, faults_per_trial=3)
+        batched = campaign.run(0, specs=trials).trials
+        for faults, record in zip(trials, batched):
+            single = campaign.run_trial(faults)
+            assert single.faults == record.faults
+            assert single.detected == record.detected
+            assert single.significant == record.significant
+            assert single.benign_alarm == record.benign_alarm
+            assert (single.delta == record.delta) or (
+                np.isnan(single.delta) and np.isnan(record.delta)
+            )
+
+    def test_multi_checksum_scheme_covers_fault_sets_within_r(self, operands):
+        """global_multi with r checksums must detect every significant
+        trial of up to r simultaneous faults (paper §2.4)."""
+        a, b = operands
+        campaign = FaultCampaign(MultiChecksumGlobalABFT(4), a, b, seed=31)
+        for faults_per_trial in (1, 2, 4):
+            result = campaign.run_batch(40, faults_per_trial=faults_per_trial)
+            assert result.coverage == 1.0, (
+                f"missed significant trials at {faults_per_trial} faults"
+            )
+
+    def test_by_fault_count_grouping(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b, seed=5)
+        mixed = campaign.draw_faults(8) + campaign.draw_faults(
+            6, faults_per_trial=2
+        )
+        result = campaign.run(0, specs=mixed)
+        groups = result.by_fault_count()
+        assert list(groups) == [1, 2]
+        assert groups[1].n_trials == 8 and groups[2].n_trials == 6
+        assert sum(g.n_trials for g in groups.values()) == result.n_trials
+        assert result.coverage_by_fault_count() == {
+            k: g.coverage for k, g in groups.items()
+        }
+
+    def test_delta_is_largest_magnitude_site_delta(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        record = campaign.run_trial((
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=30.0),
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=-90.0),
+        ))
+        assert record.delta == pytest.approx(-90.0, rel=1e-3)
+        assert record.significant
+
+    def test_spec_accessor_requires_single_fault(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        single = campaign.run_trial(
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0)
+        )
+        assert single.spec == single.faults[0]
+        multi = campaign.run_trial((
+            FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0),
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=100.0),
+        ))
+        with pytest.raises(FaultInjectionError):
+            multi.spec
+
+    def test_argument_validation(self, operands):
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        with pytest.raises(FaultInjectionError):
+            campaign.draw_faults(5, faults_per_trial=0)
+        with pytest.raises(FaultInjectionError):
+            campaign.run(5, faults_per_trial=0)
+        with pytest.raises(FaultInjectionError):
+            campaign.run(
+                0,
+                specs=[FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=1.0)],
+                faults_per_trial=2,
+            )
+
+    def test_explicit_specs_accept_mixed_shapes(self, operands):
+        """run() normalizes bare specs and fault-set sequences alike."""
+        a, b = operands
+        campaign = FaultCampaign(get_scheme("global"), a, b)
+        bare = FaultSpec(row=0, col=0, kind=FaultKind.ADD, value=100.0)
+        pair = (
+            FaultSpec(row=1, col=1, kind=FaultKind.ADD, value=100.0),
+            FaultSpec(row=2, col=2, kind=FaultKind.ADD, value=100.0),
+        )
+        result = campaign.run(0, specs=[bare, pair, [bare]])
+        assert [t.faults for t in result.trials] == [
+            (bare,), pair, (bare,)
+        ]
+        assert all(t.detected for t in result.trials)

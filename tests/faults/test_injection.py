@@ -31,6 +31,18 @@ class TestFaultSpec:
         with pytest.raises(FaultInjectionError):
             FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=40)
 
+    @pytest.mark.parametrize("kind", [FaultKind.ADD, FaultKind.SET])
+    def test_rejects_out_of_range_bit_on_value_kinds(self, kind):
+        """ADD/SET ignore ``bit`` numerically, but a nonsense index is a
+        malformed spec and must be rejected, not silently dropped."""
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(row=0, col=0, kind=kind, value=1.0, bit=99)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(row=0, col=0, kind=kind, value=1.0, bit=-1)
+        # The widest legal range stays accepted (the field is unused).
+        spec = FaultSpec(row=0, col=0, kind=kind, value=1.0, bit=31)
+        assert spec.bit == 31
+
 
 class TestCorruptedValue:
     def test_add(self):

@@ -77,6 +77,27 @@ class TestSparseMatchesDense:
                 prepared.inject_batch([faults], sparse=False)[0], outcome
             )
 
+    @given(name=st.sampled_from(SPARSE_SCHEMES), seed=seeds, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multi_fault_trials_sparse_matches_dense(self, name, seed, data):
+        """Campaign-sized fault sets (every trial strictly multi-fault,
+        the §2.4 workload): sparse outcome i == dense outcome i, bit
+        for bit, including checksum-path faults in the mix."""
+        a, b = _operands(seed)
+        prepared = make_scheme(name).prepare(a, b, tile=TILE)
+        rows, cols = prepared.c_clean.shape
+        trials = [
+            tuple(
+                _draw_spec(data, rows, cols)
+                for _ in range(data.draw(st.integers(2, 6)))
+            )
+            for _ in range(data.draw(st.integers(1, 4)))
+        ]
+        dense = prepared.inject_batch(trials, sparse=False)
+        sparse = prepared.inject_batch(trials, sparse=True)
+        for d, s in zip(dense, sparse):
+            assert_outcomes_identical(d, s)
+
     @pytest.mark.parametrize("name", SPARSE_SCHEMES)
     def test_multiple_faults_in_one_slice(self, name):
         """Two faults in the same reduction slice — and the same element
