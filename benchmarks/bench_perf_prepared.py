@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf benchmark for the prepared/batched execution engine.
 
-Measures the two hot paths the engine amortizes (DESIGN.md §4):
+Measures the two hot paths the engine amortizes (DESIGN.md §5):
 
 * **Campaign throughput** (trials/sec): a fault-injection campaign via
   the old direct path (full ``scheme.execute`` per trial — padding,
@@ -21,6 +21,14 @@ Measures the two hot paths the engine amortizes (DESIGN.md §4):
 * **Per-inference latency**: repeated ``ProtectedInference.run`` passes
   on one engine, cold (first pass builds the per-layer weight-checksum
   cache) versus warm (weight side fully reused).
+* **Facade parity** (``session_resnet_layer``): the same campaign run
+  through ``repro.deploy``'s :class:`~repro.api.ProtectedSession` on a
+  deployed ResNet-50 layer versus a hand-wired ``FaultCampaign`` over
+  the identical GEMM, both drawing from warm prepared caches.  The
+  recorded "speedup" is raw-time / session-time — ~1.0 by
+  construction — and the regression gate holds the facade's overhead
+  within the same threshold as every other row, so the deployment API
+  cannot quietly grow a tax over the engine it wraps.
 
 Writes ``BENCH_prepared.json`` at the repo root so the perf trajectory
 is tracked across PRs; the committed file's hand-curated ``history``
@@ -40,7 +48,8 @@ import time
 
 import numpy as np
 
-from repro.abft import MultiChecksumGlobalABFT, get_scheme
+from repro.abft import PreparedCache, scheme_from_token
+from repro.api import deploy
 from repro.faults import FaultCampaign
 from repro.gemm import EXECUTION_STATS
 from repro.nn import ProtectedInference, SequentialModel
@@ -61,11 +70,19 @@ MULTI_FAULT_KEY = "global_multi_r2_4f"
 MULTI_FAULT_CHECKSUMS = 2
 MULTI_FAULTS_PER_TRIAL = 4
 
+#: Facade-parity row: a deployed ResNet-50 layer (224p — a late
+#: bottleneck conv with a moderate 49x512x4608 GEMM) campaigned through
+#: the session versus the raw engine.
+SESSION_KEY = "session_resnet_layer"
+SESSION_MODEL = "resnet50"
+SESSION_LAYER = "layer4.2.conv2"
+SESSION_RESOLUTION = 224
+
 
 def _make_scheme(name: str):
     if name == "global_multi":
-        return MultiChecksumGlobalABFT(MULTI_FAULT_CHECKSUMS)
-    return get_scheme(name)
+        return scheme_from_token(f"global_multi:{MULTI_FAULT_CHECKSUMS}")
+    return scheme_from_token(name)
 
 
 def _best_time(run, *, repeats: int) -> float:
@@ -164,6 +181,57 @@ def bench_campaign(
     }
 
 
+def bench_session_campaign(*, trials: int, seed: int, repeats: int) -> dict:
+    """Facade parity: session campaign vs hand-wired FaultCampaign.
+
+    Both paths run the identical pre-drawn specs against the identical
+    layer GEMM with warm prepared caches (the untimed warmup primes
+    them), so the measured ratio is purely the facade's per-campaign
+    overhead — campaign construction through the session cache versus
+    direct construction over a warm private cache.  The row's
+    ``speedup`` is raw-time / session-time, ~1.0 by construction, and
+    the regression gate keeps it within noise of the committed value.
+    """
+    session = deploy(
+        SESSION_MODEL, "T4",
+        h=SESSION_RESOLUTION, w=SESSION_RESOLUTION, seed=seed,
+    )
+    token = session.plan.layer(SESSION_LAYER).scheme
+    a, b, _tile = session.layer_operands(SESSION_LAYER)
+    drawn = session.campaign(SESSION_LAYER, seed=seed).draw_faults(trials)
+
+    raw_cache = PreparedCache()
+    raw_scheme = scheme_from_token(token)
+
+    def run_raw():
+        FaultCampaign(raw_scheme, a, b, seed=seed, cache=raw_cache).run(
+            0, specs=drawn
+        )
+
+    def run_session():
+        session.campaign(SESSION_LAYER, seed=seed).run(0, specs=drawn)
+
+    raw_s = _best_time(run_raw, repeats=repeats)
+    session_s = _best_time(run_session, repeats=repeats)
+    return {
+        "gate": "parity",
+        "model": SESSION_MODEL,
+        "layer": SESSION_LAYER,
+        "scheme": token,
+        "trials": trials,
+        "repeats": repeats,
+        "direct_s": raw_s,
+        "direct_trials_per_s": trials / raw_s,
+        "paths": {
+            "session": {
+                "s": session_s,
+                "trials_per_s": trials / session_s,
+                "speedup": raw_s / session_s,
+            }
+        },
+    }
+
+
 def build_model(rng: np.random.Generator) -> SequentialModel:
     """Small conv net: enough layers for the weight cache to matter."""
     c1 = Conv2dSpec(3, 16, kernel=3, padding=1)
@@ -187,7 +255,7 @@ def bench_inference(*, passes: int, seed: int) -> dict:
     model = build_model(rng)
     x = (rng.standard_normal((4, 3, 16, 16)) * 0.5).astype(np.float16)
 
-    engine = ProtectedInference(model, get_scheme("global"))
+    engine = ProtectedInference(model, scheme_from_token("global"))
     t0 = time.perf_counter()
     engine.run(x)
     cold_s = time.perf_counter() - t0
@@ -251,6 +319,16 @@ def main() -> None:
               f"{row['paths']['sparse']['speedup'] / row['paths']['dense']['speedup']:.1f}x "
               f"over dense)")
 
+    report["campaign"][SESSION_KEY] = bench_session_campaign(
+        trials=trials, seed=17, repeats=repeats
+    )
+    row = report["campaign"][SESSION_KEY]
+    print(f"campaign[{SESSION_KEY}]: raw {row['direct_trials_per_s']:8.1f} "
+          f"trials/s vs session "
+          f"{row['paths']['session']['trials_per_s']:8.1f} "
+          f"(parity {row['paths']['session']['speedup']:.2f}x, "
+          f"{row['scheme']} on {row['model']}/{row['layer']})")
+
     report["inference"] = bench_inference(passes=passes, seed=17)
     inf = report["inference"]
     print(f"inference: cold {inf['cold_pass_s'] * 1e3:.1f} ms -> warm "
@@ -276,17 +354,36 @@ def main() -> None:
 
     # Gross sanity floor only — machine-portable by design (a broken
     # batched or sparse path collapses to ~1x).  The real ratchet is
-    # check_regression.py against the committed baseline.
+    # check_regression.py against the committed baseline.  Parity rows
+    # measure facade overhead against an equally-warm engine, so their
+    # floor is "not meaningfully slower than raw", not an amortization
+    # multiple.
     floor = 1.5 if args.quick else 3.0
+    parity_floor = 0.5
     slowest = min(
         path["speedup"]
         for r in report["campaign"].values()
+        if r.get("gate") != "parity"
         for path in r["paths"].values()
     )
     if slowest < floor:
         raise SystemExit(
             f"campaign speedup regression: slowest scheme/path at "
             f"{slowest:.2f}x (floor is {floor}x)"
+        )
+    parity = min(
+        (
+            path["speedup"]
+            for r in report["campaign"].values()
+            if r.get("gate") == "parity"
+            for path in r["paths"].values()
+        ),
+        default=1.0,
+    )
+    if parity < parity_floor:
+        raise SystemExit(
+            f"facade overhead regression: session campaign at "
+            f"{parity:.2f}x of the raw engine (floor is {parity_floor}x)"
         )
 
 

@@ -2,21 +2,30 @@
 """Protected DLRM recommendation inference (numeric, end to end).
 
 Builds a runnable DLRM MLP-Bottom (13 dense features -> 512 -> 256 ->
-64), assigns each layer the scheme intensity-guided ABFT picks for a
-T4 at batch 1 (they are all bandwidth bound, so thread-level ABFT wins
-everywhere — Fig. 10), runs real FP16 inference, then injects a soft
-error into the middle layer and shows the per-layer checks catching it.
+64) and deploys it with ``repro.deploy``: the intensity-guided policy
+picks each layer's scheme for a T4 at batch 1 (they are all bandwidth
+bound, so thread-level ABFT wins everywhere — Fig. 10), and the
+returned session runs real FP16 inference through a
+:class:`~repro.nn.ProtectedInference` sharing one prepared cache.
+Then a soft error is injected into the middle layer and the per-layer
+checks catch it, and a fault campaign attacks the very GEMM the
+forward pass executed — without re-running its clean half.
 """
 
 import numpy as np
 
 import repro
+from repro.gemm import EXECUTION_STATS
 from repro.nn.inference import Linear, ReLU, SequentialModel
 from repro.nn.layers import LinearSpec
 
 
 def build_runnable_mlp_bottom(rng: np.random.Generator) -> SequentialModel:
-    """A numerically runnable MLP-Bottom with random FP16 weights."""
+    """A numerically runnable MLP-Bottom with random FP16 weights.
+
+    Layer names match the model zoo's shape graph (``fc0``/``fc1``/
+    ``fc2``), so the deployment plan maps onto it directly.
+    """
     dims = [13, 512, 256, 64]
     ops = []
     for i, (fin, fout) in enumerate(zip(dims, dims[1:])):
@@ -30,40 +39,42 @@ def build_runnable_mlp_bottom(rng: np.random.Generator) -> SequentialModel:
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    t4 = repro.get_gpu("T4")
 
-    # --- what would intensity-guided ABFT deploy? ----------------------
-    shape_model = repro.build_model("mlp_bottom", batch=1)
-    guided = repro.IntensityGuidedABFT(t4)
-    selection = guided.select_for_model(shape_model)
+    # --- deploy: policy-chosen schemes wrapping the runnable model -----
+    session = repro.deploy(
+        "mlp_bottom", "T4", batch=1, runnable=build_runnable_mlp_bottom(rng)
+    )
+    plan = session.plan
     print("per-layer choices for DLRM MLP-Bottom on T4 (batch 1):")
-    for layer in selection.layers:
-        print(f"  {layer.layer_name:6s} AI={layer.intensity:6.1f} "
-              f"-> {layer.chosen}")
+    for layer in plan:
+        print(f"  {layer.name:6s} AI={layer.intensity:6.1f} "
+              f"-> {layer.scheme}")
     print(f"global ABFT overhead      : "
-          f"{selection.scheme_overhead_percent('global'):.2f}%")
-    print(f"intensity-guided overhead : {selection.guided_overhead_percent:.2f}%")
+          f"{plan.scheme_overhead_percent('global'):.2f}%")
+    print(f"intensity-guided overhead : {plan.guided_overhead_percent:.2f}%")
 
     # --- run it numerically, with per-layer scheme assignment ----------
-    model = build_runnable_mlp_bottom(rng)
-    schemes = {
-        layer.layer_name.split("/")[-1]: repro.get_scheme(layer.chosen)
-        for layer in selection.layers
-    }
-    engine = repro.ProtectedInference(model, schemes)
-
     features = (rng.standard_normal((1, 13)) * 0.5).astype(np.float16)
-    clean = engine.run(features)
+    clean = session.run(features)
     print(f"\nclean inference: detected={clean.detected}, "
           f"embedding norm={np.linalg.norm(clean.output.astype(np.float32)):.3f}")
 
     # --- inject a soft error into the 512->256 layer -------------------
     fault = repro.FaultSpec(row=0, col=100, kind=repro.FaultKind.ADD, value=40.0)
-    faulty = engine.run(features, faults={"fc1": [fault]})
+    faulty = session.run(features, faults={"fc1": [fault]})
     flagged = [rec.name for rec in faulty.layer_outcomes if rec.detected]
     print(f"faulty inference: detected={faulty.detected}, flagged layers={flagged}")
     assert faulty.detected and flagged == ["fc1"]
     print("the corrupted layer was localized; the request can be re-executed.")
+
+    # --- campaign the layer the passes actually executed ---------------
+    EXECUTION_STATS.reset()
+    result = session.campaign(layer="fc1", seed=7).run_batch(40)
+    assert EXECUTION_STATS.gemms == 0, "campaign should reuse the passes' GEMM"
+    print(f"\nfault campaign on fc1 (clean GEMM reused from the forward "
+          f"passes): coverage {result.coverage * 100:.1f}% over "
+          f"{result.n_significant} significant faults")
+    assert result.coverage == 1.0
 
 
 if __name__ == "__main__":

@@ -1,23 +1,23 @@
 #!/usr/bin/env python3
-"""Fault-injection campaign: measure detection coverage per scheme.
+"""Fault-injection campaigns through the deployment facade.
 
-Runs randomized single-fault campaigns (the paper's §2.3 fault model —
-one corrupted output value per GEMM) against every protecting scheme
-and prints detection coverage, plus a demonstration of the numerical
-sensitivity hierarchy between global and thread-level checks and of
-the §2.4 multi-fault extension (r independent checksums detect up to
-r simultaneous faults; sweeps share one prepared state through a
-PreparedCache).
+Deploys DLRM MLP-Bottom (batch 32) under every protecting scheme via
+``repro.deploy`` with a fixed policy, runs randomized single-fault
+campaigns (the paper's §2.3 fault model) against the same deployed
+layer through each session, and prints detection coverage.  Then two
+refinements on the same layer GEMM: the numerical sensitivity
+hierarchy between global and thread-level checks, and the §2.4
+multi-fault extension (r independent checksums detect up to r
+simultaneous faults; the sweep's campaigns share one prepared state
+through the session's cache).
 """
 
 import argparse
 
-import numpy as np
-
 import repro
-from repro import MultiChecksumGlobalABFT, PreparedCache
-from repro.faults import FaultCampaign, FaultKind, FaultSpec
 from repro.utils import Table
+
+MODEL, LAYER, BATCH = "mlp_bottom", "fc2", 32
 
 
 def main() -> None:
@@ -29,20 +29,26 @@ def main() -> None:
     if args.trials <= 0:
         parser.error(f"--trials must be positive, got {args.trials}")
 
-    rng = np.random.default_rng(21)
-    a = (rng.standard_normal((128, 96)) * 0.5).astype(np.float16)
-    b = (rng.standard_normal((96, 64)) * 0.5).astype(np.float16)
+    # One session per scheme: same model, same seed, so every scheme's
+    # campaign attacks bit-identical operands of the same deployed layer.
+    sessions = {
+        name: repro.deploy(MODEL, "T4", batch=BATCH, seed=21,
+                           policy=f"fixed:{name}")
+        for name in repro.list_schemes()
+        if repro.get_scheme(name).protects
+    }
 
+    shape = sessions["global"].plan.layer(LAYER)
     table = Table(
         ["scheme", "trials", "significant", "coverage", "sensitivity floor"],
-        title=(f"Single-fault campaigns (128x64x96 FP16 GEMM, "
+        title=(f"Single-fault campaigns ({MODEL}/{LAYER}: "
+               f"{shape.m}x{shape.n}x{shape.k} FP16 GEMM, "
                f"{args.trials} trials each)"),
     )
-    for name in repro.list_schemes():
-        scheme = repro.get_scheme(name)
-        if not scheme.protects:
-            continue
-        campaign = FaultCampaign(scheme, a, b, seed=21)
+    campaigns = {}
+    for name, session in sessions.items():
+        campaign = session.campaign(LAYER, seed=21)
+        campaigns[name] = campaign
         result = campaign.run(args.trials)
         table.add_row([
             name, result.n_trials, result.n_significant,
@@ -51,26 +57,32 @@ def main() -> None:
         assert result.coverage == 1.0
     print(table.render())
 
-    # Sensitivity hierarchy: a small corruption below the global scalar
-    # check's rounding-noise floor is still caught per-tile.
-    small = FaultSpec(row=5, col=5, kind=FaultKind.ADD, value=0.8)
-    global_hit = repro.get_scheme("global").execute(a, b, faults=[small]).detected
-    thread_hit = repro.get_scheme("thread_onesided").execute(a, b, faults=[small]).detected
-    print(f"\nsmall fault (+0.8): global detected={global_hit}, "
+    # Sensitivity hierarchy: a corruption between the two schemes'
+    # rounding-noise floors is invisible to the whole-output scalar
+    # check but still caught per-tile.
+    small_value = 2.0 * campaigns["thread_onesided"].tolerance_scale
+    assert small_value < campaigns["global"].tolerance_scale
+    small = repro.FaultSpec(row=5, col=5, kind=repro.FaultKind.ADD,
+                            value=small_value)
+    global_hit = campaigns["global"].run_trial(small).detected
+    thread_hit = campaigns["thread_onesided"].run_trial(small).detected
+    print(f"\nsmall fault (+{small_value:.2g}): global detected={global_hit}, "
           f"thread-level detected={thread_hit}")
+    assert thread_hit and not global_hit
     print("thread-level ABFT's per-tile checks resolve corruptions the "
           "whole-output scalar check cannot — a numerical bonus on top of "
           "its performance advantage for bandwidth-bound layers.")
 
     # Multi-fault trials (paper §2.4): r independent weighted checksums
-    # detect up to r simultaneous faults.  The sweep over fault counts
-    # shares one prepared state through a PreparedCache, so the clean
-    # GEMM runs once for all three campaigns.
-    cache = PreparedCache()
-    scheme = MultiChecksumGlobalABFT(2)
-    print("\nglobal_multi (r=2), coverage by simultaneous-fault count:")
+    # detect up to r simultaneous faults.  One session, one prepared
+    # state: the sweep over fault counts shares the session cache, so
+    # the clean GEMM runs once for all three campaigns.
+    session = repro.deploy(MODEL, "T4", batch=BATCH, seed=21,
+                           policy="fixed:global_multi:2")
+    print("\nglobal_multi:2, coverage by simultaneous-fault count "
+          f"(on {MODEL}/{LAYER}):")
     for faults_per_trial in (1, 2, 3):
-        campaign = FaultCampaign(scheme, a, b, seed=21, cache=cache)
+        campaign = session.campaign(LAYER, seed=21)
         result = campaign.run_batch(
             max(args.trials // 2, 8), faults_per_trial=faults_per_trial
         )
@@ -80,7 +92,7 @@ def main() -> None:
               f"significant trials ({guarantee})")
         if faults_per_trial <= 2:
             assert result.coverage == 1.0
-    assert cache.hits == 2 and cache.misses == 1
+    assert session.cache.hits == 2 and session.cache.misses == 1
 
 
 if __name__ == "__main__":

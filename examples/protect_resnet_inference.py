@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Intensity-guided ABFT deployment plan for ResNet-50 on a T4.
 
-Reproduces the paper's §5.3 pre-deployment workflow: profile every
-linear layer of ResNet-50 (HD inputs, batch 1) under global and
-thread-level ABFT, pick the cheaper scheme per layer, and report the
+Reproduces the paper's §5.3 pre-deployment workflow through the
+deployment API: ``repro.deploy`` profiles every linear layer of
+ResNet-50 (HD inputs, batch 1) under global and thread-level ABFT,
+picks the cheaper scheme per layer, and hands back a
+:class:`~repro.api.ProtectedSession` whose plan reports the
 whole-model overhead against both uniform baselines — the ResNet-50
-column of Fig. 9.
+column of Fig. 9 — and can spin up a fault campaign against any of the
+54 deployed layers.
 """
 
 import repro
-from repro.core import layer_selection_table
+from repro.api import layer_plan_table
 
 
 def main() -> None:
@@ -19,26 +22,33 @@ def main() -> None:
           f"aggregate AI = {model.aggregate_intensity():.1f} "
           f"(T4 CMR = {t4.cmr:.0f})")
 
-    guided = repro.IntensityGuidedABFT(t4)
-    selection = guided.select_for_model(model)
+    session = repro.deploy(model, t4)
+    plan = session.plan
 
-    print(f"\nper-layer selection counts: {selection.selection_counts}")
+    print(f"\nper-layer selection counts: {plan.selection_counts}")
     print(f"thread-level ABFT overhead : "
-          f"{selection.scheme_overhead_percent('thread_onesided'):6.2f}%")
+          f"{plan.scheme_overhead_percent('thread_onesided'):6.2f}%")
     print(f"global ABFT overhead       : "
-          f"{selection.scheme_overhead_percent('global'):6.2f}%")
+          f"{plan.scheme_overhead_percent('global'):6.2f}%")
     print(f"intensity-guided overhead  : "
-          f"{selection.guided_overhead_percent:6.2f}%")
+          f"{plan.guided_overhead_percent:6.2f}%")
     reduction = (
-        selection.scheme_overhead_percent("global")
-        / selection.guided_overhead_percent
+        plan.scheme_overhead_percent("global") / plan.guided_overhead_percent
     )
     print(f"reduction vs global        : {reduction:6.2f}x")
 
-    # The first/last few layers, with intensity and the per-layer winner.
+    # The first few layers, with intensity and the per-layer winner.
     print()
-    print(layer_selection_table(selection, max_rows=12).render())
+    print(layer_plan_table(plan, max_rows=12).render())
     print("... (remaining layers omitted)")
+
+    # The session is live: campaign any deployed layer.  The final FC
+    # layer is tiny (1x1000x2048), so a quick coverage check is cheap.
+    result = session.campaign(layer="fc", seed=3).run_batch(40)
+    print(f"\nfault campaign on layer 'fc' ({plan.layer('fc').scheme}): "
+          f"{result.n_significant} significant faults, "
+          f"coverage {result.coverage * 100:.1f}%")
+    assert result.coverage == 1.0
 
 
 if __name__ == "__main__":

@@ -1,51 +1,54 @@
 #!/usr/bin/env python3
-"""Quickstart: protect one GEMM with ABFT and catch an injected fault.
+"""Quickstart: deploy a model under intensity-guided ABFT, end to end.
 
-Walks the paper's Fig. 1 idea end to end on real numbers:
+The paper's whole workflow through the deployment facade, in three
+moves:
 
-1. run an FP16 GEMM through one-sided thread-level ABFT,
-2. inject a soft-error bit flip into one output accumulator,
-3. watch the checksum comparison flag it,
-4. ask intensity-guided ABFT which scheme this GEMM should use on a T4.
+1. ``repro.deploy`` — build the model, run the intensity-guided policy
+   on a T4, get back a running :class:`~repro.api.ProtectedSession`
+   (the per-layer plan is serializable: ``repro deploy --json``),
+2. run a fault-injection campaign against one deployed layer — the
+   campaign shares the session's prepared state, so the clean GEMM ran
+   exactly once,
+3. inject a single soft error into a protected pass and watch the
+   per-layer checksum comparison flag it.
 """
 
-import numpy as np
-
 import repro
+from repro.api import layer_plan_table
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
-    m, n, k = 96, 64, 80
-    a = (rng.standard_normal((m, k)) * 0.5).astype(np.float16)
-    b = (rng.standard_normal((k, n)) * 0.5).astype(np.float16)
+    # --- 1. deploy: model + device + policy -> protected session ------
+    session = repro.deploy("mlp_bottom", "T4", batch=64)
+    plan = session.plan
+    print(layer_plan_table(plan).render())
+    print(f"\nuniform global overhead : "
+          f"{plan.scheme_overhead_percent('global'):6.2f}%")
+    print(f"deployed plan overhead  : {plan.guided_overhead_percent:6.2f}%")
 
-    # --- 1. a clean protected GEMM ------------------------------------
-    scheme = repro.ThreadLevelOneSided()
-    clean = scheme.execute(a, b)
-    print(f"clean run:   detected={clean.detected}  "
-          f"(checks evaluated: {clean.verdict.checks})")
+    # The plan round-trips through JSON: what `repro deploy --json`
+    # prints is loadable deployment input anywhere.
+    restored = repro.DeploymentPlan.from_json(plan.to_json())
+    assert restored == plan
 
-    # --- 2./3. inject a single soft error -----------------------------
-    fault = repro.FaultSpec(row=10, col=20, kind=repro.FaultKind.BITFLIP_FP32, bit=26)
-    faulty = scheme.execute(a, b, faults=[fault])
-    print(f"faulty run:  detected={faulty.detected}  "
-          f"violated checks: {faulty.verdict.violations}")
-    assert faulty.detected, "a flipped exponent bit must not escape ABFT"
+    # --- 2. a fault campaign against one deployed layer ---------------
+    campaign = session.campaign(layer="fc1", seed=7)
+    result = campaign.run_batch(60)
+    print(f"\ncampaign on fc1: {result.n_trials} trials, "
+          f"{result.n_significant} significant, "
+          f"coverage {result.coverage * 100:.1f}%")
+    assert result.coverage == 1.0, "a significant fault escaped ABFT"
 
-    # --- 4. which scheme does intensity-guided ABFT pick? -------------
-    t4 = repro.get_gpu("T4")
-    problem = repro.GemmProblem(m, n, k)
-    guided = repro.IntensityGuidedABFT(t4)
-    selection = guided.select_for_problem(problem, name="quickstart-gemm")
-    print(f"\nGEMM {m}x{n}x{k}: arithmetic intensity = {selection.intensity:.1f} "
-          f"vs T4 CMR = {t4.cmr:.0f}")
-    for scheme_name, time_s in selection.scheme_times_s.items():
-        overhead = selection.overhead_percent(scheme_name)
-        print(f"  {scheme_name:16s} modeled time {time_s * 1e6:7.2f} us "
-              f"(overhead {overhead:5.1f}%)")
-    print(f"  -> chosen: {selection.chosen} "
-          f"(bandwidth-bound layers prefer thread-level ABFT)")
+    # --- 3. one soft error through a protected pass --------------------
+    fault = repro.FaultSpec(
+        row=10, col=20, kind=repro.FaultKind.BITFLIP_FP32, bit=26
+    )
+    outcome = session.run(faults={"fc1": [fault]})
+    flagged = [rec.name for rec in outcome.layer_outcomes if rec.detected]
+    print(f"\ninjected exponent flip into fc1: detected={outcome.detected}, "
+          f"flagged layers={flagged}")
+    assert outcome.detected and flagged == ["fc1"]
 
 
 if __name__ == "__main__":

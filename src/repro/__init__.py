@@ -6,11 +6,12 @@ for the system inventory and the documented GPU-simulation substitution).
 Quickstart
 ----------
 >>> import repro
->>> model = repro.build_model("resnet50", h=224, w=224)
->>> guided = repro.IntensityGuidedABFT(repro.get_gpu("T4"))
->>> result = guided.select_for_model(model)
->>> result.guided_overhead_percent <= result.scheme_overhead_percent("global")
+>>> session = repro.deploy("resnet50", "T4", h=224, w=224)
+>>> plan = session.plan  # per-layer scheme assignment + overheads
+>>> plan.guided_overhead_percent <= plan.scheme_overhead_percent("global")
 True
+>>> session.campaign(layer="fc", seed=1).run_batch(50).coverage
+1.0
 """
 
 from .config import DEFAULT_CONSTANTS, DEFAULT_DETECTION, DetectionConstants, ModelConstants
@@ -41,6 +42,8 @@ from .abft import (
     ThreadLevelTwoSided,
     get_scheme,
     list_schemes,
+    scheme_from_token,
+    scheme_token,
 )
 from .faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
 from .roofline import aggregate_intensity, classify_problem, cmr_table, layer_intensities
@@ -53,8 +56,20 @@ from .core import (
     overhead_percent,
     reduction_factor,
 )
+from .api import (
+    CallablePolicy,
+    DeploymentPlan,
+    FixedPolicy,
+    IntensityGuidedPolicy,
+    LayerPlan,
+    ProtectedSession,
+    SchemePolicy,
+    as_policy,
+    deploy,
+)
+from . import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -96,6 +111,8 @@ __all__ = [
     "MultiChecksumGlobalABFT",
     "get_scheme",
     "list_schemes",
+    "scheme_from_token",
+    "scheme_token",
     # faults
     "FaultSpec",
     "FaultKind",
@@ -119,4 +136,15 @@ __all__ = [
     "analytical_choice",
     "overhead_percent",
     "reduction_factor",
+    # deployment api
+    "api",
+    "SchemePolicy",
+    "IntensityGuidedPolicy",
+    "FixedPolicy",
+    "CallablePolicy",
+    "as_policy",
+    "DeploymentPlan",
+    "LayerPlan",
+    "ProtectedSession",
+    "deploy",
 ]

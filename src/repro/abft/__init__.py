@@ -62,6 +62,58 @@ def list_schemes() -> list[str]:
     return sorted(cls.name for cls in _SCHEME_CLASSES)
 
 
+def scheme_from_token(token: str) -> Scheme:
+    """Instantiate a scheme from its deployment token.
+
+    A token is the registry name, optionally followed by ``:`` and the
+    scheme's constructor argument — the serialized form deployment
+    plans and the CLI use, e.g. ``"global"``, ``"thread_onesided"``,
+    ``"global_multi:4"`` (four independent checksums).  The single
+    place that turns scheme *names* into scheme *instances*: the policy
+    layer, the CLI, and the experiment drivers all route through it.
+    """
+    from ..errors import ConfigurationError
+
+    name, sep, arg = token.partition(":")
+    if name == MultiChecksumGlobalABFT.name:
+        if not sep:
+            return MultiChecksumGlobalABFT()
+        try:
+            checksums = int(arg)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed scheme token {token!r}: {name!r} takes an "
+                f"integer checksum count, e.g. '{name}:2'"
+            ) from None
+        return MultiChecksumGlobalABFT(checksums)
+    if name not in set(list_schemes()):
+        # The token namespace is the registry plus global_multi;
+        # get_scheme's error would omit the latter and steer a typo'd
+        # user away from the scheme they meant.
+        raise ConfigurationError(
+            f"unknown ABFT scheme {name!r}; known: "
+            f"{sorted([*list_schemes(), MultiChecksumGlobalABFT.name])}"
+        )
+    if sep:
+        raise ConfigurationError(
+            f"malformed scheme token {token!r}: scheme {name!r} takes no "
+            f"constructor argument"
+        )
+    return get_scheme(name)
+
+
+def scheme_token(scheme: Scheme) -> str:
+    """The deployment token that round-trips ``scheme``.
+
+    Inverse of :func:`scheme_from_token`: folds constructor arguments
+    that change the scheme's prepared state (the same ones
+    :attr:`Scheme.cache_token` commits to) into the serialized name.
+    """
+    if isinstance(scheme, MultiChecksumGlobalABFT):
+        return f"{scheme.name}:{scheme.num_checksums}"
+    return scheme.name
+
+
 __all__ = [
     "Scheme",
     "SchemePlan",
@@ -82,4 +134,6 @@ __all__ = [
     "MultiChecksumGlobalABFT",
     "get_scheme",
     "list_schemes",
+    "scheme_from_token",
+    "scheme_token",
 ]

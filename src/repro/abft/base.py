@@ -514,10 +514,19 @@ class PreparedCache:
         a: np.ndarray,
         b: np.ndarray,
         tile: TileConfig | None = None,
+        *,
+        weights: PreparedWeights | None = None,
     ) -> tuple:
-        """The cache key ``(scheme, a, b, tile)`` resolves to."""
+        """The cache key ``(scheme, a, b, tile)`` resolves to.
+
+        ``weights``, when given, pins the tile exactly like
+        :meth:`Scheme.prepare` would, so a miss prepared through the
+        weight-side state and a plain hit resolve to the same entry.
+        """
         a = np.asarray(a)
         b = np.asarray(b)
+        if tile is None and weights is not None:
+            tile = weights.tile
         if tile is None and a.ndim == 2 and b.ndim == 2 and a.shape[1] == b.shape[0]:
             tile = select_tile(GemmProblem(a.shape[0], b.shape[1], a.shape[1]))
         return (scheme.cache_token, self._digest(a), self._digest(b), tile)
@@ -529,6 +538,7 @@ class PreparedCache:
         b: np.ndarray,
         *,
         tile: TileConfig | None = None,
+        weights: PreparedWeights | None = None,
     ) -> PreparedExecution:
         """The shared prepared state for ``(scheme, a, b, tile)``.
 
@@ -537,15 +547,20 @@ class PreparedCache:
         state is fault-invariant, so results are bit-identical to a
         private ``scheme.prepare``); a miss prepares, caches, and
         returns.  Malformed operands raise ``prepare``'s own errors.
+        ``weights`` (from :meth:`Scheme.prepare_weights`, built from
+        the same ``b``) lets a miss skip the weight-side padding and
+        reductions, exactly like passing it to ``prepare`` — engines
+        that amortize the weight side across activations keep that
+        amortization on cache misses.
         """
-        key = self.key_for(scheme, a, b, tile)
+        key = self.key_for(scheme, a, b, tile, weights=weights)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
-        prepared = scheme.prepare(a, b, tile=tile)
+        prepared = scheme.prepare(a, b, tile=tile, weights=weights)
         self._entries[key] = prepared
         if self.maxsize is not None and len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

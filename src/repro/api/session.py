@@ -1,0 +1,319 @@
+"""Protected sessions: a deployed model as one executable object.
+
+:class:`ProtectedSession` is the numeric half of the deployment API.
+Given a :class:`~repro.api.plan.DeploymentPlan` it instantiates the
+plan's schemes from the registry, owns one shared
+:class:`~repro.abft.base.PreparedCache`, and exposes the two things a
+deployment does — protected forward passes (:meth:`ProtectedSession.run`)
+and fault campaigns against any linear layer
+(:meth:`ProtectedSession.campaign`) — with all fault-invariant work
+(padding, tile selection, the clean GEMM, operand checksums) executed
+exactly once per layer across everything the session runs.
+
+Two realizations of the deployed model are supported:
+
+* **Numeric** (``model=`` a :class:`~repro.nn.SequentialModel` whose
+  linear-layer names match the plan): forward passes run real
+  activation flow through a :class:`~repro.nn.ProtectedInference`
+  sharing the session cache, and campaigns attack exactly the GEMM
+  operands the last forward pass executed.
+* **Layer-GEMM** (no ``model``): each planned layer's GEMM is realized
+  with seeded synthetic FP16 operands of the planned shape — the
+  paper's view of a NN as its sequence of linear-layer GEMMs.  Forward
+  passes execute every layer's protected GEMM in order; campaigns
+  attack the same synthesized operands.  This is what makes a plan
+  deserialized from JSON runnable with nothing else on hand.
+
+:func:`deploy` is the three-line entry point: model name + device →
+policy → session.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..abft.base import PreparedCache
+from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..errors import ConfigurationError
+from ..faults.campaign import FaultCampaign
+from ..faults.model import FaultSpec
+from ..gemm.tiles import TileConfig
+from ..gpu.specs import GPUSpec, get_gpu
+from ..nn.graph import ModelGraph
+from ..nn.inference import (
+    InferenceResult,
+    LayerOutcome,
+    ProtectedInference,
+    SequentialModel,
+)
+from ..nn.models import build_model
+from .plan import DeploymentPlan
+from .policy import SchemePolicy, as_policy
+
+
+class ProtectedSession:
+    """A deployed model: plan + schemes + one shared prepared cache.
+
+    Parameters
+    ----------
+    plan:
+        The deployment plan (from a policy, or deserialized JSON).
+    model:
+        Optional numeric realization.  Its linear-layer names must
+        match the plan's layers exactly; without it the session runs
+        the layer-GEMM realization (see module docstring).
+    seed:
+        Seed for the synthesized layer operands of the layer-GEMM
+        realization (deterministic per layer, independent of call
+        order).
+    cache:
+        Share a :class:`~repro.abft.base.PreparedCache` across
+        sessions (e.g. device sweeps over one model); by default the
+        session owns a private one, LRU-bounded to a few entries per
+        layer so a numeric session fed a stream of distinct inputs
+        (each a fresh activation digest, hence a fresh entry holding
+        padded operands and a clean FP32 accumulator) recycles memory
+        instead of growing without bound.  Pass an unbounded
+        ``PreparedCache()`` explicitly to pin everything.
+    detection:
+        Detection constants for forward passes and campaign defaults.
+    """
+
+    def __init__(
+        self,
+        plan: DeploymentPlan,
+        *,
+        model: SequentialModel | None = None,
+        seed: int = 0,
+        cache: PreparedCache | None = None,
+        detection: DetectionConstants = DEFAULT_DETECTION,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.detection = detection
+        if cache is None:
+            cache = PreparedCache(maxsize=max(8, 4 * len(plan.layers)))
+        self.cache = cache
+        self.schemes = plan.build_schemes()
+        self.model = model
+        self.engine: ProtectedInference | None = None
+        if model is not None:
+            plan.validate_layer_names(model.linear_names)
+            self.engine = ProtectedInference(
+                model,
+                self.schemes,
+                cache=self.cache,
+                record_operands=True,
+                detection=detection,
+            )
+        self._synthesized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> str:
+        """The plan's target device label."""
+        return self.plan.device
+
+    def scheme_for(self, layer: str):
+        """The scheme instance deployed on the named layer."""
+        try:
+            return self.schemes[layer]
+        except KeyError:
+            raise ConfigurationError(
+                f"session for {self.plan.model!r} has no layer {layer!r}; "
+                f"layers are {self.plan.layer_names}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _synthesized_operands(
+        self, layer: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Seeded FP16 operands of the planned shape for one layer.
+
+        Deterministic for a given (session seed, layer): every run and
+        campaign over the session sees bit-identical operands — which
+        is what lets the shared cache collapse their clean GEMMs into
+        one execution.
+        """
+        cached = self._synthesized.get(layer)
+        if cached is not None:
+            return cached
+        entry = self.plan.layer(layer)
+        index = self.plan.layer_names.index(layer)
+        rng = np.random.default_rng([self.seed, index])
+        a = (rng.standard_normal((entry.m, entry.k)) * 0.5).astype(np.float16)
+        b = (rng.standard_normal((entry.k, entry.n)) * 0.5).astype(np.float16)
+        self._synthesized[layer] = (a, b)
+        return a, b
+
+    def layer_operands(
+        self, layer: str
+    ) -> tuple[np.ndarray, np.ndarray, TileConfig | None]:
+        """The GEMM operands ``(a, b, tile)`` campaigns attack.
+
+        Numeric sessions return the operands (and pinned tile) of the
+        named layer's most recent forward pass; run one first.  The
+        layer-GEMM realization returns the synthesized operands (tile
+        ``None`` — the campaign resolves the default).
+        """
+        entry = self.plan.layer(layer)  # validates the name
+        if self.engine is not None:
+            recorded = self.engine.recorded_operands.get(layer)
+            if recorded is None:
+                raise ConfigurationError(
+                    f"no recorded operands for layer {entry.name!r}: run a "
+                    f"forward pass first so the campaign attacks the GEMM "
+                    f"the deployment actually executes"
+                )
+            return recorded
+        a, b = self._synthesized_operands(layer)
+        return a, b, None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x: np.ndarray | None = None,
+        *,
+        faults: Mapping[str, Sequence[FaultSpec]] | None = None,
+    ) -> InferenceResult:
+        """One protected pass over the deployed model.
+
+        Numeric sessions require the input activations ``x`` and run
+        real inference; the layer-GEMM realization takes no input and
+        executes every planned layer's protected GEMM in order (the
+        result's ``output`` is the final layer's logical output).
+        ``faults`` maps linear-layer names to fault specs injected
+        into that layer's GEMM, on either realization.
+        """
+        if self.engine is not None:
+            if x is None:
+                raise ConfigurationError(
+                    "this session wraps a numeric model; run(x) needs "
+                    "input activations"
+                )
+            return self.engine.run(x, faults=faults)
+        if x is not None:
+            raise ConfigurationError(
+                "this session runs the layer-GEMM realization (no numeric "
+                "model was attached); run() takes no input activations"
+            )
+        faults = dict(faults or {})
+        unknown = set(faults) - set(self.plan.layer_names)
+        if unknown:
+            raise ConfigurationError(
+                f"fault targets not in plan: {sorted(unknown)}"
+            )
+        result = InferenceResult(output=np.empty(0, dtype=np.float16))
+        for entry in self.plan:
+            a, b = self._synthesized_operands(entry.name)
+            scheme = self.schemes[entry.name]
+            prepared = self.cache.get(scheme, a, b)
+            outcome = prepared.inject(
+                faults.get(entry.name, ()), detection=self.detection
+            )
+            result.layer_outcomes.append(
+                LayerOutcome(
+                    name=entry.name, scheme=outcome.scheme, outcome=outcome
+                )
+            )
+            result.output = outcome.c
+        return result
+
+    # ------------------------------------------------------------------
+    def campaign(
+        self,
+        layer: str | None = None,
+        *,
+        seed: int = 0,
+        significance_factor: float | None = None,
+        batch_size: int | None = None,
+        sparse: bool | None = None,
+        detection: DetectionConstants | None = None,
+    ) -> FaultCampaign:
+        """A prepared :class:`~repro.faults.FaultCampaign` on one layer.
+
+        The campaign draws its prepared state from the session cache,
+        so it shares the layer's clean GEMM with every forward pass
+        (and every other campaign on that layer) the session runs —
+        whole-model fault studies pay the expensive half once, total.
+        ``layer`` may be omitted for single-layer plans; campaign
+        parameters are forwarded to :class:`~repro.faults.
+        FaultCampaign`.
+        """
+        if layer is None:
+            if len(self.plan) != 1:
+                raise ConfigurationError(
+                    f"plan for {self.plan.model!r} has "
+                    f"{len(self.plan)} layers; pass layer= one of "
+                    f"{self.plan.layer_names}"
+                )
+            layer = self.plan.layer_names[0]
+        a, b, tile = self.layer_operands(layer)
+        # None means "FaultCampaign's own default" — never restate a
+        # default here, or the hand-wired parity contract drifts.
+        extra = {}
+        if significance_factor is not None:
+            extra["significance_factor"] = significance_factor
+        return FaultCampaign(
+            self.scheme_for(layer),
+            a,
+            b,
+            tile=tile,
+            detection=detection if detection is not None else self.detection,
+            seed=seed,
+            batch_size=batch_size,
+            sparse=sparse,
+            cache=self.cache,
+            **extra,
+        )
+
+
+def deploy(
+    model: "str | ModelGraph",
+    device: "str | GPUSpec" = "T4",
+    *,
+    policy: "SchemePolicy | str" = "guided",
+    batch: int | None = None,
+    h: int = 1080,
+    w: int = 1920,
+    runnable: SequentialModel | None = None,
+    seed: int = 0,
+    cache: PreparedCache | None = None,
+    detection: DetectionConstants = DEFAULT_DETECTION,
+) -> ProtectedSession:
+    """Model + device + policy → a running protected session.
+
+    The end-to-end workflow of the paper in one call: build (or take)
+    the shape-level model, run the policy on the target device, and
+    wrap the resulting plan in a :class:`ProtectedSession`.
+
+    Parameters
+    ----------
+    model:
+        A model-zoo name (``repro.list_models()``) or a prebuilt
+        :class:`~repro.nn.ModelGraph`.
+    device:
+        Device name (``repro.list_gpus()``) or spec.
+    policy:
+        Anything :func:`~repro.api.policy.as_policy` accepts; default
+        is the paper's intensity-guided selection.
+    batch, h, w:
+        Model-zoo build arguments (ignored for a prebuilt graph).
+    runnable:
+        Optional numeric :class:`~repro.nn.SequentialModel` realization
+        whose linear-layer names match the graph's.
+    seed, cache, detection:
+        Forwarded to :class:`ProtectedSession`.
+    """
+    spec = get_gpu(device) if isinstance(device, str) else device
+    graph = (
+        build_model(model, batch=batch, h=h, w=w)
+        if isinstance(model, str)
+        else model
+    )
+    plan = as_policy(policy).assign(graph, spec)
+    return ProtectedSession(
+        plan, model=runnable, seed=seed, cache=cache, detection=detection
+    )

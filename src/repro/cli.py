@@ -5,7 +5,12 @@ Subcommands mirror the deployment workflow:
 * ``models`` / ``devices`` — list what is available.
 * ``intensity MODEL`` — per-layer and aggregate arithmetic intensity.
 * ``select MODEL`` — run the intensity-guided selection on a device and
-  print (or ``--json``-export) the per-layer plan.
+  print (or ``--json``-export) the per-layer result.
+* ``deploy MODEL`` — produce the policy's deployment plan (table or
+  ``--json``; the JSON loads back via ``DeploymentPlan.from_json`` and
+  feeds ``campaign --plan``).
+* ``campaign MODEL`` — deploy and run a fault-injection campaign
+  against one linear layer through a protected session.
 * ``sweep`` — the Fig. 12 square-GEMM sweep on a device.
 * ``experiments [NAME...]`` — regenerate paper artifacts.
 """
@@ -16,8 +21,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core import IntensityGuidedABFT, layer_selection_table
-from .errors import ReproError
+from .api import (
+    DeploymentPlan,
+    IntensityGuidedPolicy,
+    ProtectedSession,
+    as_policy,
+    layer_plan_table,
+)
+from .core import layer_selection_table
+from .errors import ConfigurationError, ReproError
 from .gpu import get_gpu, list_gpus
 from .nn import build_model, list_models
 from .roofline import layer_intensities
@@ -40,8 +52,18 @@ def _cmd_devices(_: argparse.Namespace) -> int:
     return 0
 
 
+def _build_graph(args: argparse.Namespace):
+    """Model-zoo build for the subcommand's geometry arguments."""
+    return build_model(
+        args.model,
+        batch=args.batch,
+        h=args.height if args.height is not None else 1080,
+        w=args.width if args.width is not None else 1920,
+    )
+
+
 def _cmd_intensity(args: argparse.Namespace) -> int:
-    model = build_model(args.model, batch=args.batch, h=args.height, w=args.width)
+    model = _build_graph(args)
     table = Table(
         ["layer", "M", "N", "K", "AI"],
         title=f"{model.name} ({model.input_desc}, batch {model.batch}) — "
@@ -56,9 +78,10 @@ def _cmd_intensity(args: argparse.Namespace) -> int:
 
 def _cmd_select(args: argparse.Namespace) -> int:
     spec = get_gpu(args.device)
-    model = build_model(args.model, batch=args.batch, h=args.height, w=args.width)
-    selection = IntensityGuidedABFT(spec).select_for_model(model)
+    selection = IntensityGuidedPolicy().select(_build_graph(args), spec)
     if args.json:
+        # This export is loadable deployment input: DeploymentPlan.
+        # from_json accepts the selection schema directly.
         print(model_selection_to_json(selection))
         return 0
     print(layer_selection_table(selection).render())
@@ -68,6 +91,107 @@ def _cmd_select(args: argparse.Namespace) -> int:
     print(f"global overhead       : "
           f"{selection.scheme_overhead_percent('global'):6.2f}%")
     print(f"intensity-guided      : {selection.guided_overhead_percent:6.2f}%")
+    return 0
+
+
+def _build_plan(args: argparse.Namespace) -> DeploymentPlan:
+    """Policy → plan for the subcommand's model/device arguments."""
+    spec = get_gpu(args.device or "T4")
+    return as_policy(args.policy or "guided").assign(_build_graph(args), spec)
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    if args.json:
+        print(plan.to_json())
+        return 0
+    print(layer_plan_table(plan).render())
+    if plan.has_predictions:
+        print()
+        for token in sorted(
+            {t for layer in plan for t in layer.scheme_times_s}
+        ):
+            print(f"uniform {token:<16s}: "
+                  f"{plan.scheme_overhead_percent(token):6.2f}% overhead")
+        print(f"deployed plan           : "
+              f"{plan.guided_overhead_percent:6.2f}% overhead")
+    return 0
+
+
+def _load_plan(path: str) -> DeploymentPlan:
+    """Read a plan JSON file (``-`` for stdin)."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read plan file: {exc}") from None
+    return DeploymentPlan.from_json(text)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.trials <= 0:
+        print(f"--trials must be positive, got {args.trials}", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        plan = _load_plan(args.plan)
+        # The plan fully determines the deployment.  The positional
+        # model must agree, the device (which every plan records) must
+        # agree when given explicitly, and the flags that pick a
+        # different deployment outright — geometry and policy — are
+        # rejected, so the user cannot believe they campaigned one
+        # configuration while the plan fixes another.
+        if plan.model != args.model:
+            raise ConfigurationError(
+                f"plan file deploys {plan.model!r} but the command names "
+                f"{args.model!r}; pass the plan's model"
+            )
+        if args.device is not None and plan.device != args.device:
+            raise ConfigurationError(
+                f"plan was built for device {plan.device!r}, command asked "
+                f"for --device {args.device}; drop --device or rebuild the "
+                f"plan"
+            )
+        fixed = [
+            flag
+            for flag, given in (
+                ("--batch", args.batch),
+                ("--height", args.height),
+                ("--width", args.width),
+                ("--policy", args.policy),
+            )
+            if given is not None
+        ]
+        if fixed:
+            raise ConfigurationError(
+                f"{', '.join(fixed)}: not allowed with --plan (the plan "
+                f"already fixes the deployment); drop them or rebuild the "
+                f"plan"
+            )
+    else:
+        plan = _build_plan(args)
+    session = ProtectedSession(plan, seed=args.seed)
+    layer = args.layer if args.layer is not None else plan.layer_names[0]
+    campaign = session.campaign(layer, seed=args.seed)
+    result = campaign.run_batch(
+        args.trials, faults_per_trial=args.faults_per_trial
+    )
+    entry = plan.layer(layer)
+    print(f"model {plan.model} on {plan.device} "
+          f"(policy {plan.policy or 'from plan'})")
+    print(f"layer {layer}: {entry.m}x{entry.n}x{entry.k} GEMM under "
+          f"{entry.scheme}")
+    print(f"trials              : {result.n_trials} "
+          f"({args.faults_per_trial} fault(s) each)")
+    print(f"significant         : {result.n_significant}")
+    print(f"detected            : {result.n_detected}")
+    print(f"benign alarms       : {result.n_benign_alarms}")
+    print(f"coverage            : {result.coverage * 100:.1f}%")
+    if result.false_negatives:
+        print(f"false negatives     : {len(result.false_negatives)}")
+        return 1
     return 0
 
 
@@ -112,11 +236,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="list device specs").set_defaults(fn=_cmd_devices)
 
     def _model_args(p: argparse.ArgumentParser) -> None:
+        # Geometry flags stay None until given so `campaign --plan` can
+        # tell an explicit flag from the default.
         p.add_argument("model", choices=list_models())
         p.add_argument("--batch", type=int, default=None,
                        help="batch size (model-specific default)")
-        p.add_argument("--height", type=int, default=1080)
-        p.add_argument("--width", type=int, default=1920)
+        p.add_argument("--height", type=int, default=None,
+                       help="input height (default 1080)")
+        p.add_argument("--width", type=int, default=None,
+                       help="input width (default 1920)")
+
+    def _deploy_args(p: argparse.ArgumentParser) -> None:
+        # None-until-given so `campaign --plan` can tell an explicit
+        # flag (which must agree with the plan) from the default.
+        _model_args(p)
+        p.add_argument("--device", default=None, choices=list_gpus(),
+                       help="target device (default T4)")
+        p.add_argument("--policy", default=None,
+                       help="'guided' (default), 'fixed:TOKEN', or a bare "
+                            "scheme token, e.g. fixed:global_multi:2")
 
     p_int = sub.add_parser("intensity", help="per-layer arithmetic intensity")
     _model_args(p_int)
@@ -126,8 +264,33 @@ def build_parser() -> argparse.ArgumentParser:
     _model_args(p_sel)
     p_sel.add_argument("--device", default="T4", choices=list_gpus())
     p_sel.add_argument("--json", action="store_true",
-                       help="emit the machine-readable deployment plan")
+                       help="emit the machine-readable selection (loadable "
+                            "via DeploymentPlan.from_json)")
     p_sel.set_defaults(fn=_cmd_select)
+
+    p_dep = sub.add_parser(
+        "deploy", help="produce a policy's per-layer deployment plan"
+    )
+    _deploy_args(p_dep)
+    p_dep.add_argument("--json", action="store_true",
+                       help="emit the plan JSON (round-trips through "
+                            "DeploymentPlan.from_json / campaign --plan)")
+    p_dep.set_defaults(fn=_cmd_deploy)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign on one layer of a deployed model",
+    )
+    _deploy_args(p_camp)
+    p_camp.add_argument("--plan", default=None, metavar="FILE",
+                        help="load a deployment-plan JSON ('-' for stdin) "
+                             "instead of running the policy")
+    p_camp.add_argument("--layer", default=None,
+                        help="linear layer to attack (default: first)")
+    p_camp.add_argument("--trials", type=int, default=100)
+    p_camp.add_argument("--faults-per-trial", type=int, default=1)
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.set_defaults(fn=_cmd_campaign)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 square-GEMM sweep")
     p_sweep.add_argument("--device", default="T4", choices=list_gpus())

@@ -5,11 +5,16 @@ Paper headline: intensity-guided ABFT reduces overhead by 1.09-5.3x,
 with labeled reductions MLP-Bottom 4.6x, MLP-Top 3.2x, Coral 3.7x,
 Roundabout 5.3x, Taipei 2.0x, Amsterdam 1.6x, SqueezeNet 2.4x,
 ShuffleNet 2.8x.
+
+The driver runs through the deployment API: one
+:class:`~repro.api.IntensityGuidedPolicy` produces each model's
+:class:`~repro.api.DeploymentPlan`, and every reported overhead is read
+off the plan — the same serializable artifact ``repro deploy`` ships.
 """
 
 from __future__ import annotations
 
-from ..core import IntensityGuidedABFT, ModelSelection
+from ..api import DeploymentPlan, IntensityGuidedPolicy
 from ..gpu import T4, GPUSpec
 from ..nn import build_model, list_models
 from ..utils import Table
@@ -34,10 +39,12 @@ PAPER_REDUCTIONS: dict[str, float | None] = {
 }
 
 
-def fig08_selections(spec: GPUSpec = T4) -> dict[str, ModelSelection]:
-    """Per-model intensity-guided selections for all fourteen NNs."""
-    guided = IntensityGuidedABFT(spec)
-    return {name: guided.select_for_model(build_model(name)) for name in list_models()}
+def fig08_plans(spec: GPUSpec = T4) -> dict[str, DeploymentPlan]:
+    """Per-model intensity-guided deployment plans for all fourteen NNs."""
+    policy = IntensityGuidedPolicy()
+    return {
+        name: policy.assign(build_model(name), spec) for name in list_models()
+    }
 
 
 def fig08_all_models(spec: GPUSpec = T4) -> Table:
@@ -53,9 +60,9 @@ def fig08_all_models(spec: GPUSpec = T4) -> Table:
         ],
         title=f"Fig. 8 — execution-time overhead on {spec.name} (global vs intensity-guided)",
     )
-    for name, sel in fig08_selections(spec).items():
-        global_pct = sel.scheme_overhead_percent("global")
-        guided_pct = sel.guided_overhead_percent
+    for name, plan in fig08_plans(spec).items():
+        global_pct = plan.scheme_overhead_percent("global")
+        guided_pct = plan.guided_overhead_percent
         paper = PAPER_REDUCTIONS[name]
         table.add_row(
             [

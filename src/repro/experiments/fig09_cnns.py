@@ -4,11 +4,15 @@ Paper setting: HD 1080x1920 inputs at batch one, comparing thread-level
 ABFT, global ABFT, and intensity-guided ABFT; reductions of 1.09-2.75x
 versus global.  §6.4.1 repeats the experiment at 224x224, where the
 reductions grow to 1.3-3.3x because aggregate intensity drops.
+
+Like the Fig. 8 driver, every number is read off the
+:class:`~repro.api.DeploymentPlan` an
+:class:`~repro.api.IntensityGuidedPolicy` produces.
 """
 
 from __future__ import annotations
 
-from ..core import IntensityGuidedABFT
+from ..api import IntensityGuidedPolicy
 from ..gpu import T4, GPUSpec
 from ..nn import build_model
 from ..nn.models.registry import GENERAL_CNNS
@@ -19,7 +23,7 @@ def fig09_general_cnns(
     *, h: int = 1080, w: int = 1920, spec: GPUSpec = T4
 ) -> Table:
     """Regenerate Fig. 9's series at the given input resolution."""
-    guided = IntensityGuidedABFT(spec)
+    policy = IntensityGuidedPolicy()
     table = Table(
         [
             "model",
@@ -33,14 +37,14 @@ def fig09_general_cnns(
     )
     for name in GENERAL_CNNS:
         model = build_model(name, h=h, w=w)
-        sel = guided.select_for_model(model)
-        global_pct = sel.scheme_overhead_percent("global")
-        guided_pct = sel.guided_overhead_percent
+        plan = policy.assign(model, spec)
+        global_pct = plan.scheme_overhead_percent("global")
+        guided_pct = plan.guided_overhead_percent
         table.add_row(
             [
                 name,
                 model.aggregate_intensity(),
-                sel.scheme_overhead_percent("thread_onesided"),
+                plan.scheme_overhead_percent("thread_onesided"),
                 global_pct,
                 guided_pct,
                 global_pct / guided_pct if guided_pct > 0 else float("inf"),
@@ -65,14 +69,16 @@ def resolution_effect_summary(
     spec: GPUSpec = T4, models: tuple[str, ...] = RESOLUTION_EFFECT_MODELS
 ) -> dict[str, float]:
     """§6.4.1: mean reduction factor at HD vs 224x224."""
+    policy = IntensityGuidedPolicy()
     out = {}
     for tag, (h, w) in {"hd": (1080, 1920), "224": (224, 224)}.items():
-        guided = IntensityGuidedABFT(spec)
         factors = []
         for name in models:
-            sel = guided.select_for_model(build_model(name, h=h, w=w))
-            guided_pct = sel.guided_overhead_percent
+            plan = policy.assign(build_model(name, h=h, w=w), spec)
+            guided_pct = plan.guided_overhead_percent
             if guided_pct > 0:
-                factors.append(sel.scheme_overhead_percent("global") / guided_pct)
+                factors.append(
+                    plan.scheme_overhead_percent("global") / guided_pct
+                )
         out[tag] = sum(factors) / len(factors)
     return out

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..abft import MultiChecksumGlobalABFT, PreparedCache, get_scheme
+from ..abft import PreparedCache, scheme_from_token
 from ..errors import ReproError
 from ..faults import FaultCampaign
 from ..gemm import EXECUTION_STATS
@@ -48,10 +48,10 @@ def multi_fault_coverage_experiment(
     a = (rng.standard_normal((m, k)) * 0.5).astype(np.float16)
     b = (rng.standard_normal((k, n)) * 0.5).astype(np.float16)
 
-    variants = [("global", get_scheme("global"), 1)]
-    variants += [
-        (f"global_multi(r={r})", MultiChecksumGlobalABFT(r), r)
-        for r in checksum_counts
+    tokens = ["global"] + [f"global_multi:{r}" for r in checksum_counts]
+    variants = [
+        (token, scheme_from_token(token), r)
+        for token, r in zip(tokens, (1, *checksum_counts))
     ]
 
     table = Table(

@@ -17,8 +17,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..abft.base import ExecutionOutcome, PreparedWeights, Scheme
+from ..abft.base import ExecutionOutcome, PreparedCache, PreparedWeights, Scheme
 from ..abft.none import NoProtection
+from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..gemm.tiles import TileConfig
 from ..errors import ModelZooError, ShapeError
 from ..faults.model import FaultSpec
 from ..gemm.im2col import conv_weights_to_gemm, im2col
@@ -204,6 +206,29 @@ class ProtectedInference:
         Either a single scheme applied to every linear layer, or a
         mapping from linear-layer name to scheme (what intensity-guided
         ABFT produces); missing names fall back to ``default_scheme``.
+        Every mapping key must name a linear layer of ``model`` —
+        a typo'd key would otherwise leave a layer silently
+        unprotected while the caller believes it is covered, so
+        unknown names raise :class:`~repro.errors.ModelZooError`.
+    cache:
+        Optional shared :class:`~repro.abft.base.PreparedCache`.  When
+        given, every linear layer's protected GEMM executes through
+        the cache: repeated forward passes over identical activations
+        reuse one prepared state per layer (the clean GEMM runs
+        exactly once), and fault campaigns drawing from the *same*
+        cache (:class:`repro.api.ProtectedSession` wires this up) hit
+        the very entries the forward passes built.
+    detection:
+        Detection constants every layer's consistency check is
+        evaluated under.
+    record_operands:
+        Record each linear layer's lowered GEMM operands ``(a, b,
+        tile)`` from the most recent *fault-free* forward pass in
+        :attr:`recorded_operands` (faulty passes propagate corrupted
+        activations downstream and are skipped) — what
+        ``ProtectedSession.campaign`` hands to a
+        :class:`~repro.faults.FaultCampaign` so the campaign attacks
+        exactly the GEMM the forward pass executed.
 
     Weights are constant across forward passes, so the engine caches a
     :class:`~repro.abft.base.PreparedWeights` per linear layer: the
@@ -221,6 +246,9 @@ class ProtectedInference:
         schemes: Scheme | Mapping[str, Scheme],
         *,
         default_scheme: Scheme | None = None,
+        cache: PreparedCache | None = None,
+        record_operands: bool = False,
+        detection: DetectionConstants = DEFAULT_DETECTION,
     ) -> None:
         self.model = model
         if isinstance(schemes, Scheme):
@@ -229,8 +257,23 @@ class ProtectedInference:
             }
         else:
             self._scheme_map = dict(schemes)
+            unknown = set(self._scheme_map) - set(model.linear_names)
+            if unknown:
+                raise ModelZooError(
+                    f"scheme assignment targets layers not in model "
+                    f"{model.name!r}: {sorted(unknown)}; linear layers are "
+                    f"{model.linear_names}"
+                )
         self._default = default_scheme or NoProtection()
         self._weight_cache: dict[str, PreparedWeights] = {}
+        self.detection = detection
+        self.cache = cache
+        self._record_operands = record_operands
+        #: Per-layer ``(a, b, tile)`` of the most recent forward pass
+        #: (populated only with ``record_operands=True``).
+        self.recorded_operands: dict[
+            str, tuple[np.ndarray, np.ndarray, TileConfig]
+        ] = {}
 
     def scheme_for(self, layer_name: str) -> Scheme:
         """The scheme protecting the named linear layer."""
@@ -252,6 +295,29 @@ class ProtectedInference:
             prepared = scheme.prepare_weights(b, m=m)
             self._weight_cache[name] = prepared
         return prepared
+
+    def _execute_linear(
+        self,
+        name: str,
+        a: np.ndarray,
+        b: np.ndarray,
+        faults: Sequence[FaultSpec],
+        *,
+        record: bool,
+    ) -> ExecutionOutcome:
+        """One linear layer's protected GEMM, through the shared cache
+        when the engine owns one (bit-identical either way — the
+        prepared state is fault-invariant)."""
+        scheme = self.scheme_for(name)
+        weights = self._weights_for(name, scheme, b, a.shape[0])
+        if record:
+            self.recorded_operands[name] = (a, b, weights.tile)
+        if self.cache is not None:
+            prepared = self.cache.get(scheme, a, b, weights=weights)
+            return prepared.inject(faults, detection=self.detection)
+        return scheme.execute(
+            a, b, faults=faults, weights=weights, detection=self.detection
+        )
 
     def run(
         self,
@@ -275,32 +341,34 @@ class ProtectedInference:
         if unknown:
             raise ModelZooError(f"fault targets not in model: {sorted(unknown)}")
 
+        # Injected faults are detected, not corrected, so downstream
+        # layers of a faulty pass see corrupted activations — record
+        # only clean passes, or `recorded_operands` would describe
+        # GEMMs the deployment never executes cleanly.
+        record = self._record_operands and not any(faults.values())
         result = InferenceResult(output=np.asarray(x, dtype=np.float16))
         activation = result.output
         for op in self.model.ops:
             if isinstance(op, Conv2d):
                 a, b, dims = op.lower(activation)
-                scheme = self.scheme_for(op.name)
-                weights = self._weights_for(op.name, scheme, b, a.shape[0])
-                outcome = scheme.execute(
-                    a, b, faults=faults.get(op.name, ()), weights=weights
+                outcome = self._execute_linear(
+                    op.name, a, b, faults.get(op.name, ()), record=record
                 )
                 result.layer_outcomes.append(
-                    LayerOutcome(name=op.name, scheme=scheme.name, outcome=outcome)
+                    LayerOutcome(
+                        name=op.name, scheme=outcome.scheme, outcome=outcome
+                    )
                 )
                 activation = op.reshape_output(outcome.c, dims)
             elif isinstance(op, Linear):
                 a = activation.astype(np.float16)
-                scheme = self.scheme_for(op.name)
-                weights = self._weights_for(op.name, scheme, op.weights, a.shape[0])
-                outcome = scheme.execute(
-                    a,
-                    op.weights,
-                    faults=faults.get(op.name, ()),
-                    weights=weights,
+                outcome = self._execute_linear(
+                    op.name, a, op.weights, faults.get(op.name, ()), record=record
                 )
                 result.layer_outcomes.append(
-                    LayerOutcome(name=op.name, scheme=scheme.name, outcome=outcome)
+                    LayerOutcome(
+                        name=op.name, scheme=outcome.scheme, outcome=outcome
+                    )
                 )
                 activation = outcome.c
             else:

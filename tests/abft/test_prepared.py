@@ -355,6 +355,21 @@ class TestPreparedCache:
         with pytest.raises(ConfigurationError):
             PreparedCache(maxsize=0)
 
+    def test_prepared_weights_resolve_to_the_plain_entry(self, small_operands):
+        """get(..., weights=...) pins the weight state's tile for the
+        key and skips the weight-side reductions on a miss — and the
+        entry is shared with plain gets over the same operands."""
+        a, b = small_operands
+        cache = PreparedCache()
+        scheme = get_scheme("global")
+        weights = scheme.prepare_weights(b, m=a.shape[0])
+
+        EXECUTION_STATS.reset()
+        through_weights = cache.get(scheme, a, b, weights=weights)
+        assert EXECUTION_STATS.weight_reductions == 0
+        assert cache.get(scheme, a, b) is through_weights
+        assert len(cache) == 1 and cache.hits == 1
+
     def test_mutated_operands_miss(self, small_operands):
         """Content digests, not identities: mutating an operand after a
         cached hit must produce a fresh entry, never stale state."""

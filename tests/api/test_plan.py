@@ -1,0 +1,213 @@
+"""Deployment-plan and policy tests: tokens, JSON round trips, policies."""
+
+import json
+
+import pytest
+
+from repro.abft import MultiChecksumGlobalABFT, scheme_from_token, scheme_token
+from repro.api import (
+    CallablePolicy,
+    DeploymentPlan,
+    FixedPolicy,
+    IntensityGuidedPolicy,
+    SchemePolicy,
+    as_policy,
+)
+from repro.core import IntensityGuidedABFT
+from repro.errors import ConfigurationError
+from repro.gpu import T4
+from repro.nn import build_model
+from repro.utils.serde import model_selection_to_json
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return build_model("mlp_bottom", batch=16)
+
+
+@pytest.fixture(scope="module")
+def guided_plan(mlp):
+    return IntensityGuidedPolicy().assign(mlp, T4)
+
+
+class TestSchemeTokens:
+    @pytest.mark.parametrize("token", ["global", "thread_onesided", "none"])
+    def test_plain_tokens_round_trip(self, token):
+        scheme = scheme_from_token(token)
+        assert scheme.name == token
+        assert scheme_token(scheme) == token
+
+    def test_global_multi_token_carries_checksum_count(self):
+        scheme = scheme_from_token("global_multi:4")
+        assert isinstance(scheme, MultiChecksumGlobalABFT)
+        assert scheme.num_checksums == 4
+        assert scheme_token(scheme) == "global_multi:4"
+        assert scheme.cache_token == ("global_multi", 4)
+
+    def test_bare_global_multi_uses_default(self):
+        scheme = scheme_from_token("global_multi")
+        assert isinstance(scheme, MultiChecksumGlobalABFT)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown ABFT scheme"):
+            scheme_from_token("quantum")
+
+    def test_unknown_scheme_error_lists_global_multi(self):
+        """The known-tokens list must include the whole token
+        namespace, not just get_scheme's registry."""
+        with pytest.raises(ConfigurationError, match="global_multi"):
+            scheme_from_token("global_mutli:2")
+
+    def test_malformed_arg_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            scheme_from_token("global_multi:two")
+
+    def test_typo_with_arg_reports_unknown_scheme(self):
+        """A typo'd name with an argument must name the real problem."""
+        with pytest.raises(ConfigurationError, match="unknown ABFT scheme"):
+            scheme_from_token("glbal_multi:2")
+
+    def test_arg_on_parameterless_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="no constructor"):
+            scheme_from_token("global:2")
+
+
+class TestDeploymentPlanJson:
+    def test_round_trip_is_lossless(self, guided_plan):
+        restored = DeploymentPlan.from_json(guided_plan.to_json())
+        assert restored == guided_plan
+
+    def test_round_trip_preserves_global_multi_cache_token(self, mlp):
+        plan = FixedPolicy("global_multi:3").assign(mlp, T4)
+        restored = DeploymentPlan.from_json(plan.to_json())
+        schemes = restored.build_schemes()
+        assert all(
+            s.cache_token == ("global_multi", 3) for s in schemes.values()
+        )
+        # Shared instance per token: prepared state is shareable.
+        assert len({id(s) for s in schemes.values()}) == 1
+
+    def test_aggregates_survive_round_trip(self, guided_plan):
+        restored = DeploymentPlan.from_json(guided_plan.to_json())
+        assert restored.guided_overhead_percent == pytest.approx(
+            guided_plan.guided_overhead_percent
+        )
+        assert restored.scheme_overhead_percent("global") == pytest.approx(
+            guided_plan.scheme_overhead_percent("global")
+        )
+
+    def test_loads_select_json_schema(self, mlp):
+        """`repro select --json` output is loadable deployment input."""
+        selection = IntensityGuidedABFT(T4).select_for_model(mlp)
+        plan = DeploymentPlan.from_json(model_selection_to_json(selection))
+        assert plan.model == "mlp_bottom"
+        assert plan.assignment() == {
+            sel.layer_name: sel.chosen for sel in selection.layers
+        }
+        assert plan.guided_overhead_percent == pytest.approx(
+            selection.guided_overhead_percent
+        )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            DeploymentPlan.from_json("{nope")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a deployment plan"):
+            DeploymentPlan.from_json(json.dumps({"model": "x"}))
+
+    def test_bad_token_in_plan_rejected(self, guided_plan):
+        data = guided_plan.to_dict()
+        data["layers"][0]["scheme"] = "quantum"
+        with pytest.raises(ConfigurationError, match="unknown ABFT scheme"):
+            DeploymentPlan.from_dict(data)
+
+    def test_duplicate_layer_rejected(self, guided_plan):
+        data = guided_plan.to_dict()
+        data["layers"].append(data["layers"][0])
+        with pytest.raises(ConfigurationError, match="twice"):
+            DeploymentPlan.from_dict(data)
+
+
+class TestPlanAccessors:
+    def test_matches_model_selection(self, mlp, guided_plan):
+        selection = IntensityGuidedABFT(T4).select_for_model(mlp)
+        assert guided_plan.guided_overhead_percent == pytest.approx(
+            selection.guided_overhead_percent
+        )
+        assert guided_plan.scheme_overhead_percent(
+            "thread_onesided"
+        ) == pytest.approx(selection.scheme_overhead_percent("thread_onesided"))
+        assert guided_plan.selection_counts == selection.selection_counts
+
+    def test_layer_lookup(self, guided_plan):
+        assert guided_plan.layer("fc1").name == "fc1"
+        with pytest.raises(ConfigurationError, match="no layer"):
+            guided_plan.layer("fc9")
+
+    def test_validate_layer_names(self, guided_plan):
+        guided_plan.validate_layer_names(["fc0", "fc1", "fc2"])
+        with pytest.raises(ConfigurationError, match="missing"):
+            guided_plan.validate_layer_names(["fc0", "fc1", "fc2", "fc3"])
+
+    def test_metadata_from_graph(self, mlp, guided_plan):
+        assert guided_plan.batch == mlp.batch
+        assert guided_plan.input_desc == mlp.input_desc
+        assert all(layer.kind == "linear" for layer in guided_plan)
+
+
+class TestPolicies:
+    def test_fixed_policy_assigns_everywhere(self, mlp):
+        plan = FixedPolicy("global").assign(mlp, T4)
+        assert set(plan.assignment().values()) == {"global"}
+        assert plan.policy == "fixed:global"
+        assert plan.has_predictions
+        assert plan.guided_overhead_percent == pytest.approx(
+            plan.scheme_overhead_percent("global")
+        )
+
+    def test_fixed_policy_rejects_bad_token_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            FixedPolicy("quantum")
+
+    def test_guided_policy_satisfies_protocol(self):
+        assert isinstance(IntensityGuidedPolicy(), SchemePolicy)
+        assert isinstance(FixedPolicy("global"), SchemePolicy)
+
+    def test_callable_policy_mapping(self, mlp):
+        def alternate(model, spec):
+            return {
+                layer.name: ("global" if i % 2 else "thread_onesided")
+                for i, layer in enumerate(model)
+            }
+
+        plan = CallablePolicy(alternate).assign(mlp, T4)
+        assert plan.assignment()["fc0"] == "thread_onesided"
+        assert plan.assignment()["fc1"] == "global"
+        assert plan.policy == "alternate"
+        assert not plan.has_predictions
+        with pytest.raises(ConfigurationError, match="no latency"):
+            _ = plan.guided_overhead_percent
+
+    def test_callable_policy_rejects_partial_assignment(self, mlp):
+        with pytest.raises(ConfigurationError, match="missing"):
+            CallablePolicy(lambda m, s: {"fc0": "global"}).assign(mlp, T4)
+
+    def test_callable_policy_rejects_unknown_layers(self, mlp):
+        def bad(model, spec):
+            assignment = {layer.name: "global" for layer in model}
+            assignment["fc9"] = "global"
+            return assignment
+
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CallablePolicy(bad).assign(mlp, T4)
+
+    def test_as_policy_normalization(self):
+        assert isinstance(as_policy("guided"), IntensityGuidedPolicy)
+        assert isinstance(as_policy("fixed:global"), FixedPolicy)
+        assert as_policy("global_multi:2").token == "global_multi:2"
+        policy = IntensityGuidedPolicy()
+        assert as_policy(policy) is policy
+        assert isinstance(as_policy(lambda m, s: {}), CallablePolicy)
+        with pytest.raises(ConfigurationError):
+            as_policy(42)

@@ -96,7 +96,7 @@ class TestMultiFaultCoverage:
         # global baseline + global_multi at r=1 and r=2, 3 counts each.
         assert len(table) == 3 * 3
         out = table.render()
-        assert "global_multi(r=2)" in out and "benign alarms" in out
+        assert "global_multi:2" in out and "benign alarms" in out
 
 
 class TestAblations:

@@ -35,4 +35,5 @@ def test_quickstart_detects_fault():
         timeout=300,
     )
     assert "detected=True" in result.stdout
-    assert "chosen: thread_onesided" in result.stdout
+    assert "coverage 100.0%" in result.stdout
+    assert "thread_onesided" in result.stdout

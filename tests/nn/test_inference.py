@@ -70,6 +70,43 @@ class TestPerLayerSchemes:
         assert by_name == {"conv0": "thread_onesided", "conv1": "none", "fc": "global"}
 
 
+    def test_unknown_scheme_key_rejected(self, tiny_cnn):
+        """A typo'd layer name must not silently deploy NoProtection."""
+        with pytest.raises(ModelZooError, match="conv2"):
+            ProtectedInference(
+                tiny_cnn, {"conv0": GlobalABFT(), "conv2": GlobalABFT()}
+            )
+
+
+class TestSharedCache:
+    def test_cached_passes_bit_identical(self, tiny_cnn, tiny_input):
+        from repro.abft import PreparedCache
+
+        plain = ProtectedInference(tiny_cnn, GlobalABFT()).run(tiny_input)
+        cached_engine = ProtectedInference(
+            tiny_cnn, GlobalABFT(), cache=PreparedCache()
+        )
+        cached = cached_engine.run(tiny_input)
+        np.testing.assert_array_equal(cached.output, plain.output)
+
+        from repro.gemm import EXECUTION_STATS
+
+        EXECUTION_STATS.reset()
+        repeat = cached_engine.run(tiny_input)
+        assert EXECUTION_STATS.gemms == 0
+        np.testing.assert_array_equal(repeat.output, plain.output)
+
+    def test_recorded_operands(self, tiny_cnn, tiny_input):
+        engine = ProtectedInference(
+            tiny_cnn, GlobalABFT(), record_operands=True
+        )
+        assert engine.recorded_operands == {}
+        engine.run(tiny_input)
+        assert set(engine.recorded_operands) == {"conv0", "conv1", "fc"}
+        a, b, tile = engine.recorded_operands["conv1"]
+        assert a.shape[1] == b.shape[0] and tile is not None
+
+
 class TestFaultInjectionDuringInference:
     def test_fault_in_middle_layer_detected(self, tiny_cnn, tiny_input):
         engine = ProtectedInference(tiny_cnn, ThreadLevelOneSided())
