@@ -22,6 +22,7 @@ from .errors import (
     ModelZooError,
     OccupancyError,
     ProfilingError,
+    RecoveryError,
     ReproError,
     ShapeError,
     TilingError,
@@ -45,7 +46,16 @@ from .abft import (
     scheme_from_token,
     scheme_token,
 )
-from .faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
+from .faults import (
+    FaultCampaign,
+    FaultKind,
+    FaultPath,
+    FaultSpec,
+    PropagationCampaign,
+    PropagationOutcome,
+    PropagationResult,
+    RecoveryPolicy,
+)
 from .roofline import aggregate_intensity, classify_problem, cmr_table, layer_intensities
 from .nn import ModelGraph, ProtectedInference, SequentialModel, build_model, list_models
 from .core import (
@@ -88,6 +98,7 @@ __all__ = [
     "DetectionError",
     "ProfilingError",
     "ModelZooError",
+    "RecoveryError",
     # gpu
     "GPUSpec",
     "get_gpu",
@@ -118,6 +129,10 @@ __all__ = [
     "FaultKind",
     "FaultPath",
     "FaultCampaign",
+    "PropagationCampaign",
+    "PropagationOutcome",
+    "PropagationResult",
+    "RecoveryPolicy",
     # roofline
     "aggregate_intensity",
     "layer_intensities",

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
@@ -477,6 +478,13 @@ class PreparedCache:
     differently) — but the cached state must not be mutated by
     consumers, which no engine path does.
 
+    The cache is thread-safe: an internal lock serializes :meth:`get`
+    (including the miss-path ``prepare``, so racing getters of one key
+    still run the clean GEMM exactly once), :meth:`clear`, and
+    ``len``.  Campaigns on separate threads may therefore share one
+    cache; the returned :class:`PreparedExecution` is read-only by
+    contract and needs no further guarding.
+
     Parameters
     ----------
     maxsize:
@@ -495,9 +503,11 @@ class PreparedCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, PreparedExecution] = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def _digest(arr: np.ndarray) -> bytes:
@@ -554,21 +564,27 @@ class PreparedCache:
         amortization on cache misses.
         """
         key = self.key_for(scheme, a, b, tile, weights=weights)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        prepared = scheme.prepare(a, b, tile=tile, weights=weights)
-        self._entries[key] = prepared
-        if self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return prepared
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+            # prepare() runs inside the critical section deliberately:
+            # concurrent getters of one key must not each pay (or
+            # stat-count) the clean GEMM — the exactly-once contract
+            # holds under threads just as it does sequentially.
+            prepared = scheme.prepare(a, b, tile=tile, weights=weights)
+            self._entries[key] = prepared
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return prepared
 
     def clear(self) -> None:
         """Drop every cached state (hit/miss counters keep counting)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class Scheme(abc.ABC):

@@ -39,6 +39,8 @@ from ..config import DEFAULT_DETECTION, DetectionConstants
 from ..errors import ConfigurationError
 from ..faults.campaign import FaultCampaign
 from ..faults.model import FaultSpec
+from ..faults.propagation import PropagationCampaign
+from ..faults.recovery import RecoveryPolicy, attempt_recovery
 from ..gemm.tiles import TileConfig
 from ..gpu.specs import GPUSpec, get_gpu
 from ..nn.graph import ModelGraph
@@ -79,6 +81,13 @@ class ProtectedSession:
         ``PreparedCache()`` explicitly to pin everything.
     detection:
         Detection constants for forward passes and campaign defaults.
+    recovery:
+        Optional :class:`~repro.faults.RecoveryPolicy` applied by
+        default to every :meth:`run` (both realizations) and inherited
+        by :meth:`propagation_campaign`: a detected layer is re-executed
+        within the policy's retry budget, then the pass degrades per
+        the policy.  ``None`` (default) keeps the detect-and-report
+        behavior.
     """
 
     def __init__(
@@ -89,10 +98,12 @@ class ProtectedSession:
         seed: int = 0,
         cache: PreparedCache | None = None,
         detection: DetectionConstants = DEFAULT_DETECTION,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.plan = plan
         self.seed = seed
         self.detection = detection
+        self.recovery = recovery
         if cache is None:
             cache = PreparedCache(maxsize=max(8, 4 * len(plan.layers)))
         self.cache = cache
@@ -177,6 +188,7 @@ class ProtectedSession:
         x: np.ndarray | None = None,
         *,
         faults: Mapping[str, Sequence[FaultSpec]] | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> InferenceResult:
         """One protected pass over the deployed model.
 
@@ -185,15 +197,20 @@ class ProtectedSession:
         executes every planned layer's protected GEMM in order (the
         result's ``output`` is the final layer's logical output).
         ``faults`` maps linear-layer names to fault specs injected
-        into that layer's GEMM, on either realization.
+        into that layer's GEMM, on either realization.  ``recovery``
+        overrides the session's default policy for this pass (pass a
+        policy to enable, or rely on the session-level one); detected
+        layers are then retried within the policy's budget, with
+        per-layer results on the returned ``layer_outcomes``.
         """
+        policy = recovery if recovery is not None else self.recovery
         if self.engine is not None:
             if x is None:
                 raise ConfigurationError(
                     "this session wraps a numeric model; run(x) needs "
                     "input activations"
                 )
-            return self.engine.run(x, faults=faults)
+            return self.engine.run(x, faults=faults, recovery=policy)
         if x is not None:
             raise ConfigurationError(
                 "this session runs the layer-GEMM realization (no numeric "
@@ -210,15 +227,25 @@ class ProtectedSession:
             a, b = self._synthesized_operands(entry.name)
             scheme = self.schemes[entry.name]
             prepared = self.cache.get(scheme, a, b)
-            outcome = prepared.inject(
-                faults.get(entry.name, ()), detection=self.detection
+            layer_faults = tuple(faults.get(entry.name, ()))
+            attempt = attempt_recovery(
+                lambda specs: prepared.inject(specs, detection=self.detection),
+                prepared.inject(layer_faults, detection=self.detection),
+                layer_faults,
+                policy,
+                context=f"layer {entry.name!r}",
             )
             result.layer_outcomes.append(
                 LayerOutcome(
-                    name=entry.name, scheme=outcome.scheme, outcome=outcome
+                    name=entry.name,
+                    scheme=attempt.outcome.scheme,
+                    outcome=attempt.outcome,
+                    retries=attempt.retries,
+                    recovered=attempt.recovered,
+                    degraded=attempt.degraded,
                 )
             )
-            result.output = outcome.c
+            result.output = attempt.outcome.c
         return result
 
     # ------------------------------------------------------------------
@@ -269,6 +296,64 @@ class ProtectedSession:
             **extra,
         )
 
+    def propagation_campaign(
+        self,
+        layer: str | None = None,
+        *,
+        x: np.ndarray,
+        seed: int = 0,
+        recovery: RecoveryPolicy | None = None,
+        output_rtol: float | None = None,
+        output_atol: float | None = None,
+        batch_size: int | None = None,
+        verify_recovery: bool = True,
+    ) -> PropagationCampaign:
+        """An end-to-end :class:`~repro.faults.PropagationCampaign`.
+
+        Injects into the named layer's GEMM and carries the corrupted
+        activations to the model output, classifying every trial as
+        masked / detected / benign-alarm / undetected-SDC against the
+        ABFT verdict — with optional detection-triggered recovery
+        (``recovery`` defaults to the session's policy).  Requires the
+        numeric realization (``model=`` at construction): propagation
+        is meaningless without real activation flow.  The campaign's
+        clean pass, the struck layer's injections, and the downstream
+        replays all draw from the session's shared cache.
+
+        ``layer`` may be omitted for single-layer plans; ``x`` is the
+        model input the campaign propagates over.
+        """
+        if self.engine is None:
+            raise ConfigurationError(
+                "propagation campaigns need the numeric realization: "
+                "construct the session with model= (a SequentialModel "
+                "whose linear-layer names match the plan)"
+            )
+        if layer is None:
+            if len(self.plan) != 1:
+                raise ConfigurationError(
+                    f"plan for {self.plan.model!r} has "
+                    f"{len(self.plan)} layers; pass layer= one of "
+                    f"{self.plan.layer_names}"
+                )
+            layer = self.plan.layer_names[0]
+        self.plan.layer(layer)  # validates the name against the plan
+        extra = {}
+        if output_rtol is not None:
+            extra["output_rtol"] = output_rtol
+        if output_atol is not None:
+            extra["output_atol"] = output_atol
+        return PropagationCampaign(
+            self.engine,
+            layer,
+            x,
+            seed=seed,
+            recovery=recovery if recovery is not None else self.recovery,
+            batch_size=batch_size,
+            verify_recovery=verify_recovery,
+            **extra,
+        )
+
 
 def deploy(
     model: "str | ModelGraph",
@@ -282,6 +367,7 @@ def deploy(
     seed: int = 0,
     cache: PreparedCache | None = None,
     detection: DetectionConstants = DEFAULT_DETECTION,
+    recovery: RecoveryPolicy | None = None,
 ) -> ProtectedSession:
     """Model + device + policy → a running protected session.
 
@@ -304,7 +390,7 @@ def deploy(
     runnable:
         Optional numeric :class:`~repro.nn.SequentialModel` realization
         whose linear-layer names match the graph's.
-    seed, cache, detection:
+    seed, cache, detection, recovery:
         Forwarded to :class:`ProtectedSession`.
     """
     spec = get_gpu(device) if isinstance(device, str) else device
@@ -315,5 +401,6 @@ def deploy(
     )
     plan = as_policy(policy).assign(graph, spec)
     return ProtectedSession(
-        plan, model=runnable, seed=seed, cache=cache, detection=detection
+        plan, model=runnable, seed=seed, cache=cache, detection=detection,
+        recovery=recovery,
     )

@@ -11,6 +11,10 @@ Subcommands mirror the deployment workflow:
   feeds ``campaign --plan``).
 * ``campaign MODEL`` — deploy and run a fault-injection campaign
   against one linear layer through a protected session.
+* ``sdc MODEL`` — end-to-end SDC propagation campaign: inject into one
+  layer of a *runnable* zoo model, carry corruption to the output, and
+  cross-tabulate ABFT verdicts against output corruption, with
+  detection-triggered recovery.
 * ``sweep`` — the Fig. 12 square-GEMM sweep on a device.
 * ``experiments [NAME...]`` — regenerate paper artifacts.
 """
@@ -195,6 +199,100 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sdc(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .faults.recovery import RecoveryPolicy
+    from .nn import build_runnable, runnable_input_shape, runnable_models
+
+    if args.trials <= 0:
+        print(f"--trials must be positive, got {args.trials}", file=sys.stderr)
+        return 2
+    if args.model not in runnable_models():
+        raise ConfigurationError(
+            f"model {args.model!r} has no runnable numeric realization "
+            f"(branching architectures are shape-only); runnable models "
+            f"are {runnable_models()}"
+        )
+    batch = args.batch if args.batch is not None else 1
+    if args.plan is not None:
+        plan = _load_plan(args.plan)
+        # Same contract as `campaign --plan`: the plan fixes the
+        # deployment, so the named model must agree, an explicit
+        # --device must agree, and deployment-picking flags are
+        # rejected outright.
+        if plan.model != args.model:
+            raise ConfigurationError(
+                f"plan file deploys {plan.model!r} but the command names "
+                f"{args.model!r}; pass the plan's model"
+            )
+        if args.device is not None and plan.device != args.device:
+            raise ConfigurationError(
+                f"plan was built for device {plan.device!r}, command asked "
+                f"for --device {args.device}; drop --device or rebuild the "
+                f"plan"
+            )
+        fixed = [
+            flag
+            for flag, given in (
+                ("--batch", args.batch),
+                ("--height", args.height),
+                ("--width", args.width),
+                ("--policy", args.policy),
+            )
+            if given is not None
+        ]
+        if fixed:
+            raise ConfigurationError(
+                f"{', '.join(fixed)}: not allowed with --plan (the plan "
+                f"already fixes the deployment); drop them or rebuild the "
+                f"plan"
+            )
+    else:
+        spec = get_gpu(args.device or "T4")
+        graph = build_model(args.model, batch=batch)
+        plan = as_policy(args.policy or "guided").assign(graph, spec)
+    recovery = None
+    if not args.no_recovery:
+        recovery = RecoveryPolicy(
+            max_retries=args.retries,
+            fault_model=args.fault_model,
+            on_exhausted=args.on_exhausted,
+        )
+    runnable = build_runnable(args.model, batch=batch, seed=args.seed)
+    session = ProtectedSession(plan, model=runnable, recovery=recovery)
+    x = (
+        np.random.default_rng([args.seed, 1])
+        .standard_normal(runnable_input_shape(args.model, batch=batch))
+        * 0.5
+    ).astype(np.float16)
+    layer = args.layer if args.layer is not None else plan.layer_names[0]
+    campaign = session.propagation_campaign(layer, x=x, seed=args.seed)
+    result = campaign.run_batch(
+        args.trials, faults_per_trial=args.faults_per_trial
+    )
+    entry = plan.layer(layer)
+    print(f"model {plan.model} on {plan.device} "
+          f"(policy {plan.policy or 'from plan'})")
+    print(f"struck layer {layer}: {entry.m}x{entry.n}x{entry.k} GEMM under "
+          f"{entry.scheme}; corruption propagated through "
+          f"{len(campaign.downstream_ops)} downstream op(s)")
+    print(f"trials              : {result.n_trials} "
+          f"({args.faults_per_trial} fault(s) each)")
+    crosstab = result.crosstab()
+    print(f"masked              : {crosstab[(False, False)]}")
+    print(f"benign alarm        : {crosstab[(True, False)]}")
+    print(f"detected corruption : {crosstab[(True, True)]}")
+    print(f"undetected SDC      : {crosstab[(False, True)]} "
+          f"({result.undetected_sdc_rate * 100:.1f}%)")
+    if recovery is not None:
+        print(f"recovered           : {result.n_recovered} "
+              f"({result.total_retries} retries, bit-identity verified)")
+        print(f"degraded            : {result.n_degraded}")
+        print(f"residual SDC        : {result.n_residual_sdc}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import fig12_square_sweep
 
@@ -291,6 +389,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--faults-per-trial", type=int, default=1)
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.set_defaults(fn=_cmd_campaign)
+
+    p_sdc = sub.add_parser(
+        "sdc",
+        help="end-to-end SDC propagation campaign with recovery on a "
+             "runnable zoo model",
+    )
+    _deploy_args(p_sdc)
+    p_sdc.add_argument("--plan", default=None, metavar="FILE",
+                       help="load a deployment-plan JSON ('-' for stdin) "
+                            "instead of running the policy")
+    p_sdc.add_argument("--layer", default=None,
+                       help="linear layer to inject into (default: first)")
+    p_sdc.add_argument("--trials", type=int, default=100)
+    p_sdc.add_argument("--faults-per-trial", type=int, default=1)
+    p_sdc.add_argument("--seed", type=int, default=0)
+    p_sdc.add_argument("--retries", type=int, default=2,
+                       help="recovery retry budget per detection (default 2)")
+    p_sdc.add_argument("--fault-model", default="transient",
+                       choices=["transient", "sticky"],
+                       help="whether retries re-encounter the fault")
+    p_sdc.add_argument("--on-exhausted", default="flag-and-propagate",
+                       choices=["raise", "flag-and-propagate"],
+                       help="behavior when the retry budget is exhausted")
+    p_sdc.add_argument("--no-recovery", action="store_true",
+                       help="disable detection-triggered recovery")
+    p_sdc.set_defaults(fn=_cmd_sdc)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 square-GEMM sweep")
     p_sweep.add_argument("--device", default="T4", choices=list_gpus())

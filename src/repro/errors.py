@@ -46,3 +46,12 @@ class ProfilingError(ReproError):
 
 class ModelZooError(ReproError):
     """An unknown model name or an architecture that fails shape propagation."""
+
+
+class RecoveryError(ReproError):
+    """A detected fault persisted through the recovery retry budget.
+
+    Raised only under a :class:`~repro.faults.RecoveryPolicy` whose
+    ``on_exhausted`` mode is ``"raise"``; the ``"flag-and-propagate"``
+    mode records the exhaustion on the layer outcome instead.
+    """

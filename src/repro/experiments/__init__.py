@@ -24,6 +24,7 @@ from .ablations import (
     ablation_thread_tile,
 )
 from .agreement import agreement_fraction, agreement_study
+from .sdc_propagation import sdc_propagation_experiment
 from .runner import run_all
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "ablation_thread_tile",
     "agreement_study",
     "agreement_fraction",
+    "sdc_propagation_experiment",
     "run_all",
 ]

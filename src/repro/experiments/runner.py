@@ -21,6 +21,7 @@ from .fig09_cnns import fig09_general_cnns
 from .fig10_dlrm import fig10_dlrm
 from .fig11_specialized import fig11_specialized
 from .fig12_square import fig12_square_sweep
+from .sdc_propagation import sdc_propagation_experiment
 from .sec33_cmr import sec33_cmr_table
 from .table1_ops import table1_op_counts
 
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[], Table]] = {
     "fig12": fig12_square_sweep,
     "fault_coverage": fault_coverage_experiment,
     "multi_fault_coverage": multi_fault_coverage_experiment,
+    "sdc_propagation": sdc_propagation_experiment,
     "ablation_overlap": ablation_check_overlap,
     "ablation_tile": ablation_thread_tile,
     "ablation_devices": ablation_device_sweep,

@@ -11,6 +11,13 @@ from .bits import flip_fp16_bit, flip_fp32_bit
 from .model import FaultKind, FaultPath, FaultSpec
 from .injector import apply_fault_to_accumulator, corrupted_value
 from .campaign import CampaignResult, FaultCampaign, TrialRecord
+from .recovery import RecoveryAttempt, RecoveryPolicy, attempt_recovery
+from .propagation import (
+    PropagationCampaign,
+    PropagationOutcome,
+    PropagationRecord,
+    PropagationResult,
+)
 
 __all__ = [
     "flip_fp16_bit",
@@ -23,4 +30,11 @@ __all__ = [
     "CampaignResult",
     "FaultCampaign",
     "TrialRecord",
+    "RecoveryAttempt",
+    "RecoveryPolicy",
+    "attempt_recovery",
+    "PropagationCampaign",
+    "PropagationOutcome",
+    "PropagationRecord",
+    "PropagationResult",
 ]

@@ -44,10 +44,10 @@ import numpy as np
 from ..config import DEFAULT_DETECTION, DetectionConstants
 
 if TYPE_CHECKING:  # avoid the faults <-> abft import cycle at runtime
-    from ..abft.base import PreparedCache, Scheme
+    from ..abft.base import PreparedCache, PreparedExecution, Scheme
 from ..errors import FaultInjectionError
 from ..gemm.tiles import TileConfig
-from .injector import faulted_site_values
+from .injector import FaultSites, faulted_site_values, sites_from_flat_specs
 from .model import FaultKind, FaultPath, FaultSpec
 
 #: One campaign trial's fault set, or a bare spec (normalized to a
@@ -276,6 +276,18 @@ class FaultCampaign:
             baseline.verdict.tolerance if baseline.verdict else 0.0,
             detection.atol_floor,
         )
+
+    @property
+    def prepared(self) -> "PreparedExecution":
+        """The campaign's shared prepared state (fault-invariant half).
+
+        Exposed for consumers that layer more work on the same state —
+        :class:`~repro.faults.PropagationCampaign` injects through it
+        and replays downstream from its clean accumulator.  Treat as
+        read-only; the state is shared across every trial (and, with a
+        cache, across campaigns).
+        """
+        return self._prepared
 
     @property
     def tolerance_scale(self) -> float:
@@ -515,7 +527,9 @@ class FaultCampaign:
         return records
 
     def _run_specs(
-        self, trials: Sequence[tuple[FaultSpec, ...]]
+        self,
+        trials: Sequence[tuple[FaultSpec, ...]],
+        sites_fn=None,
     ) -> list[TrialRecord]:
         """Execute all trials through chunked ``inject_batch`` calls.
 
@@ -524,7 +538,10 @@ class FaultCampaign:
         campaign runs): records are extracted from each chunk's
         outcomes before the next chunk overwrites the buffer.  The
         sparse path materializes no accumulators, so it needs no
-        scratch at all.
+        scratch at all.  ``sites_fn`` — ``(start, chunk) -> FaultSites``
+        — supplies each chunk's site valuation when the caller already
+        fused it with drawing (:meth:`run_batch`); otherwise the sparse
+        path derives it per chunk from the specs.
         """
         records: list[TrialRecord] = []
         scratch = None
@@ -538,7 +555,9 @@ class FaultCampaign:
         for start in range(0, len(trials), self.batch_size):
             chunk = list(trials[start:start + self.batch_size])
             sites = None
-            if self._use_sparse:
+            if sites_fn is not None:
+                sites = sites_fn(start, chunk)
+            elif self._use_sparse:
                 # One fault→site valuation serves both the sparse
                 # injection and the record classification.
                 sites = faulted_site_values(self._prepared.c_clean, chunk)
@@ -603,6 +622,46 @@ class FaultCampaign:
         result.trials.extend(self._run_specs(trials))
         return result
 
+    def _fused_sites_fn(self, trials: Sequence[tuple[FaultSpec, ...]]):
+        """Per-chunk :class:`FaultSites` builder fused with a drawn batch.
+
+        Extracts the batch's flat trial-major coordinate arrays once,
+        so each chunk's site valuation is a slice + one vectorized
+        corruption call (:func:`sites_from_flat_specs`) instead of the
+        generic per-spec first-occurrence walk.  Returns ``None`` —
+        caller falls back to :func:`faulted_site_values` — when any
+        trial strikes one site twice (possible for multi-fault trials
+        over tiny fault domains), where single-step application would
+        diverge from spec-order semantics.
+        """
+        counts = np.fromiter(
+            (len(t) for t in trials), dtype=np.intp, count=len(trials)
+        )
+        flat = [spec for trial in trials for spec in trial]
+        total = len(flat)
+        trial_ids = np.repeat(np.arange(len(trials), dtype=np.intp), counts)
+        rows = np.fromiter((s.row for s in flat), dtype=np.intp, count=total)
+        cols = np.fromiter((s.col for s in flat), dtype=np.intp, count=total)
+        rows_total, cols_total = self.fault_domain
+        keys = (trial_ids * rows_total + rows) * cols_total + cols
+        if len(np.unique(keys)) != total:
+            return None
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        def build(start: int, chunk) -> "FaultSites":
+            lo = int(offsets[start])
+            hi = int(offsets[start + len(chunk)])
+            return sites_from_flat_specs(
+                self._prepared.c_clean,
+                trial_ids[lo:hi] - start,
+                rows[lo:hi],
+                cols[lo:hi],
+                flat[lo:hi],
+                len(chunk),
+            )
+
+        return build
+
     def run_batch(
         self, n_trials: int, *, faults_per_trial: int = 1
     ) -> CampaignResult:
@@ -611,9 +670,18 @@ class FaultCampaign:
         Equivalent coverage semantics to :meth:`run` (each trial is one
         fault-set injection against the shared prepared state), but the
         randomness is drawn in vectorized batch RNG calls before any
-        trial executes — the fastest path through a campaign.
+        trial executes, and the fault→site valuation feeding the sparse
+        engine and record classification is fused with the draw
+        (:meth:`_fused_sites_fn`) — the fastest path through a
+        campaign, record-for-record identical to
+        ``run(n_trials, specs=draw_faults(...))``.
         ``faults_per_trial`` sets every trial's simultaneous fault
         count (see :meth:`draw_faults`).
         """
         drawn = self.draw_faults(n_trials, faults_per_trial=faults_per_trial)
-        return self.run(n_trials, specs=drawn)
+        trials = self._normalize_trials(drawn)
+        result = CampaignResult(scheme=self.scheme.name)
+        result.trials.extend(
+            self._run_specs(trials, sites_fn=self._fused_sites_fn(trials))
+        )
+        return result

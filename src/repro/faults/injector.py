@@ -260,6 +260,50 @@ def faulted_site_values(
     )
 
 
+def sites_from_flat_specs(
+    c_clean: np.ndarray,
+    trial_ids: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    specs: Sequence[FaultSpec],
+    n_trials: int,
+) -> FaultSites:
+    """:class:`FaultSites` assembled directly from flat trial-major arrays.
+
+    The fused fast path for freshly *drawn* batches
+    (:meth:`repro.faults.FaultCampaign.run_batch`): the caller
+    guarantees every spec targets the original path, the arrays are in
+    trial-major spec order, and no trial strikes one site twice — so
+    the dict-based first-occurrence walk of :func:`faulted_site_values`
+    collapses to one gather + one :func:`corrupted_values_batch` call.
+    Bit-identical to :func:`faulted_site_values` on the same batch:
+    unique sites in trial-major order *are* first-occurrence order, and
+    single-step corruption over disjoint elements matches the stepped
+    application per element.
+    """
+    if not (len(trial_ids) == len(rows) == len(cols) == len(specs)):
+        raise FaultInjectionError(
+            f"mismatched flat site arrays: {len(trial_ids)} trials, "
+            f"{len(rows)} rows, {len(cols)} cols, {len(specs)} specs"
+        )
+    rows_total, cols_total = c_clean.shape
+    out_of_bounds = (rows >= rows_total) | (cols >= cols_total)
+    if len(rows) and out_of_bounds.any():
+        i = int(np.flatnonzero(out_of_bounds)[0])
+        raise FaultInjectionError(
+            f"fault site ({specs[i].row}, {specs[i].col}) outside "
+            f"accumulator {rows_total}x{cols_total}"
+        )
+    values = corrupted_values_batch(c_clean[rows, cols], specs)
+    return FaultSites(
+        trials=np.asarray(trial_ids, dtype=np.intp),
+        rows=np.asarray(rows, dtype=np.intp),
+        cols=np.asarray(cols, dtype=np.intp),
+        values=values,
+        n_trials=n_trials,
+    )
+
+
 def subset_sites(sites: FaultSites, trial_indices: Sequence[int]) -> FaultSites:
     """Sites of the listed trials, renumbered to the subset's order.
 

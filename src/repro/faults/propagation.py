@@ -1,0 +1,526 @@
+"""End-to-end SDC propagation campaigns with detection-triggered recovery.
+
+The GEMM-level campaigns (:class:`~repro.faults.FaultCampaign`) score
+detection *at the struck layer* and stop.  The paper's premise is one
+level up: what matters is whether an undetected fault silently corrupts
+the **model output** — a top-1 flip, or output divergence beyond
+tolerance.  :class:`PropagationCampaign` closes that gap: each trial
+injects a fault set into one layer's GEMM via the prepared sparse
+engine, carries the corrupted activations through the remaining layers
+of the numeric model, and classifies the end-to-end outcome against
+the ABFT verdict:
+
+===============  =========  ================  =============================
+outcome          detected?  output corrupted  meaning
+===============  =========  ================  =============================
+masked           no         no                absorbed by quantization /
+                                              downstream nonlinearities
+detected         yes        yes               ABFT caught real harm
+benign-alarm     yes        no                alarm without end-to-end harm
+undetected-SDC   no         yes               **silent data corruption**
+===============  =========  ================  =============================
+
+Downstream replay is cheap by construction: a corrupted *input*
+activation yields a self-consistent downstream GEMM (checksums computed
+from the corrupted operand agree with the corrupted output — ABFT
+cannot, and should not, fire there), so downstream layers replay
+through the raw tiled executor reusing each layer's clean prepared
+state from the session's shared :class:`~repro.abft.base.PreparedCache`
+— per trial only the struck activations are re-padded and multiplied;
+no checksum work, no re-preparation.  Trials whose faults are absorbed
+by the FP16 output quantization (or land in the padding region) skip
+the replay entirely: their output *is* the clean output.
+
+On detection, an optional :class:`~repro.faults.RecoveryPolicy` runs
+the same bounded retry loop the inference engine uses; every recovered
+trial is asserted bit-identical to the clean pass — at the layer
+boundary always, end to end when ``verify_recovery`` is on.
+
+See DESIGN.md §3 for the taxonomy, retry semantics, and degradation
+modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, FaultInjectionError
+from .campaign import FaultCampaign
+from .injector import faulted_site_values
+from .model import FaultSpec
+from .recovery import RecoveryPolicy, attempt_recovery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from ..nn.inference import ProtectedInference, TraceStep
+
+
+class PropagationOutcome(Enum):
+    """End-to-end classification of one propagation trial (pre-recovery)."""
+
+    MASKED = "masked"
+    DETECTED = "detected"
+    BENIGN_ALARM = "benign-alarm"
+    UNDETECTED_SDC = "undetected-sdc"
+
+
+@dataclass(frozen=True)
+class PropagationRecord:
+    """One propagation trial: GEMM verdict, end-to-end harm, recovery.
+
+    Attributes
+    ----------
+    faults:
+        The trial's injected fault set (struck layer's GEMM).
+    detected:
+        The struck layer's ABFT verdict.
+    output_corrupted:
+        The model output diverged from the clean pass (top-1 flip or
+        per-element divergence beyond the campaign tolerances), before
+        any recovery.
+    top1_flip:
+        Any sample's argmax changed.
+    divergence:
+        Largest absolute output divergence (float64; ``inf`` when the
+        corrupted output went non-finite, ``0.0`` for masked trials).
+    outcome:
+        The detection x corruption cross-classification.
+    retries, recovered, degraded:
+        What the recovery policy did about a detection (all zero/False
+        without a policy).
+    residual_sdc:
+        Output corruption that survives the recovery path: undetected
+        SDC always, and detected-but-unrecovered corruption under
+        ``flag-and-propagate``.  Recovered trials never carry it.
+    """
+
+    faults: tuple[FaultSpec, ...]
+    detected: bool
+    output_corrupted: bool
+    top1_flip: bool
+    divergence: float
+    outcome: PropagationOutcome
+    retries: int = 0
+    recovered: bool = False
+    degraded: bool = False
+    residual_sdc: bool = False
+
+
+@dataclass
+class PropagationResult:
+    """Aggregated propagation-campaign statistics."""
+
+    model: str
+    layer: str
+    scheme: str
+    records: list[PropagationRecord] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: PropagationOutcome) -> int:
+        """Trials classified as ``outcome``."""
+        return sum(r.outcome is outcome for r in self.records)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(r.detected for r in self.records)
+
+    @property
+    def n_corrupted(self) -> int:
+        """Trials whose pre-recovery output was corrupted."""
+        return sum(r.output_corrupted for r in self.records)
+
+    @property
+    def n_undetected_sdc(self) -> int:
+        return self.count(PropagationOutcome.UNDETECTED_SDC)
+
+    @property
+    def undetected_sdc_rate(self) -> float:
+        """Fraction of trials that silently corrupted the output."""
+        if not self.records:
+            return 0.0
+        return self.n_undetected_sdc / self.n_trials
+
+    @property
+    def n_recovered(self) -> int:
+        return sum(r.recovered for r in self.records)
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(r.degraded for r in self.records)
+
+    @property
+    def n_residual_sdc(self) -> int:
+        """Trials whose corruption survives the recovery path."""
+        return sum(r.residual_sdc for r in self.records)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    def crosstab(self) -> dict[tuple[bool, bool], int]:
+        """``(detected, output_corrupted) -> count`` over all trials."""
+        table: dict[tuple[bool, bool], int] = {
+            (False, False): 0, (False, True): 0,
+            (True, False): 0, (True, True): 0,
+        }
+        for r in self.records:
+            table[(r.detected, r.output_corrupted)] += 1
+        return table
+
+
+class PropagationCampaign:
+    """Inject into one layer, propagate to the model output, classify.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.nn.ProtectedInference` owning a shared
+        :class:`~repro.abft.base.PreparedCache` (required — the replay
+        draws every layer's clean prepared state from it).
+        :meth:`repro.api.ProtectedSession.propagation_campaign` builds
+        one from a deployed session.
+    layer:
+        The linear layer whose GEMM the faults strike.
+    x:
+        Model input activations; the campaign runs (and pins) one
+        clean traced pass over them at construction.
+    seed:
+        Seed for the random fault draws (same stream as a
+        :class:`~repro.faults.FaultCampaign` with this seed).
+    recovery:
+        Optional :class:`~repro.faults.RecoveryPolicy` applied to every
+        detected trial.  A policy with ``on_exhausted="raise"``
+        propagates :class:`~repro.errors.RecoveryError` out of
+        :meth:`run` on the first exhausted budget; campaigns normally
+        measure with ``"flag-and-propagate"``.
+    output_rtol, output_atol:
+        Per-element divergence tolerances classifying output
+        corruption (``|out - clean| > atol + rtol * |clean|``, in
+        float64; non-finite divergence always corrupts).
+    batch_size:
+        Trials per chunked injection call (default: the underlying
+        GEMM campaign's auto-tuned size).
+    verify_recovery:
+        Assert every recovered trial's *end-to-end* output bit-equals
+        the clean pass by replaying it (the layer-boundary bit-identity
+        check always runs).  On by default; large throughput sweeps may
+        disable the replay half.
+    """
+
+    def __init__(
+        self,
+        engine: "ProtectedInference",
+        layer: str,
+        x: np.ndarray,
+        *,
+        seed: int = 0,
+        recovery: RecoveryPolicy | None = None,
+        output_rtol: float = 1e-3,
+        output_atol: float = 1e-3,
+        batch_size: int | None = None,
+        verify_recovery: bool = True,
+    ) -> None:
+        # Runtime import: repro.nn imports repro.abft imports
+        # repro.faults, so this module must not import nn at load time.
+        from ..abft.base import Scheme
+        from ..nn.inference import Conv2d, Linear
+
+        if engine.cache is None:
+            raise ConfigurationError(
+                "PropagationCampaign needs an engine with a shared "
+                "PreparedCache: the downstream replay draws every "
+                "layer's clean prepared state from it"
+            )
+        self.engine = engine
+        self.layer = layer
+        self.recovery = recovery
+        self.output_rtol = float(output_rtol)
+        self.output_atol = float(output_atol)
+        self.verify_recovery = verify_recovery
+        self._to_fp16 = Scheme._to_fp16
+
+        # One clean traced pass pins the baseline: per-layer operands,
+        # tiles, clean outcomes, and the clean model output.
+        trace = engine.trace(x)
+        if trace.result.detected:
+            raise FaultInjectionError(
+                f"model {engine.model.name!r} flags a fault on clean "
+                f"data; detection tolerances are miscalibrated"
+            )
+        self.trace = trace
+        names = [s.name for s in trace.steps]
+        if layer not in names:
+            raise ConfigurationError(
+                f"model {engine.model.name!r} has no linear layer "
+                f"{layer!r}; linear layers are {names}"
+            )
+        self._step: "TraceStep" = trace.step(layer)
+
+        # The struck layer rides a full GEMM campaign (shared cache →
+        # shared prepared state with the traced pass) for fault drawing,
+        # chunk sizing, and the clean-baseline sanity check.
+        self._gemm = FaultCampaign(
+            engine.scheme_for(layer),
+            self._step.a,
+            self._step.b,
+            tile=self._step.tile,
+            detection=engine.detection,
+            seed=seed,
+            batch_size=batch_size,
+            cache=engine.cache,
+        )
+        self._prepared = self._gemm.prepared
+        self._clean_c16 = self._step.outcome.c  # struck layer's clean FP16
+        self._clean_output = trace.output
+        self._clean_top1 = self._top1(trace.output)
+
+        # Downstream replay state: the ops after the struck layer, each
+        # linear one paired with its clean prepared state (executor +
+        # padded weights) drawn from the shared cache — per-trial work
+        # is pad_a + multiply + crop, nothing else.
+        idx = self._step.op_index
+        self._struck_op = engine.model.ops[idx]
+        self._downstream: list = []
+        for op in engine.model.ops[idx + 1:]:
+            if isinstance(op, (Conv2d, Linear)):
+                st = trace.step(op.name)
+                prepared = engine.cache.get(
+                    engine.scheme_for(op.name), st.a, st.b, tile=st.tile
+                )
+                self._downstream.append((op, prepared))
+            else:
+                self._downstream.append((op, None))
+
+    # ------------------------------------------------------------------
+    @property
+    def downstream_ops(self) -> list[str]:
+        """Names of the ops corruption propagates through, in order."""
+        return [type(op).__name__ if prepared is None else op.name
+                for op, prepared in self._downstream]
+
+    @staticmethod
+    def _top1(output: np.ndarray) -> np.ndarray:
+        """Per-sample argmax over the flattened output."""
+        flat = output.reshape(output.shape[0], -1) if output.ndim > 1 else (
+            output.reshape(1, -1)
+        )
+        return np.argmax(flat, axis=1)
+
+    def _replay(self, c16: np.ndarray) -> np.ndarray:
+        """Carry a (possibly corrupted) struck-layer FP16 output to the
+        model output, bit-identically to what a protected forward pass
+        over the same corrupted activations would compute.
+
+        Downstream linear layers run the raw tiled GEMM against their
+        clean prepared state's executor and padded weights — the
+        protected path's epilogue (FP32 accumulate, crop, FP16
+        quantize) with zero checksum work, which is sound because a
+        consistent GEMM over corrupted inputs is exactly what the
+        protected pass computes and cannot flag.
+        """
+        from ..nn.inference import Conv2d
+
+        step = self._step
+        activation = (
+            self._struck_op.reshape_output(c16, step.dims)
+            if step.dims is not None
+            else c16
+        )
+        for op, prepared in self._downstream:
+            if prepared is None:
+                activation = op.forward(activation)
+                continue
+            if isinstance(op, Conv2d):
+                a, _, dims = op.lower(activation)
+            else:
+                a, dims = activation.astype(np.float16), None
+            executor = prepared.executor
+            acc = executor.multiply(executor.pad_a(a), prepared.b_pad)
+            c = self._to_fp16(executor.crop(acc))
+            activation = op.reshape_output(c, dims) if dims is not None else c
+        return activation
+
+    def _classify_output(self, final: np.ndarray) -> tuple[bool, bool, float]:
+        """``(corrupted, top1_flip, divergence)`` of one replayed output."""
+        clean = self._clean_output.astype(np.float64)
+        out = final.astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(out - clean)
+            tol = self.output_atol + self.output_rtol * np.abs(clean)
+            # NaN diff fails `<=`, so non-finite corruption always trips.
+            diverged = bool(np.any(~(diff <= tol)))
+        top1_flip = bool(np.any(self._top1(final) != self._clean_top1))
+        finite = diff[np.isfinite(diff)]
+        divergence = float(finite.max(initial=0.0)) if finite.size else 0.0
+        if diff.size and not np.isfinite(diff).all():
+            divergence = float("inf")
+        return diverged or top1_flip, top1_flip, divergence
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, n_trials: int, *, faults_per_trial: int = 1
+    ) -> PropagationResult:
+        """``n_trials`` random trials, all faults drawn up front."""
+        drawn = self._gemm.draw_faults(
+            n_trials, faults_per_trial=faults_per_trial
+        )
+        return self.run(n_trials, specs=drawn)
+
+    def run(
+        self,
+        n_trials: int,
+        specs: Sequence["FaultSpec | Sequence[FaultSpec]"] | None = None,
+        *,
+        faults_per_trial: int | None = None,
+    ) -> PropagationResult:
+        """Run ``n_trials`` random trials, or the provided fault sets.
+
+        Same specs contract as :meth:`repro.faults.FaultCampaign.run`:
+        explicit ``specs`` fully determine the trials (``n_trials``
+        must be 0 or ``len(specs)``, ``faults_per_trial`` unset);
+        otherwise each trial draws ``faults_per_trial`` random
+        original-path faults from the campaign's seeded stream.
+        """
+        if n_trials < 0:
+            raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
+        if specs is not None:
+            if faults_per_trial is not None:
+                raise FaultInjectionError(
+                    "faults_per_trial only applies to randomly drawn "
+                    "trials; explicit specs already fix each trial's faults"
+                )
+            if n_trials not in (0, len(specs)):
+                raise FaultInjectionError(
+                    f"n_trials={n_trials} disagrees with {len(specs)} "
+                    f"explicit specs; pass 0 or len(specs)"
+                )
+            trials = FaultCampaign._normalize_trials(specs)
+        else:
+            per_trial = 1 if faults_per_trial is None else faults_per_trial
+            if per_trial < 1:
+                raise FaultInjectionError(
+                    f"faults_per_trial must be >= 1, got {per_trial}"
+                )
+            trials = FaultCampaign._normalize_trials(
+                self._gemm.draw_faults(n_trials, faults_per_trial=per_trial)
+            )
+        result = PropagationResult(
+            model=self.engine.model.name,
+            layer=self.layer,
+            scheme=self._gemm.scheme.name,
+        )
+        batch = self._gemm.batch_size
+        for start in range(0, len(trials), batch):
+            chunk = trials[start:start + batch]
+            result.records.extend(self._run_chunk(chunk))
+        return result
+
+    def _run_chunk(
+        self, chunk: Sequence[tuple[FaultSpec, ...]]
+    ) -> list[PropagationRecord]:
+        """Inject one trial chunk, replay unmasked trials, classify."""
+        prepared = self._prepared
+        sites = faulted_site_values(prepared.c_clean, chunk)
+        outcomes = prepared.inject_batch(
+            chunk, detection=self.engine.detection, sites=sites,
+        )
+
+        # Quantization-masked fast path: a site only affects the model
+        # output if it lies inside the logical crop AND its FP16 value
+        # differs from the clean one.  Trials with no such site keep
+        # the clean output bit-exactly — no replay needed.
+        m, n = prepared.problem.m, prepared.problem.n
+        in_crop = (sites.rows < m) & (sites.cols < n)
+        changed = np.zeros(len(sites), dtype=bool)
+        if in_crop.any():
+            sel = np.flatnonzero(in_crop)
+            new16 = self._to_fp16(sites.values[sel])
+            old16 = self._clean_c16[sites.rows[sel], sites.cols[sel]]
+            changed[sel] = new16 != old16
+        per_trial: list[list[int]] = [[] for _ in range(len(chunk))]
+        for j, t in enumerate(sites.trials):
+            per_trial[int(t)].append(j)
+
+        records: list[PropagationRecord] = []
+        for i, faults in enumerate(chunk):
+            detected = bool(outcomes[i].detected)
+            live = [j for j in per_trial[i] if changed[j]]
+            if not live:
+                corrupted, top1_flip, divergence = False, False, 0.0
+            else:
+                c16 = self._clean_c16.copy()
+                rows = sites.rows[live]
+                cols = sites.cols[live]
+                c16[rows, cols] = self._to_fp16(sites.values[live])
+                corrupted, top1_flip, divergence = self._classify_output(
+                    self._replay(c16)
+                )
+            if detected:
+                outcome = (
+                    PropagationOutcome.DETECTED
+                    if corrupted
+                    else PropagationOutcome.BENIGN_ALARM
+                )
+            else:
+                outcome = (
+                    PropagationOutcome.UNDETECTED_SDC
+                    if corrupted
+                    else PropagationOutcome.MASKED
+                )
+            attempt = attempt_recovery(
+                lambda specs: prepared.inject(
+                    specs, detection=self.engine.detection
+                ),
+                outcomes[i],
+                faults,
+                self.recovery if detected else None,
+                context=f"layer {self.layer!r} trial {i}",
+            )
+            if attempt.recovered:
+                self._check_recovered(attempt.outcome)
+            records.append(
+                PropagationRecord(
+                    faults=faults,
+                    detected=detected,
+                    output_corrupted=corrupted,
+                    top1_flip=top1_flip,
+                    divergence=divergence,
+                    outcome=outcome,
+                    retries=attempt.retries,
+                    recovered=attempt.recovered,
+                    degraded=attempt.degraded,
+                    residual_sdc=corrupted and not attempt.recovered,
+                )
+            )
+        return records
+
+    def _check_recovered(self, outcome) -> None:
+        """Assert a recovered execution is bit-identical to clean.
+
+        The layer-boundary check always runs (byte equality of the
+        FP16 layer outputs — NaN-safe); with ``verify_recovery`` the
+        recovered output is additionally replayed end to end and must
+        byte-equal the clean model output.
+        """
+        recovered_c = np.ascontiguousarray(outcome.c)
+        clean_c = np.ascontiguousarray(self._clean_c16)
+        if recovered_c.tobytes() != clean_c.tobytes():
+            raise FaultInjectionError(
+                f"recovered execution of layer {self.layer!r} is not "
+                f"bit-identical to the clean layer output — the "
+                f"recovery contract is broken"
+            )
+        if self.verify_recovery:
+            replayed = np.ascontiguousarray(self._replay(outcome.c))
+            clean_out = np.ascontiguousarray(self._clean_output)
+            if replayed.tobytes() != clean_out.tobytes():
+                raise FaultInjectionError(
+                    f"recovered pass through layer {self.layer!r} does "
+                    f"not reproduce the clean model output bit-exactly"
+                )

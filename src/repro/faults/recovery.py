@@ -1,0 +1,154 @@
+"""Detection-triggered recovery: bounded retry with graceful degradation.
+
+ABFT detects, it does not correct — the actionable response to a
+detection is to *re-execute* the struck GEMM (paper §2.5: a flagged
+layer is recomputed before its output is consumed).  Whether that
+helps depends on the fault's temporal model:
+
+* **transient** — a soft error (particle strike, voltage droop) that
+  does not recur: the retry executes fault-free and recovers the
+  bit-exact clean output.
+* **sticky** — a persistent defect (stuck-at logic, a bad SM): every
+  retry re-executes under the same fault, so retries burn budget
+  without converging and the policy's degradation mode decides what
+  happens to the request.
+
+:class:`RecoveryPolicy` bundles the retry budget, the fault model, and
+the degradation mode; :func:`attempt_recovery` is the engine-agnostic
+retry loop shared by :class:`~repro.nn.ProtectedInference`, the
+layer-GEMM session path, and :class:`~repro.faults.PropagationCampaign`
+— one implementation, one semantics, everywhere a detection can fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..errors import ConfigurationError, RecoveryError
+from .model import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..abft.base import ExecutionOutcome
+
+#: Valid temporal fault models.
+FAULT_MODELS = ("transient", "sticky")
+#: Valid budget-exhaustion degradation modes.
+EXHAUSTION_MODES = ("raise", "flag-and-propagate")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a session responds to a detected fault.
+
+    Attributes
+    ----------
+    max_retries:
+        Bounded retry budget per detection (>= 1).  A retry re-executes
+        only the struck layer's GEMM against its prepared state — the
+        fault-invariant half is never re-paid.
+    fault_model:
+        ``"transient"`` (default): the fault does not recur, so retries
+        execute fault-free.  ``"sticky"``: the fault persists, so every
+        retry re-executes under the same fault specs — the adversarial
+        model for exercising the degradation path.
+    on_exhausted:
+        What happens when every retry in the budget is still detected:
+        ``"raise"`` aborts the pass with
+        :class:`~repro.errors.RecoveryError`;
+        ``"flag-and-propagate"`` (default) marks the layer outcome
+        degraded and lets the (possibly corrupted) output flow
+        downstream — the caller sees the flag and decides.
+    """
+
+    max_retries: int = 2
+    fault_model: str = "transient"
+    on_exhausted: str = "flag-and-propagate"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.fault_model not in FAULT_MODELS:
+            raise ConfigurationError(
+                f"fault_model must be one of {FAULT_MODELS}, "
+                f"got {self.fault_model!r}"
+            )
+        if self.on_exhausted not in EXHAUSTION_MODES:
+            raise ConfigurationError(
+                f"on_exhausted must be one of {EXHAUSTION_MODES}, "
+                f"got {self.on_exhausted!r}"
+            )
+
+    @property
+    def sticky(self) -> bool:
+        """True when retries re-execute under the original faults."""
+        return self.fault_model == "sticky"
+
+
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """Outcome of one detection's retry loop.
+
+    Attributes
+    ----------
+    outcome:
+        The execution outcome the pass continues with: the first clean
+        retry when recovery succeeded, the original detected outcome
+        when the budget was exhausted under ``"flag-and-propagate"``.
+    retries:
+        Retries actually executed (0 when the first execution was
+        already clean or no policy applies).
+    recovered:
+        A retry came back clean; its output is bit-identical to a
+        fault-free execution of the same prepared state.
+    degraded:
+        The budget was exhausted and the policy chose to propagate.
+    """
+
+    outcome: "ExecutionOutcome"
+    retries: int
+    recovered: bool
+    degraded: bool
+
+
+def attempt_recovery(
+    execute: Callable[[Sequence[FaultSpec]], "ExecutionOutcome"],
+    first: "ExecutionOutcome",
+    faults: Sequence[FaultSpec],
+    policy: RecoveryPolicy | None,
+    *,
+    context: str = "GEMM",
+) -> RecoveryAttempt:
+    """Run the policy's retry loop for one executed GEMM.
+
+    ``execute(faults)`` re-executes the layer with the given fault
+    specs — under the transient model retries pass ``()`` (the fault
+    does not recur), under the sticky model they pass the original
+    ``faults``.  The loop stops at the first undetected retry; an
+    exhausted budget either raises :class:`~repro.errors.RecoveryError`
+    or flags degradation, per ``policy.on_exhausted``.
+    """
+    if policy is None or not first.detected:
+        return RecoveryAttempt(
+            outcome=first, retries=0, recovered=False, degraded=False
+        )
+    retry_faults: Sequence[FaultSpec] = tuple(faults) if policy.sticky else ()
+    retries = 0
+    while retries < policy.max_retries:
+        retries += 1
+        retry = execute(retry_faults)
+        if not retry.detected:
+            return RecoveryAttempt(
+                outcome=retry, retries=retries, recovered=True, degraded=False
+            )
+    if policy.on_exhausted == "raise":
+        raise RecoveryError(
+            f"{context}: detection persisted through {retries} "
+            f"retr{'y' if retries == 1 else 'ies'} "
+            f"({policy.fault_model} fault model)"
+        )
+    return RecoveryAttempt(
+        outcome=first, retries=retries, recovered=False, degraded=True
+    )

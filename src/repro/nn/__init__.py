@@ -10,7 +10,13 @@ those GEMM shapes from the architectures by shape propagation;
 from .layers import Conv2dSpec, LinearSpec, pool_output_shape
 from .graph import LinearLayer, ModelGraph
 from .inference import ProtectedInference, SequentialModel
-from .models import build_model, list_models
+from .models import (
+    build_model,
+    build_runnable,
+    list_models,
+    runnable_input_shape,
+    runnable_models,
+)
 
 __all__ = [
     "Conv2dSpec",
@@ -22,4 +28,7 @@ __all__ = [
     "SequentialModel",
     "build_model",
     "list_models",
+    "build_runnable",
+    "runnable_input_shape",
+    "runnable_models",
 ]

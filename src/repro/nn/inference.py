@@ -23,6 +23,7 @@ from ..config import DEFAULT_DETECTION, DetectionConstants
 from ..gemm.tiles import TileConfig
 from ..errors import ModelZooError, ShapeError
 from ..faults.model import FaultSpec
+from ..faults.recovery import RecoveryPolicy, attempt_recovery
 from ..gemm.im2col import conv_weights_to_gemm, im2col
 from .layers import Conv2dSpec, LinearSpec, pool_output_shape
 
@@ -137,11 +138,22 @@ class Linear(_Op):
 
 @dataclass
 class LayerOutcome:
-    """Per-linear-layer record of one protected inference."""
+    """Per-linear-layer record of one protected inference.
+
+    ``retries``/``recovered``/``degraded`` describe what the pass's
+    :class:`~repro.faults.RecoveryPolicy` (if any) did about a
+    detection on this layer: how many re-executions ran, whether one
+    came back clean (``outcome`` is then that clean retry, bit-identical
+    to a fault-free execution), or whether the budget was exhausted and
+    the detected output was propagated anyway.
+    """
 
     name: str
     scheme: str
     outcome: ExecutionOutcome
+    retries: int = 0
+    recovered: bool = False
+    degraded: bool = False
 
     @property
     def detected(self) -> bool:
@@ -159,6 +171,73 @@ class InferenceResult:
     def detected(self) -> bool:
         """True if any layer's ABFT check fired."""
         return any(rec.detected for rec in self.layer_outcomes)
+
+    @property
+    def recovered(self) -> bool:
+        """True if any layer's detection was retried back to clean."""
+        return any(rec.recovered for rec in self.layer_outcomes)
+
+    @property
+    def degraded(self) -> bool:
+        """True if any layer exhausted its retry budget and propagated."""
+        return any(rec.degraded for rec in self.layer_outcomes)
+
+    @property
+    def total_retries(self) -> int:
+        """Recovery re-executions summed over all layers."""
+        return sum(rec.retries for rec in self.layer_outcomes)
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One linear layer of a traced clean pass.
+
+    Attributes
+    ----------
+    name, op_index:
+        The layer's name and its position in the model's op list.
+    a, b:
+        The lowered GEMM operands (im2col'd activations for convs).
+    tile:
+        The tile configuration the layer's prepared state is pinned to.
+    dims:
+        Conv reshape dims ``(batch, Ho, Wo)``; None for Linear layers.
+    outcome:
+        The clean protected execution outcome.
+    """
+
+    name: str
+    op_index: int
+    a: np.ndarray
+    b: np.ndarray
+    tile: TileConfig
+    dims: tuple[int, int, int] | None
+    outcome: ExecutionOutcome
+
+
+@dataclass(frozen=True)
+class InferenceTrace:
+    """A clean forward pass with per-linear-layer GEMM state captured.
+
+    Produced by :meth:`ProtectedInference.trace`; consumed by
+    :class:`~repro.faults.PropagationCampaign`, which replays corrupted
+    activations through the traced downstream layers.
+    """
+
+    x: np.ndarray
+    output: np.ndarray
+    result: InferenceResult
+    steps: tuple[TraceStep, ...]
+
+    def step(self, name: str) -> TraceStep:
+        """The traced step of the named linear layer."""
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise ModelZooError(
+            f"trace has no linear layer {name!r}; traced layers are "
+            f"{[s.name for s in self.steps]}"
+        )
 
 
 class SequentialModel:
@@ -223,9 +302,12 @@ class ProtectedInference:
         evaluated under.
     record_operands:
         Record each linear layer's lowered GEMM operands ``(a, b,
-        tile)`` from the most recent *fault-free* forward pass in
-        :attr:`recorded_operands` (faulty passes propagate corrupted
-        activations downstream and are skipped) — what
+        tile)`` from the most recent *clean-equivalent* forward pass
+        in :attr:`recorded_operands` — fault-free passes, and faulty
+        passes whose every faulted layer was detected and recovered
+        (the recovered output is bit-identical to clean); passes with
+        undetected or unrecovered faults propagate corrupted
+        activations downstream and are skipped — what
         ``ProtectedSession.campaign`` hands to a
         :class:`~repro.faults.FaultCampaign` so the campaign attacks
         exactly the GEMM the forward pass executed.
@@ -296,27 +378,62 @@ class ProtectedInference:
             self._weight_cache[name] = prepared
         return prepared
 
-    def _execute_linear(
+    def _run_linear(
         self,
         name: str,
         a: np.ndarray,
         b: np.ndarray,
         faults: Sequence[FaultSpec],
-        *,
-        record: bool,
-    ) -> ExecutionOutcome:
+        recovery: RecoveryPolicy | None,
+        staged: dict[str, tuple[np.ndarray, np.ndarray, TileConfig]] | None,
+    ) -> LayerOutcome:
         """One linear layer's protected GEMM, through the shared cache
         when the engine owns one (bit-identical either way — the
-        prepared state is fault-invariant)."""
+        prepared state is fault-invariant), plus the recovery retry
+        loop when a policy applies.  Retries re-enter the same cached
+        prepared state, so a recovery costs one re-reduction, not a
+        re-prepared GEMM."""
         scheme = self.scheme_for(name)
         weights = self._weights_for(name, scheme, b, a.shape[0])
-        if record:
-            self.recorded_operands[name] = (a, b, weights.tile)
-        if self.cache is not None:
-            prepared = self.cache.get(scheme, a, b, weights=weights)
-            return prepared.inject(faults, detection=self.detection)
-        return scheme.execute(
-            a, b, faults=faults, weights=weights, detection=self.detection
+        if staged is not None:
+            staged[name] = (a, b, weights.tile)
+
+        def execute(specs: Sequence[FaultSpec]) -> ExecutionOutcome:
+            if self.cache is not None:
+                prepared = self.cache.get(scheme, a, b, weights=weights)
+                return prepared.inject(specs, detection=self.detection)
+            return scheme.execute(
+                a, b, faults=specs, weights=weights, detection=self.detection
+            )
+
+        attempt = attempt_recovery(
+            execute, execute(faults), faults, recovery,
+            context=f"layer {name!r}",
+        )
+        return LayerOutcome(
+            name=name,
+            scheme=attempt.outcome.scheme,
+            outcome=attempt.outcome,
+            retries=attempt.retries,
+            recovered=attempt.recovered,
+            degraded=attempt.degraded,
+        )
+
+    @staticmethod
+    def _clean_equivalent(
+        result: InferenceResult, faults: Mapping[str, Sequence[FaultSpec]]
+    ) -> bool:
+        """Whether a pass's recorded operands describe clean GEMMs.
+
+        True when every layer that had faults injected ended
+        detected-and-recovered (its propagated output is bit-identical
+        to a fault-free execution, so every downstream activation —
+        hence every recorded ``A`` operand — is the clean one) and no
+        layer degraded.  A fault-free pass is trivially clean.
+        """
+        return all(
+            (rec.recovered or not faults.get(rec.name)) and not rec.degraded
+            for rec in result.layer_outcomes
         )
 
     def run(
@@ -324,8 +441,9 @@ class ProtectedInference:
         x: np.ndarray,
         *,
         faults: Mapping[str, Sequence[FaultSpec]] | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> InferenceResult:
-        """Forward pass with optional per-layer fault injection.
+        """Forward pass with optional fault injection and recovery.
 
         Parameters
         ----------
@@ -335,43 +453,99 @@ class ProtectedInference:
         faults:
             Mapping from linear-layer name to fault specs injected into
             that layer's GEMM.
+        recovery:
+            Optional :class:`~repro.faults.RecoveryPolicy`: each
+            layer's detection triggers bounded re-execution of that
+            layer alone (transient retries run fault-free, sticky ones
+            re-inject), then either raises or flags-and-propagates per
+            the policy.  Per-layer results land on
+            :class:`LayerOutcome`; :attr:`InferenceResult.recovered` /
+            ``degraded`` / ``total_retries`` aggregate them.
         """
         faults = dict(faults or {})
         unknown = set(faults) - set(self.model.linear_names)
         if unknown:
             raise ModelZooError(f"fault targets not in model: {sorted(unknown)}")
 
-        # Injected faults are detected, not corrected, so downstream
-        # layers of a faulty pass see corrupted activations — record
-        # only clean passes, or `recorded_operands` would describe
-        # GEMMs the deployment never executes cleanly.
-        record = self._record_operands and not any(faults.values())
+        # Operands are staged during the pass and committed only if the
+        # pass ends *clean-equivalent*: fault-free, or every faulted
+        # layer detected-and-recovered (the recovered output is
+        # bit-identical to clean, so every staged activation is the
+        # clean one).  Undetected or degraded faults leave
+        # `recorded_operands` describing the last clean-equivalent pass.
+        staged: dict[str, tuple[np.ndarray, np.ndarray, TileConfig]] | None = (
+            {} if self._record_operands else None
+        )
         result = InferenceResult(output=np.asarray(x, dtype=np.float16))
         activation = result.output
         for op in self.model.ops:
             if isinstance(op, Conv2d):
                 a, b, dims = op.lower(activation)
-                outcome = self._execute_linear(
-                    op.name, a, b, faults.get(op.name, ()), record=record
+                rec = self._run_linear(
+                    op.name, a, b, faults.get(op.name, ()), recovery, staged
                 )
-                result.layer_outcomes.append(
-                    LayerOutcome(
-                        name=op.name, scheme=outcome.scheme, outcome=outcome
-                    )
-                )
-                activation = op.reshape_output(outcome.c, dims)
+                result.layer_outcomes.append(rec)
+                activation = op.reshape_output(rec.outcome.c, dims)
             elif isinstance(op, Linear):
                 a = activation.astype(np.float16)
-                outcome = self._execute_linear(
-                    op.name, a, op.weights, faults.get(op.name, ()), record=record
+                rec = self._run_linear(
+                    op.name, a, op.weights, faults.get(op.name, ()),
+                    recovery, staged,
                 )
-                result.layer_outcomes.append(
-                    LayerOutcome(
-                        name=op.name, scheme=outcome.scheme, outcome=outcome
-                    )
-                )
-                activation = outcome.c
+                result.layer_outcomes.append(rec)
+                activation = rec.outcome.c
             else:
                 activation = op.forward(activation)
         result.output = activation
+        if staged is not None and self._clean_equivalent(result, faults):
+            self.recorded_operands.update(staged)
         return result
+
+    def trace(self, x: np.ndarray) -> "InferenceTrace":
+        """Clean forward pass capturing every linear layer's GEMM view.
+
+        Runs the model fault-free (through the shared cache when the
+        engine owns one) and records, per linear layer, the lowered
+        operands, the pinned tile, the conv reshape dims, and the
+        clean execution outcome — the downstream state a
+        :class:`~repro.faults.PropagationCampaign` replays corrupted
+        activations through.  Does not touch
+        :attr:`recorded_operands`.
+        """
+        result = InferenceResult(output=np.asarray(x, dtype=np.float16))
+        activation = result.output
+        steps: list[TraceStep] = []
+        staged: dict[str, tuple[np.ndarray, np.ndarray, TileConfig]] = {}
+        for idx, op in enumerate(self.model.ops):
+            if isinstance(op, Conv2d):
+                a, b, dims = op.lower(activation)
+            elif isinstance(op, Linear):
+                a, b, dims = activation.astype(np.float16), op.weights, None
+            else:
+                activation = op.forward(activation)
+                continue
+            rec = self._run_linear(op.name, a, b, (), None, staged)
+            result.layer_outcomes.append(rec)
+            steps.append(
+                TraceStep(
+                    name=op.name,
+                    op_index=idx,
+                    a=a,
+                    b=b,
+                    tile=staged[op.name][2],
+                    dims=dims,
+                    outcome=rec.outcome,
+                )
+            )
+            activation = (
+                op.reshape_output(rec.outcome.c, dims)
+                if dims is not None
+                else rec.outcome.c
+            )
+        result.output = activation
+        return InferenceTrace(
+            x=np.asarray(x, dtype=np.float16),
+            output=activation,
+            result=result,
+            steps=tuple(steps),
+        )

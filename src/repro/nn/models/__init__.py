@@ -7,5 +7,12 @@ module for the architecture provenance.
 """
 
 from .registry import build_model, list_models
+from .runnable import build_runnable, runnable_input_shape, runnable_models
 
-__all__ = ["build_model", "list_models"]
+__all__ = [
+    "build_model",
+    "list_models",
+    "build_runnable",
+    "runnable_input_shape",
+    "runnable_models",
+]

@@ -1,0 +1,180 @@
+"""Numeric realizations of the sequential-expressible zoo models.
+
+The shape-level zoo (:func:`~repro.nn.models.build_model`) covers all
+fourteen evaluation networks, but end-to-end *numeric* studies — SDC
+propagation campaigns, recovery verification — need a runnable
+:class:`~repro.nn.SequentialModel` whose linear-layer names match the
+graph's plan layers exactly.  The DLRM MLPs and the four NoScope-style
+specialized CNNs are pure op chains, so this module builds them as
+runnable models with deterministic He-initialized weights; the
+general-purpose torchvision CNNs carry branches (residual adds,
+concats) the sequential engine does not express and are excluded.
+
+``build_runnable(name)`` mirrors ``build_model(name)`` layer for
+layer: identical linear names, identical GEMM shapes (the conv→FC
+transition flattens exactly like the graph's shape propagation), so
+``repro.deploy(name, runnable=build_runnable(name))`` wires the
+numeric model straight into the plan.  Weights are drawn from a seeded
+generator, making every derived quantity — activations, clean GEMMs,
+campaign outcomes — reproducible.
+
+Note the batch default: the runnable specialized CNNs default to batch
+1, not the shape-level evaluation batch 64 — a 64-frame im2col GEMM is
+needlessly heavy for numeric fault studies.  Pass the same ``batch``
+to :func:`build_runnable` and the graph build when wiring a session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ModelZooError
+from ..inference import (
+    Conv2d,
+    Conv2dSpec,
+    Flatten,
+    Linear,
+    LinearSpec,
+    MaxPool2d,
+    ReLU,
+    SequentialModel,
+    _Op,
+)
+from ..layers import pool_output_shape
+from . import noscope
+from .dlrm import (
+    MLP_BOTTOM_HIDDEN,
+    MLP_BOTTOM_INPUT,
+    MLP_TOP_HIDDEN,
+    MLP_TOP_INPUT,
+)
+
+#: Default batch for runnable models (numeric studies, not throughput).
+DEFAULT_BATCH = 1
+
+
+def runnable_models() -> list[str]:
+    """Zoo models with a numeric sequential realization, in zoo order."""
+    return ["mlp_bottom", "mlp_top"] + [cfg.name for cfg in noscope.CONFIGS]
+
+
+def runnable_input_shape(
+    name: str, *, batch: int | None = None
+) -> tuple[int, ...]:
+    """The input-activation shape ``build_runnable(name)`` expects."""
+    b = DEFAULT_BATCH if batch is None else batch
+    key = name.lower()
+    if key == "mlp_bottom":
+        return (b, MLP_BOTTOM_INPUT)
+    if key == "mlp_top":
+        return (b, MLP_TOP_INPUT)
+    if key in {cfg.name for cfg in noscope.CONFIGS}:
+        return (b, 3, noscope.INPUT_HW, noscope.INPUT_HW)
+    raise ModelZooError(
+        f"no runnable realization for model {name!r}; runnable models "
+        f"are {runnable_models()}"
+    )
+
+
+def _runnable_mlp(
+    name: str,
+    input_dim: int,
+    hidden: tuple[int, ...],
+    out: int | None,
+    rng: np.random.Generator,
+) -> SequentialModel:
+    """Linear chain with ReLU between layers (none after the last)."""
+    widths = list(hidden) + ([out] if out is not None else [])
+    ops: list[_Op] = []
+    fin = input_dim
+    for idx, width in enumerate(widths):
+        spec = LinearSpec(in_features=fin, out_features=width)
+        ops.append(
+            Linear(
+                spec,
+                SequentialModel.random_weights_linear(spec, rng),
+                name=f"fc{idx}",
+            )
+        )
+        if idx < len(widths) - 1:
+            ops.append(ReLU())
+        fin = width
+    return SequentialModel(ops, name=name)
+
+
+def _runnable_noscope(
+    cfg: "noscope.NoScopeConfig", batch: int, rng: np.random.Generator
+) -> SequentialModel:
+    """Conv/pool trunk + FC head mirroring :func:`noscope.build_noscope`."""
+    ops: list[_Op] = []
+    channels, h, w = 3, noscope.INPUT_HW, noscope.INPUT_HW
+    for idx, out_channels in enumerate(cfg.conv_channels):
+        spec = Conv2dSpec(
+            in_channels=channels, out_channels=out_channels, kernel=3, padding=1
+        )
+        ops.append(
+            Conv2d(
+                spec,
+                SequentialModel.random_weights_conv(spec, rng),
+                name=f"conv{idx}",
+            )
+        )
+        ops.append(ReLU())
+        channels = out_channels
+        if idx in cfg.pool_after:
+            ops.append(MaxPool2d(2, 2))
+            h, w = pool_output_shape(h, w, kernel=2, stride=2)
+    ops.append(Flatten())
+    fin = channels * h * w
+    if cfg.fc_hidden is not None:
+        spec = LinearSpec(in_features=fin, out_features=cfg.fc_hidden)
+        ops.append(
+            Linear(
+                spec,
+                SequentialModel.random_weights_linear(spec, rng),
+                name="fc0",
+            )
+        )
+        ops.append(ReLU())
+        fin = cfg.fc_hidden
+    spec = LinearSpec(in_features=fin, out_features=2)
+    ops.append(
+        Linear(
+            spec,
+            SequentialModel.random_weights_linear(spec, rng),
+            name="fc_out",
+        )
+    )
+    return SequentialModel(ops, name=cfg.name)
+
+
+def build_runnable(
+    name: str, *, batch: int | None = None, seed: int = 0
+) -> SequentialModel:
+    """A runnable numeric realization of the named zoo model.
+
+    Linear-layer names match ``build_model(name)`` exactly, so the
+    result drops into ``repro.deploy(name, runnable=...)`` (build the
+    graph with the same ``batch``).  Weights are He-initialized from
+    ``seed``; the model itself is batch-agnostic (``batch`` only
+    matters for :func:`runnable_input_shape` and the paired graph).
+    """
+    key = name.lower()
+    # Per-model entropy folded in bytewise (str hash() is salted per
+    # process and would break cross-run determinism).
+    rng = np.random.default_rng([seed, *key.encode()])
+    if key == "mlp_bottom":
+        return _runnable_mlp(
+            key, MLP_BOTTOM_INPUT, MLP_BOTTOM_HIDDEN, None, rng
+        )
+    if key == "mlp_top":
+        return _runnable_mlp(key, MLP_TOP_INPUT, MLP_TOP_HIDDEN, 1, rng)
+    for cfg in noscope.CONFIGS:
+        if cfg.name == key:
+            return _runnable_noscope(
+                cfg, DEFAULT_BATCH if batch is None else batch, rng
+            )
+    raise ModelZooError(
+        f"no runnable realization for model {name!r}; runnable models "
+        f"are {runnable_models()}"
+    )

@@ -381,3 +381,79 @@ class TestPreparedCache:
         a2[0, 0] += np.float16(1.0)
         assert cache.get(scheme, a2, b) is not first
         assert cache.misses == 2
+
+
+class TestPreparedCacheThreadSafety:
+    """The lock-guarded cache under concurrent getters (DESIGN.md §3).
+
+    Racing getters of one key must resolve to one shared entry with the
+    clean GEMM run exactly once, and mixed-key storms must neither lose
+    entries nor corrupt the hit/miss accounting.
+    """
+
+    def test_racing_getters_share_one_entry(self, small_operands):
+        import threading
+
+        a, b = small_operands
+        cache = PreparedCache()
+        scheme = get_scheme("global")
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = cache.get(scheme, a, b)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        EXECUTION_STATS.reset()
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        first = results[0]
+        assert first is not None
+        assert all(r is first for r in results)
+        assert len(cache) == 1
+        assert cache.misses == 1 and cache.hits == n_threads - 1
+        # Exactly-once: one clean GEMM across the whole stampede.
+        assert EXECUTION_STATS.gemms == 1
+
+    def test_mixed_key_storm_keeps_every_entry_distinct(self, rng):
+        from concurrent.futures import ThreadPoolExecutor
+
+        operand_sets = [
+            (
+                (rng.standard_normal((24, 16)) * 0.5).astype(np.float16),
+                (rng.standard_normal((16, 20)) * 0.5).astype(np.float16),
+            )
+            for _ in range(4)
+        ]
+        cache = PreparedCache()
+        scheme = get_scheme("thread_onesided")
+        rounds = 8
+
+        def fetch(idx):
+            a, b = operand_sets[idx % len(operand_sets)]
+            return idx % len(operand_sets), cache.get(scheme, a, b)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            fetched = list(pool.map(fetch, range(len(operand_sets) * rounds)))
+
+        by_key = {}
+        for idx, prepared in fetched:
+            by_key.setdefault(idx, prepared)
+            assert prepared is by_key[idx]
+        assert len(by_key) == len(operand_sets)
+        assert len(cache) == len(operand_sets)
+        assert cache.misses == len(operand_sets)
+        assert cache.hits == len(operand_sets) * (rounds - 1)

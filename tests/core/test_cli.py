@@ -196,3 +196,82 @@ class TestSweepAndExperiments:
         """--list must not silently swallow (possibly misspelled) names."""
         assert main(["experiments", "fig99", "--list"]) == 2
         assert "takes no experiment names" in capsys.readouterr().err
+
+
+class TestSdc:
+    def test_propagation_campaign_with_recovery(self, capsys):
+        assert main([
+            "sdc", "mlp_bottom", "--trials", "12", "--layer", "fc1",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "struck layer fc1" in out
+        assert "undetected SDC" in out
+        assert "bit-identity verified" in out
+
+    def test_no_recovery_drops_recovery_lines(self, capsys):
+        assert main([
+            "sdc", "mlp_bottom", "--trials", "12", "--no-recovery",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "detected corruption" in out
+        assert "recovered" not in out
+
+    def test_default_layer_is_first(self, capsys):
+        assert main(["sdc", "mlp_bottom", "--trials", "8"]) == 0
+        assert "struck layer fc0" in capsys.readouterr().out
+
+    def test_rejects_nonpositive_trials(self, capsys):
+        assert main(["sdc", "mlp_bottom", "--trials", "0"]) == 2
+        assert "--trials must be positive" in capsys.readouterr().err
+
+    def test_rejects_non_runnable_model(self, capsys):
+        """Branching zoo models have no numeric realization to strike."""
+        assert main(["sdc", "resnet50", "--trials", "8"]) == 1
+        assert "no runnable numeric realization" in capsys.readouterr().err
+
+    def test_rejects_unknown_layer(self, capsys):
+        assert main([
+            "sdc", "mlp_bottom", "--trials", "8", "--layer", "nope"
+        ]) == 1
+        assert "no layer" in capsys.readouterr().err
+
+    def test_missing_plan_file_fails_cleanly(self, capsys):
+        assert main([
+            "sdc", "mlp_bottom", "--plan", "/nonexistent/plan.json",
+            "--trials", "8",
+        ]) == 1
+        assert "cannot read plan file" in capsys.readouterr().err
+
+    def test_plan_model_mismatch_rejected(self, capsys, tmp_path):
+        assert main(["deploy", "mlp_bottom", "--json"]) == 0
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(capsys.readouterr().out)
+        assert main([
+            "sdc", "mlp_top", "--plan", str(plan_file), "--trials", "8"
+        ]) == 1
+        assert "deploys 'mlp_bottom'" in capsys.readouterr().err
+
+    def test_plan_policy_flag_rejected(self, capsys, tmp_path):
+        assert main(["deploy", "mlp_bottom", "--json"]) == 0
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(capsys.readouterr().out)
+        assert main([
+            "sdc", "mlp_bottom", "--plan", str(plan_file),
+            "--policy", "fixed:global", "--trials", "8",
+        ]) == 1
+        assert "not allowed with --plan" in capsys.readouterr().err
+
+    def test_campaign_from_plan_file(self, capsys, tmp_path):
+        assert main(["deploy", "mlp_bottom", "--json"]) == 0
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(capsys.readouterr().out)
+        assert main([
+            "sdc", "mlp_bottom", "--plan", str(plan_file),
+            "--layer", "fc2", "--trials", "8",
+        ]) == 0
+        assert "struck layer fc2" in capsys.readouterr().out
+
+    def test_rejects_bad_fault_model(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sdc", "mlp_bottom", "--fault-model", "cosmic"])

@@ -6,6 +6,7 @@ from repro.experiments import (
     ablation_thread_tile,
     fault_coverage_experiment,
     multi_fault_coverage_experiment,
+    sdc_propagation_experiment,
     fig04_aggregate_intensity,
     fig05_resnet_layer_intensity,
     fig08_all_models,
@@ -99,6 +100,23 @@ class TestMultiFaultCoverage:
         assert "global_multi:2" in out and "benign alarms" in out
 
 
+class TestSdcPropagation:
+    def test_crosstab_for_three_models(self):
+        """One row per (model, depth layer, scheme, fault count) over
+        >=3 runnable zoo models; the driver itself asserts that every
+        detected trial recovered (bit-identical to clean) under the
+        transient policy and that residual SDC is exactly the
+        undetected kind."""
+        table = sdc_propagation_experiment(trials=6)
+        rows = table._rows
+        models = {row[0] for row in rows}
+        assert models == {"mlp_bottom", "mlp_top", "coral"}
+        # 3 depth layers x 2 schemes x 2 fault counts per model.
+        assert len(rows) == len(models) * 3 * 2 * 2
+        out = table.render()
+        assert "bit-identical to clean" in out
+
+
 class TestAblations:
     def test_overlap_monotone(self):
         table = ablation_check_overlap(fractions=(0.0, 0.9))
@@ -117,7 +135,7 @@ class TestRunner:
             "fig04", "fig05", "sec33", "table1", "fig08", "fig09_hd",
             "fig09_224", "fig10", "fig11", "fig12", "fault_coverage",
             "multi_fault_coverage", "ablation_overlap", "ablation_tile",
-            "ablation_devices", "sec72_agreement",
+            "ablation_devices", "sec72_agreement", "sdc_propagation",
         }
         assert set(EXPERIMENTS) == expected
 

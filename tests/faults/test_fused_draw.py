@@ -1,0 +1,149 @@
+"""``run_batch``'s fused draw→sites fast path equals the stepped path.
+
+PR 6 fuses spec drawing with fault-site valuation: when a drawn batch's
+``(trial, row, col)`` sites are all unique, ``run_batch`` derives the
+:class:`~repro.faults.injector.FaultSites` for each chunk in one
+``corrupted_values_batch`` call over the clean elements instead of
+re-deriving them per chunk through :func:`faulted_site_values`.  The
+records must be identical, record for record, to
+``run(n, specs=draw_faults(n))`` — which itself pins the fused path
+against the generic one, since explicit specs never take it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.abft import MultiChecksumGlobalABFT, get_scheme
+from repro.errors import FaultInjectionError
+from repro.faults import FaultCampaign
+from repro.faults.injector import sites_from_flat_specs
+
+
+def make_campaign(name, operands, **kwargs):
+    scheme = (
+        MultiChecksumGlobalABFT(2) if name == "global_multi" else get_scheme(name)
+    )
+    a, b = operands
+    return FaultCampaign(scheme, a, b, **kwargs)
+
+
+def assert_records_identical(lhs, rhs):
+    """Field-wise trial equality; NaN deltas compare equal to NaN."""
+    assert len(lhs.trials) == len(rhs.trials)
+    for t1, t2 in zip(lhs.trials, rhs.trials):
+        assert t1.faults == t2.faults
+        assert t1.detected == t2.detected
+        assert t1.significant == t2.significant
+        assert t1.benign_alarm == t2.benign_alarm
+        if math.isnan(t1.delta) or math.isnan(t2.delta):
+            assert math.isnan(t1.delta) and math.isnan(t2.delta)
+        else:
+            assert t1.delta == t2.delta
+
+
+@pytest.fixture
+def operands(rng):
+    a = (rng.standard_normal((48, 32)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((32, 40)) * 0.5).astype(np.float16)
+    return a, b
+
+
+class TestFusedDrawEquivalence:
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            "global",
+            "thread_onesided",
+            "thread_twosided",
+            "replication_single",
+            "replication_traditional",
+            "global_multi",
+        ],
+    )
+    @pytest.mark.parametrize("faults_per_trial", [1, 3])
+    def test_run_batch_equals_stepped_run(
+        self, scheme, faults_per_trial, operands
+    ):
+        fused = make_campaign(scheme, operands, seed=23).run_batch(
+            40, faults_per_trial=faults_per_trial
+        )
+        stepped_campaign = make_campaign(scheme, operands, seed=23)
+        drawn = stepped_campaign.draw_faults(
+            40, faults_per_trial=faults_per_trial
+        )
+        stepped = stepped_campaign.run(0, specs=drawn)
+        assert_records_identical(fused, stepped)
+
+    def test_dense_path_ignores_fused_sites(self, operands):
+        fused = make_campaign(operands=operands, name="global", seed=5,
+                              sparse=False).run_batch(24, faults_per_trial=2)
+        stepped_campaign = make_campaign(operands=operands, name="global",
+                                         seed=5, sparse=False)
+        stepped = stepped_campaign.run(
+            0, specs=stepped_campaign.draw_faults(24, faults_per_trial=2)
+        )
+        assert_records_identical(fused, stepped)
+
+    def test_chunked_batches_stay_identical(self, operands):
+        fused = make_campaign(operands=operands, name="global", seed=9,
+                              batch_size=7).run_batch(30, faults_per_trial=2)
+        stepped_campaign = make_campaign(operands=operands, name="global",
+                                         seed=9, batch_size=7)
+        stepped = stepped_campaign.run(
+            0, specs=stepped_campaign.draw_faults(30, faults_per_trial=2)
+        )
+        assert_records_identical(fused, stepped)
+
+    def test_duplicate_sites_fall_back_to_generic_path(self, rng):
+        # A 2x4 fault domain with 4 faults per trial collides almost
+        # surely; _fused_sites_fn must decline (duplicate sites need
+        # the stepped application order) and run_batch must still match
+        # the stepped reference exactly.  Seed 0 draws a colliding
+        # batch for these operands.
+        a = (rng.standard_normal((2, 8)) * 0.5).astype(np.float16)
+        b = (rng.standard_normal((8, 4)) * 0.5).astype(np.float16)
+        fused_campaign = FaultCampaign(get_scheme("global"), a, b, seed=0)
+        assert fused_campaign._fused_sites_fn(
+            [t if isinstance(t, tuple) else (t,)
+             for t in fused_campaign.draw_faults(16, faults_per_trial=4)]
+        ) is None
+        fused = FaultCampaign(get_scheme("global"), a, b, seed=0).run_batch(
+            16, faults_per_trial=4
+        )
+        stepped_campaign = FaultCampaign(get_scheme("global"), a, b, seed=0)
+        stepped = stepped_campaign.run(
+            0, specs=stepped_campaign.draw_faults(16, faults_per_trial=4)
+        )
+        assert_records_identical(fused, stepped)
+
+
+class TestSitesFromFlatSpecs:
+    def test_validates_array_lengths(self, operands):
+        campaign = make_campaign("global", operands, seed=1)
+        c_clean = campaign._prepared.c_clean
+        specs = campaign.draw_faults(2)
+        with pytest.raises(FaultInjectionError, match="mismatched"):
+            sites_from_flat_specs(
+                c_clean,
+                np.array([0, 1]),
+                np.array([0]),
+                np.array([0, 0]),
+                specs,
+                2,
+            )
+
+    def test_bounds_checks_coordinates(self, operands):
+        campaign = make_campaign("global", operands, seed=1)
+        c_clean = campaign._prepared.c_clean
+        specs = campaign.draw_faults(1)
+        with pytest.raises(FaultInjectionError, match="outside"):
+            sites_from_flat_specs(
+                c_clean,
+                np.array([0]),
+                np.array([c_clean.shape[0] + 5]),
+                np.array([0]),
+                specs,
+                1,
+            )

@@ -1,0 +1,102 @@
+"""The runnable numeric zoo (`repro.nn.models.runnable`).
+
+Contract: ``build_runnable(name)`` mirrors ``build_model(name)`` layer
+for layer — identical linear names, so the numeric model drops into a
+deployment plan built from the shape graph — with He-initialized
+weights that are a pure function of ``seed`` (every downstream
+quantity, from activations to campaign outcomes, inherits that
+determinism).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import as_policy
+from repro.errors import ModelZooError
+from repro.gpu import get_gpu
+from repro.nn import (
+    build_model,
+    build_runnable,
+    runnable_input_shape,
+    runnable_models,
+)
+
+
+class TestRegistry:
+    def test_runnable_models_are_the_sequential_subset(self):
+        names = runnable_models()
+        assert names[:2] == ["mlp_bottom", "mlp_top"]
+        assert len(names) >= 6  # the MLPs plus the four NoScope CNNs
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("name", ["resnet50", "vgg16", "not_a_model"])
+    def test_non_runnable_names_raise(self, name):
+        with pytest.raises(ModelZooError, match="no runnable realization"):
+            build_runnable(name)
+        with pytest.raises(ModelZooError, match="no runnable realization"):
+            runnable_input_shape(name)
+
+    def test_input_shapes(self):
+        assert runnable_input_shape("mlp_bottom") == (1, 13)
+        assert runnable_input_shape("mlp_bottom", batch=8)[0] == 8
+        for name in runnable_models():
+            shape = runnable_input_shape(name, batch=2)
+            assert shape[0] == 2 and len(shape) in (2, 4)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["mlp_bottom", "mlp_top"])
+    def test_same_seed_builds_identical_weights(self, name):
+        first = build_runnable(name, seed=7)
+        second = build_runnable(name, seed=7)
+        weights = lambda m: [
+            op.weights for op in m.ops if getattr(op, "is_linear", False)
+        ]
+        for w1, w2 in zip(weights(first), weights(second)):
+            assert w1.tobytes() == w2.tobytes()
+
+    def test_different_seeds_differ(self):
+        first = build_runnable("mlp_bottom", seed=0)
+        second = build_runnable("mlp_bottom", seed=1)
+        w1 = next(op.weights for op in first.ops if op.is_linear)
+        w2 = next(op.weights for op in second.ops if op.is_linear)
+        assert w1.tobytes() != w2.tobytes()
+
+    def test_models_do_not_share_weight_streams(self):
+        """Per-model entropy: equal seeds must not clone fc0 across
+        models with coincidentally equal layer shapes."""
+        bottom = build_runnable("mlp_bottom", seed=0)
+        top = build_runnable("mlp_top", seed=0)
+        w_bottom = next(op.weights for op in bottom.ops if op.is_linear)
+        w_top = next(op.weights for op in top.ops if op.is_linear)
+        assert w_bottom.tobytes() != w_top.tobytes()
+
+
+class TestGraphMirror:
+    @pytest.mark.parametrize("name", ["mlp_bottom", "mlp_top"])
+    def test_mlp_linear_names_match_the_plan(self, name):
+        runnable = build_runnable(name)
+        plan = as_policy("guided").assign(build_model(name, batch=1),
+                                          get_gpu("T4"))
+        assert runnable.linear_names == plan.layer_names
+
+    def test_noscope_linear_names_match_the_plan(self):
+        name = runnable_models()[2]  # first specialized CNN
+        runnable = build_runnable(name, batch=1)
+        plan = as_policy("guided").assign(build_model(name, batch=1),
+                                          get_gpu("T4"))
+        assert runnable.linear_names == plan.layer_names
+
+    def test_clean_forward_pass_runs_undetected(self):
+        from repro.abft import get_scheme
+        from repro.nn import ProtectedInference
+
+        model = build_runnable("mlp_bottom", seed=0)
+        x = (
+            np.random.default_rng(5)
+            .standard_normal(runnable_input_shape("mlp_bottom"))
+            * 0.5
+        ).astype(np.float16)
+        result = ProtectedInference(model, get_scheme("global")).run(x)
+        assert not result.detected
+        assert result.output.shape[0] == 1
