@@ -16,6 +16,7 @@ True
 
 from .config import DEFAULT_CONSTANTS, DEFAULT_DETECTION, DetectionConstants, ModelConstants
 from .errors import (
+    CampaignError,
     ConfigurationError,
     DetectionError,
     FaultInjectionError,
@@ -95,6 +96,7 @@ __all__ = [
     "TilingError",
     "OccupancyError",
     "FaultInjectionError",
+    "CampaignError",
     "DetectionError",
     "ProfilingError",
     "ModelZooError",

@@ -258,6 +258,7 @@ class ProtectedSession:
         batch_size: int | None = None,
         sparse: bool | None = None,
         detection: DetectionConstants | None = None,
+        workers: int | None = None,
     ) -> FaultCampaign:
         """A prepared :class:`~repro.faults.FaultCampaign` on one layer.
 
@@ -267,7 +268,19 @@ class ProtectedSession:
         whole-model fault studies pay the expensive half once, total.
         ``layer`` may be omitted for single-layer plans; campaign
         parameters are forwarded to :class:`~repro.faults.
-        FaultCampaign`.
+        FaultCampaign` (``workers=N`` makes every run of the returned
+        campaign shard across ``N`` worker processes by default).
+
+        Example
+        -------
+        >>> import repro
+        >>> session = repro.deploy("mlp_bottom", "T4", batch=32)
+        >>> campaign = session.campaign(layer="fc1", seed=1)
+        >>> result = campaign.run_batch(40)
+        >>> result.n_trials
+        40
+        >>> 0.0 <= result.coverage <= 1.0
+        True
         """
         if layer is None:
             if len(self.plan) != 1:
@@ -293,6 +306,7 @@ class ProtectedSession:
             batch_size=batch_size,
             sparse=sparse,
             cache=self.cache,
+            workers=workers,
             **extra,
         )
 
@@ -307,6 +321,7 @@ class ProtectedSession:
         output_atol: float | None = None,
         batch_size: int | None = None,
         verify_recovery: bool = True,
+        workers: int | None = None,
     ) -> PropagationCampaign:
         """An end-to-end :class:`~repro.faults.PropagationCampaign`.
 
@@ -321,7 +336,9 @@ class ProtectedSession:
         replays all draw from the session's shared cache.
 
         ``layer`` may be omitted for single-layer plans; ``x`` is the
-        model input the campaign propagates over.
+        model input the campaign propagates over; ``workers=N`` makes
+        every run of the returned campaign shard across ``N`` worker
+        processes by default (:mod:`repro.faults.parallel`).
         """
         if self.engine is None:
             raise ConfigurationError(
@@ -351,6 +368,7 @@ class ProtectedSession:
             recovery=recovery if recovery is not None else self.recovery,
             batch_size=batch_size,
             verify_recovery=verify_recovery,
+            workers=workers,
             **extra,
         )
 
@@ -392,6 +410,16 @@ def deploy(
         whose linear-layer names match the graph's.
     seed, cache, detection, recovery:
         Forwarded to :class:`ProtectedSession`.
+
+    Examples
+    --------
+    >>> import repro
+    >>> session = repro.deploy("mlp_bottom", "T4", batch=32)
+    >>> session.plan.layer("fc1").scheme
+    'thread_onesided'
+    >>> session.plan.guided_overhead_percent <= (
+    ...     session.plan.scheme_overhead_percent("global"))
+    True
     """
     spec = get_gpu(device) if isinstance(device, str) else device
     graph = (

@@ -178,7 +178,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         plan = _build_plan(args)
     session = ProtectedSession(plan, seed=args.seed)
     layer = args.layer if args.layer is not None else plan.layer_names[0]
-    campaign = session.campaign(layer, seed=args.seed)
+    campaign = session.campaign(layer, seed=args.seed, workers=args.workers)
     result = campaign.run_batch(
         args.trials, faults_per_trial=args.faults_per_trial
     )
@@ -267,7 +267,9 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
         * 0.5
     ).astype(np.float16)
     layer = args.layer if args.layer is not None else plan.layer_names[0]
-    campaign = session.propagation_campaign(layer, x=x, seed=args.seed)
+    campaign = session.propagation_campaign(
+        layer, x=x, seed=args.seed, workers=args.workers
+    )
     result = campaign.run_batch(
         args.trials, faults_per_trial=args.faults_per_trial
     )
@@ -388,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--trials", type=int, default=100)
     p_camp.add_argument("--faults-per-trial", type=int, default=1)
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--workers", type=int, default=None,
+                        help="shard trials across N worker processes "
+                             "(same records as one process; default: "
+                             "in-process)")
     p_camp.set_defaults(fn=_cmd_campaign)
 
     p_sdc = sub.add_parser(
@@ -412,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sdc.add_argument("--on-exhausted", default="flag-and-propagate",
                        choices=["raise", "flag-and-propagate"],
                        help="behavior when the retry budget is exhausted")
+    p_sdc.add_argument("--workers", type=int, default=None,
+                       help="shard trials across N worker processes "
+                            "(same records as one process; default: "
+                            "in-process)")
     p_sdc.add_argument("--no-recovery", action="store_true",
                        help="disable detection-triggered recovery")
     p_sdc.set_defaults(fn=_cmd_sdc)

@@ -36,6 +36,18 @@ class FaultInjectionError(ReproError):
     """A fault site does not exist in the execution being instrumented."""
 
 
+class CampaignError(ReproError):
+    """A sharded campaign run failed as a whole.
+
+    Raised by the multiprocess campaign engine
+    (:mod:`repro.faults.parallel`) when a worker dies or raises
+    mid-shard: the pool is torn down, shared-memory segments are
+    released, and the underlying worker exception (when one surfaced)
+    is chained as ``__cause__`` — callers never observe a hang or a
+    partial merge.
+    """
+
+
 class DetectionError(ReproError):
     """An ABFT consistency check could not be evaluated."""
 

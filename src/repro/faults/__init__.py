@@ -10,7 +10,12 @@ benign false alarms rather than silent corruption.
 from .bits import flip_fp16_bit, flip_fp32_bit
 from .model import FaultKind, FaultPath, FaultSpec
 from .injector import apply_fault_to_accumulator, corrupted_value
-from .campaign import CampaignResult, FaultCampaign, TrialRecord
+from .campaign import CampaignResult, FaultCampaign, SpecArrays, TrialRecord
+from .parallel import (
+    run_campaign_sharded,
+    run_propagation_sharded,
+    shard_bounds,
+)
 from .recovery import RecoveryAttempt, RecoveryPolicy, attempt_recovery
 from .propagation import (
     PropagationCampaign,
@@ -29,7 +34,11 @@ __all__ = [
     "corrupted_value",
     "CampaignResult",
     "FaultCampaign",
+    "SpecArrays",
     "TrialRecord",
+    "run_campaign_sharded",
+    "run_propagation_sharded",
+    "shard_bounds",
     "RecoveryAttempt",
     "RecoveryPolicy",
     "attempt_recovery",

@@ -54,6 +54,84 @@ from .model import FaultKind, FaultPath, FaultSpec
 #: 1-tuple) — what ``run``/``run_batch`` accept per trial.
 TrialFaults = "FaultSpec | Sequence[FaultSpec]"
 
+#: Kind table for :class:`SpecArrays` wire codes (index == code).  The
+#: order matches the draw distribution of :meth:`FaultCampaign.
+#: random_fault`, which samples these three original-path kinds.
+SPEC_KINDS = (FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16, FaultKind.ADD)
+
+
+@dataclass(frozen=True)
+class SpecArrays:
+    """Columnar form of a drawn random-spec batch.
+
+    The raw whole-batch RNG draws behind :meth:`FaultCampaign.
+    draw_faults`, before per-spec assembly: one entry per spec, fault
+    kinds wire-coded as ``uint8`` indices into :data:`SPEC_KINDS`.  A
+    batch in this form ships to sharded campaign workers as five small
+    numeric arrays instead of thousands of pickled :class:`FaultSpec`
+    objects; :func:`assemble_specs` materializes any slice back into
+    specs, bit-identically to the in-process assembly.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    kind_codes: np.ndarray
+    values: np.ndarray
+    bits: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def slice(self, lo: int, hi: int) -> "SpecArrays":
+        """The ``[lo, hi)`` sub-batch (views, no copies)."""
+        return SpecArrays(
+            rows=self.rows[lo:hi],
+            cols=self.cols[lo:hi],
+            kind_codes=self.kind_codes[lo:hi],
+            values=self.values[lo:hi],
+            bits=self.bits[lo:hi],
+        )
+
+
+def assemble_specs(arrays: SpecArrays) -> list[FaultSpec]:
+    """Materialize drawn spec arrays into :class:`FaultSpec` objects.
+
+    The (cheap, per-spec) assembly half of :meth:`FaultCampaign.
+    draw_faults`, shared verbatim between the in-process path and shard
+    workers so both produce identical specs from identical draws.
+    """
+    rows, cols = arrays.rows, arrays.cols
+    values, bits = arrays.values, arrays.bits
+    specs: list[FaultSpec] = []
+    for i, code in enumerate(arrays.kind_codes):
+        kind = SPEC_KINDS[code]
+        if kind is FaultKind.ADD:
+            specs.append(
+                FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
+                          value=float(values[i]))
+            )
+        else:
+            n_bits = 32 if kind is FaultKind.BITFLIP_FP32 else 16
+            specs.append(
+                FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
+                          bit=int(bits[i]) % n_bits)
+            )
+    return specs
+
+
+def group_spec_trials(
+    specs: Sequence[FaultSpec], faults_per_trial: int
+) -> list[tuple[FaultSpec, ...]]:
+    """Flat drawn specs -> per-trial fault tuples, in draw order.
+
+    Matches ``_normalize_trials(draw_faults(...))`` exactly: trial
+    ``i`` takes specs ``[i*r, (i+1)*r)`` for ``r = faults_per_trial``.
+    """
+    r = faults_per_trial
+    if r == 1:
+        return [(spec,) for spec in specs]
+    return [tuple(specs[i * r:(i + 1) * r]) for i in range(len(specs) // r)]
+
 
 @dataclass(frozen=True)
 class TrialRecord:
@@ -206,6 +284,13 @@ class FaultCampaign:
         campaigns over one ``(scheme, a, b, tile)`` runs the clean GEMM
         and operand reductions exactly once (bit-identical results
         either way — the state is fault-invariant).
+    workers:
+        Default worker-process count for :meth:`run`/:meth:`run_batch`
+        (both also take a per-call override).  ``None`` or ``1`` runs
+        in-process; ``N > 1`` shards each run's trials across a process
+        pool sharing this campaign's prepared state via shared memory
+        (:mod:`repro.faults.parallel`), record-for-record identical to
+        the in-process result for a fixed seed.
     """
 
     #: Transient-memory budget the auto-tuned batch size fills.
@@ -226,6 +311,7 @@ class FaultCampaign:
         batch_size: int | None = None,
         sparse: bool | None = None,
         cache: "PreparedCache | None" = None,
+        workers: int | None = None,
     ) -> None:
         if not scheme.protects:
             raise FaultInjectionError(
@@ -241,6 +327,11 @@ class FaultCampaign:
                 f"scheme {scheme.name!r} has no sparse re-reduction path; "
                 f"pass sparse=False or None"
             )
+        if workers is not None and workers < 1:
+            raise FaultInjectionError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.workers = workers
         self.scheme = scheme
         self.a = np.asarray(a, dtype=np.float16)
         self.b = np.asarray(b, dtype=np.float16)
@@ -301,6 +392,64 @@ class FaultCampaign:
         model already budgets for.
         """
         return self._tolerance_scale
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_prepared(
+        cls,
+        prepared: "PreparedExecution",
+        *,
+        detection: DetectionConstants,
+        significance_factor: float,
+        tolerance_scale: float,
+        batch_size: int,
+        use_sparse: bool,
+    ) -> "FaultCampaign":
+        """Rehydrate a campaign around an existing prepared state.
+
+        The shard-worker constructor (:mod:`repro.faults.parallel`):
+        skips preparation and the clean-baseline injection entirely —
+        the parent already did both — and carries the parent's
+        *derived* configuration (including the baseline tolerance
+        scale) verbatim, so worker-side classification matches the
+        in-process path bit for bit.  No RNG is attached: workers never
+        draw, the parent owns the random stream.
+        """
+        self = cls.__new__(cls)
+        self.scheme = prepared.scheme
+        # Logical operands live inside the prepared state; nothing
+        # downstream of construction reads these again.
+        self.a = None
+        self.b = None
+        self.tile = prepared.tile
+        self.detection = detection
+        self.significance_factor = significance_factor
+        self.sparse = use_sparse
+        self.workers = None
+        self.rng = None
+        self._scratch = None
+        self._prepared = prepared
+        self._use_sparse = use_sparse
+        self.batch_size = batch_size
+        self._baseline = None
+        self._tolerance_scale = tolerance_scale
+        return self
+
+    def _resolve_workers(self, workers: int | None, n_trials: int) -> int:
+        """Effective worker count for a run of ``n_trials`` trials.
+
+        A per-call ``workers`` overrides the campaign default; ``None``
+        everywhere means in-process.  The count is clamped to the trial
+        count — shards are contiguous non-empty trial ranges, so extra
+        workers would have nothing to do.
+        """
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            return 1
+        if workers < 1:
+            raise FaultInjectionError(f"workers must be >= 1, got {workers}")
+        return max(1, min(int(workers), n_trials))
 
     # ------------------------------------------------------------------
     def _auto_batch_size(self) -> int:
@@ -397,36 +546,33 @@ class FaultCampaign:
             for i in range(n)
         ]
 
-    def _draw_spec_batch(self, total: int) -> list[FaultSpec]:
-        """``total`` random original-path specs from whole-batch RNG calls."""
+    def _draw_spec_arrays(self, total: int) -> SpecArrays:
+        """``total`` random original-path draws as columnar arrays.
+
+        All randomness for a batch happens here, in whole-batch RNG
+        calls on the campaign's single seeded stream — the assembly
+        into :class:`FaultSpec` objects (:func:`assemble_specs`) is
+        pure, so the draw can be split from the assembly: sharded runs
+        draw once in the parent and assemble per worker, consuming the
+        RNG stream identically to an in-process run.
+        """
         rows_total, cols_total = self.fault_domain
         rows = self.rng.integers(rows_total, size=total)
         cols = self.rng.integers(cols_total, size=total)
-        kinds = self.rng.choice(
-            np.array(
-                [FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16, FaultKind.ADD],
-                dtype=object,
-            ),
-            size=total,
-        )
+        kinds = self.rng.choice(np.array(SPEC_KINDS, dtype=object), size=total)
         scale = float(np.abs(self._prepared.c_clean).mean() + 1.0)
         values = self.rng.normal(0.0, scale, size=total)
         bits = self.rng.integers(32, size=total)
-        specs: list[FaultSpec] = []
-        for i in range(total):
-            kind = kinds[i]
-            if kind is FaultKind.ADD:
-                specs.append(
-                    FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
-                              value=float(values[i]))
-                )
-            else:
-                n_bits = 32 if kind is FaultKind.BITFLIP_FP32 else 16
-                specs.append(
-                    FaultSpec(row=int(rows[i]), col=int(cols[i]), kind=kind,
-                              bit=int(bits[i]) % n_bits)
-                )
-        return specs
+        codes = np.empty(total, dtype=np.uint8)
+        for code, kind in enumerate(SPEC_KINDS):
+            codes[kinds == kind] = code
+        return SpecArrays(
+            rows=rows, cols=cols, kind_codes=codes, values=values, bits=bits
+        )
+
+    def _draw_spec_batch(self, total: int) -> list[FaultSpec]:
+        """``total`` random original-path specs from whole-batch RNG calls."""
+        return assemble_specs(self._draw_spec_arrays(total))
 
     @staticmethod
     def _normalize_trials(
@@ -479,6 +625,23 @@ class FaultCampaign:
         so a detection there is a *benign alarm*, not coverage of a
         significant fault.
         """
+        return self._records_from_columns(
+            trials, *self._classify_batch(trials, outcomes, sites)
+        )
+
+    def _classify_batch(
+        self,
+        trials: Sequence[tuple[FaultSpec, ...]],
+        outcomes: Sequence,
+        sites=None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Verdict columns ``(deltas, detected, significant, benign)``.
+
+        The vectorized half of record assembly — everything except the
+        :class:`TrialRecord` object construction, which shard workers
+        leave to the parent: four compact arrays cross a process
+        boundary far cheaper than pickled record objects.
+        """
         n = len(trials)
         clean = self._prepared.c_clean
         if sites is None:
@@ -503,28 +666,44 @@ class FaultCampaign:
             deltas[touched] = site_deltas[rep]
             threshold = self.significance_factor * self._tolerance_scale
             significant[touched] = keys[rep] > threshold
-        records: list[TrialRecord] = []
-        for i in range(n):
-            detected = bool(outcomes[i].detected)
-            # Attribution must be unambiguous: only trials whose every
-            # fault hit the checksum path can blame the alarm on it
-            # (such trials have no output corruption, hence are never
-            # significant either).
-            benign = (
-                detected
+        detected = np.fromiter(
+            (bool(o.detected) for o in outcomes), dtype=bool, count=n
+        )
+        # Attribution must be unambiguous: only trials whose every
+        # fault hit the checksum path can blame the alarm on it (such
+        # trials have no output corruption, hence are never significant
+        # either).
+        benign = np.fromiter(
+            (
+                bool(detected[i])
                 and bool(trials[i])
                 and all(f.path is FaultPath.CHECKSUM for f in trials[i])
+                for i in range(n)
+            ),
+            dtype=bool,
+            count=n,
+        )
+        return deltas, detected, significant, benign
+
+    @staticmethod
+    def _records_from_columns(
+        trials: Sequence[tuple[FaultSpec, ...]],
+        deltas: np.ndarray,
+        detected: np.ndarray,
+        significant: np.ndarray,
+        benign: np.ndarray,
+    ) -> list[TrialRecord]:
+        """Render verdict columns into :class:`TrialRecord` objects."""
+        return [
+            TrialRecord(
+                faults=tuple(trials[i]),
+                delta=float(deltas[i]),
+                detected=bool(detected[i]),
+                significant=bool(significant[i]),
+                benign_alarm=bool(benign[i]),
             )
-            records.append(
-                TrialRecord(
-                    faults=tuple(trials[i]),
-                    delta=float(deltas[i]),
-                    detected=detected,
-                    significant=bool(significant[i]),
-                    benign_alarm=benign,
-                )
-            )
-        return records
+            for i in range(len(trials))
+        ]
 
     def _run_specs(
         self,
@@ -543,7 +722,23 @@ class FaultCampaign:
         fused it with drawing (:meth:`run_batch`); otherwise the sparse
         path derives it per chunk from the specs.
         """
-        records: list[TrialRecord] = []
+        return self._records_from_columns(
+            trials, *self._run_specs_columns(trials, sites_fn)
+        )
+
+    def _run_specs_columns(
+        self,
+        trials: Sequence[tuple[FaultSpec, ...]],
+        sites_fn=None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The chunked execution loop, returning verdict columns.
+
+        Same contract as :meth:`_run_specs` minus the final record
+        rendering: the per-chunk ``(deltas, detected, significant,
+        benign)`` columns are concatenated across chunks.  Shard
+        workers call this directly and ship the columns home.
+        """
+        columns: list[tuple[np.ndarray, ...]] = []
         scratch = None
         if not self._use_sparse:
             size = min(self.batch_size, len(trials))
@@ -568,8 +763,19 @@ class FaultCampaign:
                 sparse=self._use_sparse,
                 sites=sites,
             )
-            records.extend(self._records_batch(chunk, outcomes, sites))
-        return records
+            columns.append(self._classify_batch(chunk, outcomes, sites))
+        if not columns:
+            return (
+                np.empty(0),
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=bool),
+            )
+        if len(columns) == 1:
+            return columns[0]
+        return tuple(
+            np.concatenate([chunk[k] for chunk in columns]) for k in range(4)
+        )
 
     def run(
         self,
@@ -577,6 +783,7 @@ class FaultCampaign:
         specs: Sequence["TrialFaults"] | None = None,
         *,
         faults_per_trial: int | None = None,
+        workers: int | None = None,
     ) -> CampaignResult:
         """Run ``n_trials`` random trials, or the provided fault sets.
 
@@ -593,6 +800,24 @@ class FaultCampaign:
 
         All trials execute through the batched injection engine
         (bit-identical to per-trial :meth:`run_trial` calls).
+        ``workers`` overrides the campaign's default worker count for
+        this run (see the constructor); any sharded execution returns
+        the exact record sequence the in-process path produces.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.abft import GlobalABFT
+        >>> from repro.faults import FaultCampaign
+        >>> rng = np.random.default_rng(0)
+        >>> a = rng.standard_normal((48, 32)).astype(np.float16)
+        >>> b = rng.standard_normal((32, 40)).astype(np.float16)
+        >>> campaign = FaultCampaign(GlobalABFT(), a, b, seed=7)
+        >>> result = campaign.run(64)
+        >>> result.n_trials
+        64
+        >>> 0.0 <= result.coverage <= 1.0
+        True
         """
         if n_trials < 0:
             raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
@@ -619,7 +844,15 @@ class FaultCampaign:
                 for _ in range(n_trials)
             ]
         result = CampaignResult(scheme=self.scheme.name)
-        result.trials.extend(self._run_specs(trials))
+        n_workers = self._resolve_workers(workers, len(trials))
+        if n_workers > 1:
+            from .parallel import run_campaign_sharded
+
+            result.trials.extend(
+                run_campaign_sharded(self, trials=trials, workers=n_workers)
+            )
+        else:
+            result.trials.extend(self._run_specs(trials))
         return result
 
     def _fused_sites_fn(self, trials: Sequence[tuple[FaultSpec, ...]]):
@@ -663,7 +896,11 @@ class FaultCampaign:
         return build
 
     def run_batch(
-        self, n_trials: int, *, faults_per_trial: int = 1
+        self,
+        n_trials: int,
+        *,
+        faults_per_trial: int = 1,
+        workers: int | None = None,
     ) -> CampaignResult:
         """Run ``n_trials`` random trials with all specs drawn up front.
 
@@ -677,7 +914,50 @@ class FaultCampaign:
         ``run(n_trials, specs=draw_faults(...))``.
         ``faults_per_trial`` sets every trial's simultaneous fault
         count (see :meth:`draw_faults`).
+
+        With ``workers=N > 1`` (or a campaign-level default) the drawn
+        trial stream is sharded across a process pool sharing this
+        campaign's prepared state through shared memory; the parent
+        draws all randomness up front exactly as in-process, so for a
+        fixed seed the merged result is record-for-record identical at
+        any worker count.  A worker failure raises
+        :class:`~repro.errors.CampaignError`.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.abft import GlobalABFT
+        >>> from repro.faults import FaultCampaign
+        >>> rng = np.random.default_rng(0)
+        >>> a = rng.standard_normal((48, 32)).astype(np.float16)
+        >>> b = rng.standard_normal((32, 40)).astype(np.float16)
+        >>> campaign = FaultCampaign(GlobalABFT(), a, b, seed=7)
+        >>> result = campaign.run_batch(128, faults_per_trial=2)
+        >>> result.n_trials, result.trials[0].n_faults
+        (128, 2)
+        >>> sorted(result.coverage_by_fault_count()) == [2]
+        True
         """
+        n_workers = self._resolve_workers(workers, n_trials)
+        if n_workers > 1:
+            if faults_per_trial < 1:
+                raise FaultInjectionError(
+                    f"faults_per_trial must be >= 1, got {faults_per_trial}"
+                )
+            from .parallel import run_campaign_sharded
+
+            arrays = self._draw_spec_arrays(n_trials * faults_per_trial)
+            result = CampaignResult(scheme=self.scheme.name)
+            result.trials.extend(
+                run_campaign_sharded(
+                    self,
+                    arrays=arrays,
+                    n_trials=n_trials,
+                    faults_per_trial=faults_per_trial,
+                    workers=n_workers,
+                )
+            )
+            return result
         drawn = self.draw_faults(n_trials, faults_per_trial=faults_per_trial)
         trials = self._normalize_trials(drawn)
         result = CampaignResult(scheme=self.scheme.name)

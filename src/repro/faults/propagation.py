@@ -211,6 +211,26 @@ class PropagationCampaign:
         the clean pass by replaying it (the layer-boundary bit-identity
         check always runs).  On by default; large throughput sweeps may
         disable the replay half.
+    workers:
+        Default worker-process count for :meth:`run`/:meth:`run_batch`
+        (both also take a per-call override).  ``None`` or ``1`` runs
+        in-process; ``N > 1`` shards each run's trials across a process
+        pool sharing the campaign's prepared state, clean baselines,
+        and downstream replay ops via shared memory
+        (:mod:`repro.faults.parallel`), record-for-record identical to
+        the in-process result for a fixed seed.
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> from repro.nn import build_runnable, runnable_input_shape
+    >>> session = repro.deploy(
+    ...     "mlp_bottom", "T4", batch=4,
+    ...     runnable=build_runnable("mlp_bottom", batch=4, seed=0))
+    >>> x = np.ones(runnable_input_shape("mlp_bottom", batch=4), np.float16)
+    >>> result = session.propagation_campaign("fc1", x=x, seed=3).run_batch(6)
+    >>> len(result.records)
+    6
     """
 
     def __init__(
@@ -225,6 +245,7 @@ class PropagationCampaign:
         output_atol: float = 1e-3,
         batch_size: int | None = None,
         verify_recovery: bool = True,
+        workers: int | None = None,
     ) -> None:
         # Runtime import: repro.nn imports repro.abft imports
         # repro.faults, so this module must not import nn at load time.
@@ -237,12 +258,20 @@ class PropagationCampaign:
                 "PreparedCache: the downstream replay draws every "
                 "layer's clean prepared state from it"
             )
+        if workers is not None and workers < 1:
+            raise FaultInjectionError(
+                f"workers must be >= 1, got {workers}"
+            )
         self.engine = engine
         self.layer = layer
         self.recovery = recovery
         self.output_rtol = float(output_rtol)
         self.output_atol = float(output_atol)
         self.verify_recovery = verify_recovery
+        self.workers = workers
+        # Shard workers rebuild the campaign without the engine; keep
+        # everything the trial loop touches on the campaign itself.
+        self._detection = engine.detection
         self._to_fp16 = Scheme._to_fp16
 
         # One clean traced pass pins the baseline: per-layer operands,
@@ -261,6 +290,7 @@ class PropagationCampaign:
                 f"{layer!r}; linear layers are {names}"
             )
         self._step: "TraceStep" = trace.step(layer)
+        self._step_dims = self._step.dims
 
         # The struck layer rides a full GEMM campaign (shared cache →
         # shared prepared state with the traced pass) for fault drawing,
@@ -298,6 +328,67 @@ class PropagationCampaign:
                 self._downstream.append((op, None))
 
     # ------------------------------------------------------------------
+    def _shard_state(self) -> dict:
+        """Everything a shard worker needs, free of engine/trace handles.
+
+        The heavyweight entries (the struck layer's prepared execution,
+        clean baselines, downstream ops with their prepared weights)
+        are ndarray-bearing object graphs that
+        :func:`repro.faults.parallel.export_payload` parks in shared
+        memory — a worker attaches zero-copy views, never re-preparing
+        or re-tracing anything.
+        """
+        return {
+            "layer": self.layer,
+            "recovery": self.recovery,
+            "output_rtol": self.output_rtol,
+            "output_atol": self.output_atol,
+            "verify_recovery": self.verify_recovery,
+            "detection": self._detection,
+            "prepared": self._prepared,
+            "clean_c16": self._clean_c16,
+            "clean_output": self._clean_output,
+            "clean_top1": self._clean_top1,
+            "struck_op": self._struck_op,
+            "downstream": self._downstream,
+            "step_dims": self._step_dims,
+            "batch_size": self._gemm.batch_size,
+        }
+
+    @classmethod
+    def _from_state(cls, state: dict) -> "PropagationCampaign":
+        """Rebuild a replay-capable campaign from :meth:`_shard_state`.
+
+        The shard-worker constructor: no engine, no trace, no GEMM
+        campaign — just the attributes :meth:`_run_chunk`,
+        :meth:`_replay`, and the recovery checks touch.  Workers never
+        draw randomness or aggregate results; the parent owns both.
+        """
+        from ..abft.base import Scheme
+
+        self = object.__new__(cls)
+        self.engine = None
+        self.trace = None
+        self._gemm = None
+        self._step = None
+        self.workers = None
+        self.layer = state["layer"]
+        self.recovery = state["recovery"]
+        self.output_rtol = state["output_rtol"]
+        self.output_atol = state["output_atol"]
+        self.verify_recovery = state["verify_recovery"]
+        self._detection = state["detection"]
+        self._to_fp16 = Scheme._to_fp16
+        self._prepared = state["prepared"]
+        self._clean_c16 = state["clean_c16"]
+        self._clean_output = state["clean_output"]
+        self._clean_top1 = state["clean_top1"]
+        self._struck_op = state["struck_op"]
+        self._downstream = state["downstream"]
+        self._step_dims = state["step_dims"]
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def downstream_ops(self) -> list[str]:
         """Names of the ops corruption propagates through, in order."""
@@ -326,10 +417,9 @@ class PropagationCampaign:
         """
         from ..nn.inference import Conv2d
 
-        step = self._step
         activation = (
-            self._struck_op.reshape_output(c16, step.dims)
-            if step.dims is not None
+            self._struck_op.reshape_output(c16, self._step_dims)
+            if self._step_dims is not None
             else c16
         )
         for op, prepared in self._downstream:
@@ -364,13 +454,17 @@ class PropagationCampaign:
 
     # ------------------------------------------------------------------
     def run_batch(
-        self, n_trials: int, *, faults_per_trial: int = 1
+        self,
+        n_trials: int,
+        *,
+        faults_per_trial: int = 1,
+        workers: int | None = None,
     ) -> PropagationResult:
         """``n_trials`` random trials, all faults drawn up front."""
         drawn = self._gemm.draw_faults(
             n_trials, faults_per_trial=faults_per_trial
         )
-        return self.run(n_trials, specs=drawn)
+        return self.run(n_trials, specs=drawn, workers=workers)
 
     def run(
         self,
@@ -378,6 +472,7 @@ class PropagationCampaign:
         specs: Sequence["FaultSpec | Sequence[FaultSpec]"] | None = None,
         *,
         faults_per_trial: int | None = None,
+        workers: int | None = None,
     ) -> PropagationResult:
         """Run ``n_trials`` random trials, or the provided fault sets.
 
@@ -386,6 +481,14 @@ class PropagationCampaign:
         must be 0 or ``len(specs)``, ``faults_per_trial`` unset);
         otherwise each trial draws ``faults_per_trial`` random
         original-path faults from the campaign's seeded stream.
+
+        ``workers`` overrides the campaign's default worker count for
+        this run: with ``N > 1`` the trials shard across a process pool
+        (:mod:`repro.faults.parallel`) sharing the campaign's prepared
+        and replay state via shared memory.  Per-trial records are
+        independent of shard boundaries, so the merged result is
+        record-for-record identical to in-process execution; a worker
+        failure raises :class:`~repro.errors.CampaignError`.
         """
         if n_trials < 0:
             raise FaultInjectionError(f"n_trials must be >= 0, got {n_trials}")
@@ -415,6 +518,16 @@ class PropagationCampaign:
             layer=self.layer,
             scheme=self._gemm.scheme.name,
         )
+        n_workers = self._gemm._resolve_workers(
+            workers if workers is not None else self.workers, len(trials)
+        )
+        if n_workers > 1:
+            from .parallel import run_propagation_sharded
+
+            result.records.extend(
+                run_propagation_sharded(self, trials, workers=n_workers)
+            )
+            return result
         batch = self._gemm.batch_size
         for start in range(0, len(trials), batch):
             chunk = trials[start:start + batch]
@@ -428,7 +541,7 @@ class PropagationCampaign:
         prepared = self._prepared
         sites = faulted_site_values(prepared.c_clean, chunk)
         outcomes = prepared.inject_batch(
-            chunk, detection=self.engine.detection, sites=sites,
+            chunk, detection=self._detection, sites=sites,
         )
 
         # Quantization-masked fast path: a site only affects the model
@@ -475,7 +588,7 @@ class PropagationCampaign:
                 )
             attempt = attempt_recovery(
                 lambda specs: prepared.inject(
-                    specs, detection=self.engine.detection
+                    specs, detection=self._detection
                 ),
                 outcomes[i],
                 faults,

@@ -59,6 +59,17 @@ class RecoveryPolicy:
         ``"flag-and-propagate"`` (default) marks the layer outcome
         degraded and lets the (possibly corrupted) output flow
         downstream — the caller sees the flag and decides.
+
+    Examples
+    --------
+    >>> RecoveryPolicy().fault_model
+    'transient'
+    >>> RecoveryPolicy(fault_model="sticky").sticky
+    True
+    >>> RecoveryPolicy(max_retries=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: max_retries must be >= 1, got 0
     """
 
     max_retries: int = 2

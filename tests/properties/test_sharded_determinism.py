@@ -1,0 +1,75 @@
+"""Property: sharded campaigns are record-identical at any worker count.
+
+The sharded engine's determinism contract (DESIGN.md §4): for a fixed
+campaign seed, ``run_batch(n, workers=N)`` must produce exactly the
+record sequence of the in-process run — same fault draws, same deltas,
+same verdicts, same order — for *any* worker count, fault multiplicity,
+and trial count.  The parent draws the whole spec stream exactly as the
+in-process path does and shards are contiguous trial ranges, so any
+divergence here means a worker classified differently than the parent
+would have — the one failure mode sharding must never introduce.
+
+Each example forks a real process pool, so the example budget is kept
+deliberately small; the prepared state is shared across examples
+through one cache (preparation is fault-invariant, so this cannot
+couple examples).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.abft import PreparedCache, get_scheme
+from repro.faults import FaultCampaign
+
+_CACHE = PreparedCache()
+_RNG = np.random.default_rng(99)
+_A = (_RNG.standard_normal((48, 32)) * 0.5).astype(np.float16)
+_B = (_RNG.standard_normal((32, 40)) * 0.5).astype(np.float16)
+
+
+def _campaign(scheme_name, seed):
+    return FaultCampaign(
+        get_scheme(scheme_name), _A, _B, seed=seed, cache=_CACHE
+    )
+
+
+def _record_key(record):
+    delta = record.delta
+    return (
+        record.faults,
+        "nan" if np.isnan(delta) else delta,
+        record.detected,
+        record.significant,
+        record.benign_alarm,
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheme_name=st.sampled_from(["global", "thread_twosided"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_trials=st.integers(min_value=1, max_value=60),
+    workers=st.integers(min_value=2, max_value=6),
+    faults_per_trial=st.integers(min_value=1, max_value=3),
+)
+def test_sharded_records_identical_to_in_process(
+    scheme_name, seed, n_trials, workers, faults_per_trial
+):
+    in_process = _campaign(scheme_name, seed).run_batch(
+        n_trials, faults_per_trial=faults_per_trial
+    )
+    sharded = _campaign(scheme_name, seed).run_batch(
+        n_trials, faults_per_trial=faults_per_trial, workers=workers
+    )
+    assert len(sharded.trials) == len(in_process.trials)
+    assert [_record_key(r) for r in sharded.trials] == [
+        _record_key(r) for r in in_process.trials
+    ]
+    assert (
+        sharded.coverage_by_fault_count()
+        == in_process.coverage_by_fault_count()
+    )

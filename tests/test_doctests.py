@@ -1,0 +1,48 @@
+"""Every docstring example in the public API must execute.
+
+The README points users at the docstrings of ``repro.deploy``,
+:class:`~repro.api.ProtectedSession`, and the campaign classes; their
+``Examples`` sections are executed here as doctests so a drifting API
+breaks the build instead of the documentation.  Modules listed in
+``EXAMPLED`` are additionally required to *have* at least one example —
+deleting the docs is as much a failure as breaking them.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.api
+import repro.api.session
+import repro.faults.campaign
+import repro.faults.propagation
+import repro.faults.recovery
+import repro.utils.tables
+
+#: Modules whose docstring examples are part of the public contract.
+EXAMPLED = [
+    repro.api.session,
+    repro.faults.campaign,
+    repro.faults.propagation,
+    repro.faults.recovery,
+]
+
+#: Modules checked only if they carry examples.
+COLLECTED = EXAMPLED + [repro, repro.api, repro.utils.tables]
+
+
+@pytest.mark.parametrize("module", COLLECTED, ids=lambda m: m.__name__)
+def test_module_doctests_pass(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, (
+        f"{result.failed} doctest(s) failed in {module.__name__}"
+    )
+
+
+@pytest.mark.parametrize("module", EXAMPLED, ids=lambda m: m.__name__)
+def test_public_api_module_has_examples(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, (
+        f"{module.__name__} lost its runnable docstring examples"
+    )
