@@ -1,7 +1,7 @@
 """Benchmark-harness fixtures.
 
 Every benchmark regenerates one of the paper's tables or figures (see
-DESIGN.md §7 for the index) and prints the same rows/series the paper
+DESIGN.md §8 for the index) and prints the same rows/series the paper
 reports.  Rendered tables are also written to ``benchmarks/results/``
 so they can be inspected after a captured pytest run.
 """

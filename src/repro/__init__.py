@@ -22,6 +22,7 @@ from .errors import (
     FaultInjectionError,
     ModelZooError,
     OccupancyError,
+    PlanError,
     ProfilingError,
     RecoveryError,
     ReproError,
@@ -48,6 +49,7 @@ from .abft import (
     scheme_token,
 )
 from .faults import (
+    CampaignOptions,
     FaultCampaign,
     FaultKind,
     FaultPath,
@@ -78,7 +80,17 @@ from .api import (
     as_policy,
     deploy,
 )
-from . import api
+from .fleet import (
+    FleetDeployment,
+    PlanDiff,
+    PlanRegistry,
+    ServingReport,
+    SessionServer,
+    deploy_fleet,
+    plan_diff,
+    serve_session,
+)
+from . import api, fleet
 
 __version__ = "1.1.0"
 
@@ -100,6 +112,7 @@ __all__ = [
     "DetectionError",
     "ProfilingError",
     "ModelZooError",
+    "PlanError",
     "RecoveryError",
     # gpu
     "GPUSpec",
@@ -130,6 +143,7 @@ __all__ = [
     "FaultSpec",
     "FaultKind",
     "FaultPath",
+    "CampaignOptions",
     "FaultCampaign",
     "PropagationCampaign",
     "PropagationOutcome",
@@ -164,4 +178,14 @@ __all__ = [
     "LayerPlan",
     "ProtectedSession",
     "deploy",
+    # fleet
+    "fleet",
+    "FleetDeployment",
+    "PlanDiff",
+    "PlanRegistry",
+    "ServingReport",
+    "SessionServer",
+    "deploy_fleet",
+    "plan_diff",
+    "serve_session",
 ]

@@ -307,6 +307,7 @@ class PreparedExecution:
         "state",
         "_clean_reductions",
         "_clean_comparisons",
+        "_lazy_lock",
     )
 
     def __init__(
@@ -330,6 +331,25 @@ class PreparedExecution:
         self.state = state
         self._clean_reductions: Any = None
         self._clean_comparisons: dict[DetectionConstants, Any] = {}
+        # Prepared state is shared across campaigns and threads (via
+        # PreparedCache); the lazily built sparse-path state below must
+        # build exactly once even under racing readers.  Reentrant:
+        # building the comparison state reads clean_reductions through
+        # the scheme hook while the lock is held.
+        self._lazy_lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        """Slot state minus the (unpicklable) lock, for shard export."""
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_lazy_lock"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._lazy_lock = threading.RLock()
 
     @property
     def clean_reductions(self) -> Any:
@@ -339,9 +359,14 @@ class PreparedExecution:
         *clean* accumulator), built by the scheme's
         :meth:`Scheme._clean_output_reductions` hook on first sparse
         batch and cached for the lifetime of the prepared state.
+        Thread-safe: racing readers build it exactly once.
         """
         if self._clean_reductions is None:
-            self._clean_reductions = self.scheme._clean_output_reductions(self)
+            with self._lazy_lock:
+                if self._clean_reductions is None:
+                    self._clean_reductions = (
+                        self.scheme._clean_output_reductions(self)
+                    )
         return self._clean_reductions
 
     def clean_comparison(self, detection: DetectionConstants):
@@ -350,18 +375,22 @@ class PreparedExecution:
         The scheme's clean checksum-vs-output comparison
         (:class:`repro.abft.detection.CleanComparison`), built once per
         detection-constants value and cached — the other half of what
-        sparse batches splice against.
+        sparse batches splice against.  Thread-safe: racing readers
+        build each per-constants entry exactly once.
         """
         cached = self._clean_comparisons.get(detection)
         if cached is None:
-            lhs, rhs, n_terms, magnitudes = (
-                self.scheme._clean_comparison_inputs(self)
-            )
-            cached = prepare_clean_comparison(
-                lhs, rhs, n_terms=n_terms, magnitudes=magnitudes,
-                constants=detection,
-            )
-            self._clean_comparisons[detection] = cached
+            with self._lazy_lock:
+                cached = self._clean_comparisons.get(detection)
+                if cached is None:
+                    lhs, rhs, n_terms, magnitudes = (
+                        self.scheme._clean_comparison_inputs(self)
+                    )
+                    cached = prepare_clean_comparison(
+                        lhs, rhs, n_terms=n_terms, magnitudes=magnitudes,
+                        constants=detection,
+                    )
+                    self._clean_comparisons[detection] = cached
         return cached
 
     def inject(
@@ -492,6 +521,20 @@ class PreparedCache:
         padded operands plus the clean accumulator).  ``None`` —
         the default — keeps every entry, which is right for sweeps
         over a handful of problems.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.abft import GlobalABFT, PreparedCache
+    >>> rng = np.random.default_rng(0)
+    >>> a = rng.standard_normal((32, 16)).astype(np.float16)
+    >>> b = rng.standard_normal((16, 8)).astype(np.float16)
+    >>> cache = PreparedCache()
+    >>> first = cache.get(GlobalABFT(), a, b)
+    >>> cache.get(GlobalABFT(), a, b) is first  # same content: one entry
+    True
+    >>> len(cache)
+    1
     """
 
     def __init__(self, maxsize: int | None = None) -> None:

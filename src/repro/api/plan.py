@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from ..abft import Scheme, scheme_from_token
 from ..core.overhead import overhead_percent
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, PlanError
 from ..gemm.problem import GemmProblem
 from ..utils import Table
 
@@ -30,6 +30,41 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Schema tag written into every serialized plan.
 PLAN_SCHEMA = "repro.deployment-plan/v1"
+
+#: Explicit schema version written into every serialized plan.  Version
+#: 1 is the historical pair of accepted-silently shapes (``to_dict``
+#: output without a version field, and the ``repro select --json``
+#: export); version 2 is identical except that it *declares* itself.
+#: Payloads without the field default-migrate to version 1.
+PLAN_SCHEMA_VERSION = 2
+
+#: Versions :meth:`DeploymentPlan.from_dict` knows how to read.
+_KNOWN_SCHEMA_VERSIONS = frozenset({1, PLAN_SCHEMA_VERSION})
+
+
+def _check_schema_version(data: Mapping[str, Any]) -> int:
+    """Resolve a payload's declared schema version, or raise cleanly.
+
+    Missing field → version 1 (the historical schemas, which never
+    declared themselves).  Declared-but-unknown → :class:`PlanError`,
+    so a plan written by a newer build fails with a version message
+    rather than a misleading missing-field error.
+    """
+    try:
+        version = data.get("schema_version", 1)
+    except AttributeError:
+        raise ConfigurationError(
+            f"not a deployment plan: expected a JSON object, "
+            f"got {type(data).__name__}"
+        ) from None
+    if not isinstance(version, int) or version not in _KNOWN_SCHEMA_VERSIONS:
+        known = sorted(_KNOWN_SCHEMA_VERSIONS)
+        raise PlanError(
+            f"deployment plan declares schema_version {version!r}, but "
+            f"this build only reads versions {known}; re-export the plan "
+            f"or upgrade repro"
+        )
+    return version
 
 
 @dataclass(frozen=True)
@@ -241,6 +276,7 @@ class DeploymentPlan:
         """Stable dictionary schema of the plan."""
         return {
             "schema": PLAN_SCHEMA,
+            "schema_version": PLAN_SCHEMA_VERSION,
             "model": self.model,
             "device": self.device,
             "batch": self.batch,
@@ -273,7 +309,14 @@ class DeploymentPlan:
         (:func:`~repro.utils.serde.model_selection_to_dict`, whose
         layers carry ``chosen`` instead of ``scheme``), so the CLI's
         analytic export is directly loadable as deployment input.
+
+        Payloads declare themselves via ``schema_version``; historical
+        payloads without the field default-migrate to version 1 (the
+        same two accepted shapes).  A payload declaring a version this
+        build does not know raises :class:`~repro.errors.PlanError`
+        instead of being half-parsed.
         """
+        _check_schema_version(data)
         try:
             model = data["model"]
             device = data["device"]

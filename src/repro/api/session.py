@@ -30,6 +30,7 @@ policy → session.
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -39,6 +40,12 @@ from ..config import DEFAULT_DETECTION, DetectionConstants
 from ..errors import ConfigurationError
 from ..faults.campaign import FaultCampaign
 from ..faults.model import FaultSpec
+from ..faults.options import (
+    _UNSET,
+    CampaignOptions,
+    resolve_deprecated,
+    resolve_option,
+)
 from ..faults.propagation import PropagationCampaign
 from ..faults.recovery import RecoveryPolicy, attempt_recovery
 from ..gemm.tiles import TileConfig
@@ -120,6 +127,10 @@ class ProtectedSession:
                 detection=detection,
             )
         self._synthesized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # Guards the synthesized-operand memo: concurrent campaigns and
+        # layer-GEMM passes may race to realize one layer, and each
+        # must observe the same (deterministically seeded) arrays.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -156,8 +167,11 @@ class ProtectedSession:
         rng = np.random.default_rng([self.seed, index])
         a = (rng.standard_normal((entry.m, entry.k)) * 0.5).astype(np.float16)
         b = (rng.standard_normal((entry.k, entry.n)) * 0.5).astype(np.float16)
-        self._synthesized[layer] = (a, b)
-        return a, b
+        with self._lock:
+            # A racing thread may have synthesized the same arrays
+            # (bit-identical — the rng is seeded per layer); keep the
+            # first so every caller shares one set of buffers.
+            return self._synthesized.setdefault(layer, (a, b))
 
     def layer_operands(
         self, layer: str
@@ -253,12 +267,13 @@ class ProtectedSession:
         self,
         layer: str | None = None,
         *,
-        seed: int = 0,
+        seed: int | None = None,
         significance_factor: float | None = None,
         batch_size: int | None = None,
         sparse: bool | None = None,
-        detection: DetectionConstants | None = None,
-        workers: int | None = None,
+        detection: DetectionConstants | None = _UNSET,
+        workers: int | None = _UNSET,
+        options: CampaignOptions | None = None,
     ) -> FaultCampaign:
         """A prepared :class:`~repro.faults.FaultCampaign` on one layer.
 
@@ -267,9 +282,14 @@ class ProtectedSession:
         (and every other campaign on that layer) the session runs —
         whole-model fault studies pay the expensive half once, total.
         ``layer`` may be omitted for single-layer plans; campaign
-        parameters are forwarded to :class:`~repro.faults.
-        FaultCampaign` (``workers=N`` makes every run of the returned
-        campaign shard across ``N`` worker processes by default).
+        parameters — individually, or bundled in ``options=``
+        (:class:`~repro.faults.CampaignOptions`) — are forwarded to
+        :class:`~repro.faults.FaultCampaign` (``workers=N`` makes every
+        run of the returned campaign shard across ``N`` worker
+        processes by default).  The ``detection=`` / ``workers=``
+        keywords are deprecated aliases for the ``options`` fields (one
+        release, :class:`DeprecationWarning`); the campaign always uses
+        the session's shared cache.
 
         Example
         -------
@@ -282,6 +302,21 @@ class ProtectedSession:
         >>> 0.0 <= result.coverage <= 1.0
         True
         """
+        owner = "ProtectedSession.campaign"
+        detection = resolve_deprecated(options, owner, "detection", detection)
+        workers = resolve_deprecated(options, owner, "workers", workers)
+        seed = resolve_option(options, owner, "seed", seed)
+        significance_factor = resolve_option(
+            options, owner, "significance_factor", significance_factor
+        )
+        batch_size = resolve_option(options, owner, "batch_size", batch_size)
+        sparse = resolve_option(options, owner, "sparse", sparse)
+        if options is not None and options.cache is not None:
+            if options.cache is not self.cache:
+                raise ConfigurationError(
+                    "session campaigns always use the session's shared "
+                    "cache; options.cache is a different cache"
+                )
         if layer is None:
             if len(self.plan) != 1:
                 raise ConfigurationError(
@@ -293,21 +328,22 @@ class ProtectedSession:
         a, b, tile = self.layer_operands(layer)
         # None means "FaultCampaign's own default" — never restate a
         # default here, or the hand-wired parity contract drifts.
-        extra = {}
-        if significance_factor is not None:
-            extra["significance_factor"] = significance_factor
         return FaultCampaign(
             self.scheme_for(layer),
             a,
             b,
             tile=tile,
-            detection=detection if detection is not None else self.detection,
-            seed=seed,
-            batch_size=batch_size,
-            sparse=sparse,
-            cache=self.cache,
-            workers=workers,
-            **extra,
+            options=CampaignOptions(
+                detection=(
+                    detection if detection is not None else self.detection
+                ),
+                seed=seed,
+                significance_factor=significance_factor,
+                batch_size=batch_size,
+                sparse=sparse,
+                cache=self.cache,
+                workers=workers,
+            ),
         )
 
     def propagation_campaign(
@@ -315,13 +351,14 @@ class ProtectedSession:
         layer: str | None = None,
         *,
         x: np.ndarray,
-        seed: int = 0,
+        seed: int | None = None,
         recovery: RecoveryPolicy | None = None,
         output_rtol: float | None = None,
         output_atol: float | None = None,
         batch_size: int | None = None,
         verify_recovery: bool = True,
-        workers: int | None = None,
+        workers: int | None = _UNSET,
+        options: CampaignOptions | None = None,
     ) -> PropagationCampaign:
         """An end-to-end :class:`~repro.faults.PropagationCampaign`.
 
@@ -338,8 +375,15 @@ class ProtectedSession:
         ``layer`` may be omitted for single-layer plans; ``x`` is the
         model input the campaign propagates over; ``workers=N`` makes
         every run of the returned campaign shard across ``N`` worker
-        processes by default (:mod:`repro.faults.parallel`).
+        processes by default (:mod:`repro.faults.parallel`).  Campaign
+        knobs may be bundled in ``options=`` (:class:`~repro.faults.
+        CampaignOptions`); the ``workers=`` keyword is a deprecated
+        alias for its field (one release, :class:`DeprecationWarning`).
         """
+        owner = "ProtectedSession.propagation_campaign"
+        workers = resolve_deprecated(options, owner, "workers", workers)
+        seed = resolve_option(options, owner, "seed", seed)
+        batch_size = resolve_option(options, owner, "batch_size", batch_size)
         if self.engine is None:
             raise ConfigurationError(
                 "propagation campaigns need the numeric realization: "
@@ -364,11 +408,17 @@ class ProtectedSession:
             self.engine,
             layer,
             x,
-            seed=seed,
             recovery=recovery if recovery is not None else self.recovery,
-            batch_size=batch_size,
             verify_recovery=verify_recovery,
-            workers=workers,
+            options=CampaignOptions(
+                seed=seed,
+                batch_size=batch_size,
+                workers=workers,
+                significance_factor=(
+                    options.significance_factor if options else None
+                ),
+                sparse=options.sparse if options else None,
+            ),
             **extra,
         )
 

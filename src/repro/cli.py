@@ -15,6 +15,9 @@ Subcommands mirror the deployment workflow:
   layer of a *runnable* zoo model, carry corruption to the output, and
   cross-tabulate ABFT verdicts against output corruption, with
   detection-triggered recovery.
+* ``fleet deploy|list|diff`` — fleet-scale deployment: sweep models ×
+  devices into a persisted plan registry, list its contents, and diff
+  plans (scheme and overhead deltas) across devices or versions.
 * ``sweep`` — the Fig. 12 square-GEMM sweep on a device.
 * ``experiments [NAME...]`` — regenerate paper artifacts.
 """
@@ -34,6 +37,7 @@ from .api import (
 )
 from .core import layer_selection_table
 from .errors import ConfigurationError, ReproError
+from .faults.options import CampaignOptions
 from .gpu import get_gpu, list_gpus
 from .nn import build_model, list_models
 from .roofline import layer_intensities
@@ -178,7 +182,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         plan = _build_plan(args)
     session = ProtectedSession(plan, seed=args.seed)
     layer = args.layer if args.layer is not None else plan.layer_names[0]
-    campaign = session.campaign(layer, seed=args.seed, workers=args.workers)
+    campaign = session.campaign(
+        layer, options=CampaignOptions(seed=args.seed, workers=args.workers)
+    )
     result = campaign.run_batch(
         args.trials, faults_per_trial=args.faults_per_trial
     )
@@ -268,7 +274,9 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
     ).astype(np.float16)
     layer = args.layer if args.layer is not None else plan.layer_names[0]
     campaign = session.propagation_campaign(
-        layer, x=x, seed=args.seed, workers=args.workers
+        layer,
+        x=x,
+        options=CampaignOptions(seed=args.seed, workers=args.workers),
     )
     result = campaign.run_batch(
         args.trials, faults_per_trial=args.faults_per_trial
@@ -292,6 +300,69 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
               f"({result.total_retries} retries, bit-identity verified)")
         print(f"degraded            : {result.n_degraded}")
         print(f"residual SDC        : {result.n_residual_sdc}")
+    return 0
+
+
+def _cmd_fleet_deploy(args: argparse.Namespace) -> int:
+    import os
+
+    from .fleet import PlanRegistry, deploy_fleet
+
+    registry = None
+    if args.registry is not None and os.path.exists(args.registry):
+        registry = PlanRegistry.load(args.registry)
+    fleet = deploy_fleet(
+        args.models,
+        args.devices,
+        policy=args.policy or "guided",
+        registry=registry,
+        batch=args.batch,
+        h=args.height if args.height is not None else 1080,
+        w=args.width if args.width is not None else 1920,
+    )
+    print(fleet.summary().render())
+    if args.registry is not None:
+        fleet.registry.save(args.registry)
+        print(f"\nregistry: {len(fleet.registry)} plan version(s) "
+              f"across {len(fleet.registry.keys())} slot(s) "
+              f"-> {args.registry}")
+    return 0
+
+
+def _cmd_fleet_list(args: argparse.Namespace) -> int:
+    from .fleet import PlanRegistry
+
+    registry = PlanRegistry.load(args.registry)
+    table = Table(
+        ["model", "device", "policy", "versions", "layers", "overhead (%)"],
+        title=f"plan registry {args.registry}",
+    )
+    for key in registry.keys():
+        plan = registry.get(key.model, key.device, key.policy)
+        table.add_row([
+            key.model,
+            key.device,
+            key.policy,
+            registry.versions(key.model, key.device, key.policy),
+            len(plan),
+            plan.guided_overhead_percent if plan.has_predictions else "-",
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_fleet_diff(args: argparse.Namespace) -> int:
+    from .fleet import PlanRegistry, plan_diff
+
+    registry = PlanRegistry.load(args.registry)
+    old = registry.get(
+        args.model, args.device_a, args.policy, version=args.version_a
+    )
+    new = registry.get(
+        args.model, args.device_b, args.policy, version=args.version_b
+    )
+    diff = plan_diff(old, new)
+    print(diff.render())
     return 0
 
 
@@ -425,6 +496,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sdc.add_argument("--no-recovery", action="store_true",
                        help="disable detection-triggered recovery")
     p_sdc.set_defaults(fn=_cmd_sdc)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet-scale deployment: registry, sweep, diff"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_fdep = fleet_sub.add_parser(
+        "deploy",
+        help="deploy every model on every device, amortized per device "
+             "family, recording plans in a registry",
+    )
+    p_fdep.add_argument("--models", nargs="+", required=True,
+                        choices=list_models(), metavar="MODEL",
+                        help="model-zoo names to deploy")
+    p_fdep.add_argument("--devices", nargs="+", required=True,
+                        choices=list_gpus(), metavar="DEVICE",
+                        help="target devices")
+    p_fdep.add_argument("--policy", default=None,
+                        help="'guided' (default), 'fixed:TOKEN', or a bare "
+                             "scheme token")
+    p_fdep.add_argument("--batch", type=int, default=None,
+                        help="batch size (model-specific default)")
+    p_fdep.add_argument("--height", type=int, default=None,
+                        help="input height (default 1080)")
+    p_fdep.add_argument("--width", type=int, default=None,
+                        help="input width (default 1920)")
+    p_fdep.add_argument("--registry", default=None, metavar="FILE",
+                        help="plan-registry JSON to merge into and save "
+                             "(created if absent; identical re-deploys do "
+                             "not add versions)")
+    p_fdep.set_defaults(fn=_cmd_fleet_deploy)
+
+    p_flist = fleet_sub.add_parser(
+        "list", help="list a plan registry's slots and versions"
+    )
+    p_flist.add_argument("--registry", required=True, metavar="FILE")
+    p_flist.set_defaults(fn=_cmd_fleet_list)
+
+    p_fdiff = fleet_sub.add_parser(
+        "diff",
+        help="diff two registered plans for one model (across devices "
+             "or versions): scheme and overhead deltas",
+    )
+    p_fdiff.add_argument("model", help="model whose plans to compare")
+    p_fdiff.add_argument("device_a", help="device of the old plan")
+    p_fdiff.add_argument("device_b", help="device of the new plan")
+    p_fdiff.add_argument("--registry", required=True, metavar="FILE")
+    p_fdiff.add_argument("--policy", default=None,
+                         help="disambiguate when a (model, device) slot is "
+                              "registered under several policies")
+    p_fdiff.add_argument("--version-a", type=int, default=None,
+                         help="old plan version (default: latest)")
+    p_fdiff.add_argument("--version-b", type=int, default=None,
+                         help="new plan version (default: latest)")
+    p_fdiff.set_defaults(fn=_cmd_fleet_diff)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 square-GEMM sweep")
     p_sweep.add_argument("--device", default="T4", choices=list_gpus())

@@ -6,7 +6,7 @@ Intensity-guided ABFT rides that workflow: the enumeration additionally
 spans ABFT schemes, and the per-layer winner is whichever (tile, scheme)
 pair has the lowest execution time.
 
-Here the stopwatch is the analytic latency model (DESIGN.md §5's
+Here the stopwatch is the analytic latency model (DESIGN.md §6's
 documented substitution); the workflow — including the baseline's
 freedom to pick a *different* tile than the protected kernels — is
 preserved.

@@ -16,6 +16,16 @@ class ConfigurationError(ReproError):
     """An invalid model constant, device spec, or tile configuration."""
 
 
+class PlanError(ConfigurationError):
+    """A serialized deployment plan declares a schema this build can't read.
+
+    Raised by :meth:`repro.api.DeploymentPlan.from_dict` when a payload
+    carries an unknown ``schema_version``.  Subclasses
+    :class:`ConfigurationError` so existing plan-loading error handling
+    keeps working unchanged.
+    """
+
+
 class ShapeError(ReproError):
     """A matrix/tensor shape is inconsistent with the requested operation."""
 

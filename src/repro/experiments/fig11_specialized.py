@@ -2,7 +2,7 @@
 
 Paper: reductions of 1.6-5.3x; Coral's global-ABFT overhead drops from
 17% to 4.6%.  The architectures themselves are synthesized to the
-paper's envelope (see DESIGN.md §5 and ``repro.nn.models.noscope``).
+paper's envelope (see DESIGN.md §6 and ``repro.nn.models.noscope``).
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..abft import PreparedCache, scheme_from_token
 from ..errors import ReproError
-from ..faults import FaultCampaign
+from ..faults import CampaignOptions, FaultCampaign
 from ..gemm import EXECUTION_STATS
 from ..utils import Table
 
@@ -74,7 +74,9 @@ def multi_fault_coverage_experiment(
     EXECUTION_STATS.reset()
     for label, scheme, r in variants:
         for faults_per_trial in range(1, max_faults + 1):
-            campaign = FaultCampaign(scheme, a, b, seed=seed, cache=cache)
+            campaign = FaultCampaign(
+                scheme, a, b, options=CampaignOptions(seed=seed, cache=cache)
+            )
             result = campaign.run_batch(
                 trials, faults_per_trial=faults_per_trial
             )

@@ -11,6 +11,7 @@ from .bits import flip_fp16_bit, flip_fp32_bit
 from .model import FaultKind, FaultPath, FaultSpec
 from .injector import apply_fault_to_accumulator, corrupted_value
 from .campaign import CampaignResult, FaultCampaign, SpecArrays, TrialRecord
+from .options import CampaignOptions
 from .parallel import (
     run_campaign_sharded,
     run_propagation_sharded,
@@ -32,6 +33,7 @@ __all__ = [
     "FaultSpec",
     "apply_fault_to_accumulator",
     "corrupted_value",
+    "CampaignOptions",
     "CampaignResult",
     "FaultCampaign",
     "SpecArrays",

@@ -36,6 +36,7 @@ auto-tuned from the scheme's check-array footprint unless overridden.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -49,6 +50,7 @@ from ..errors import FaultInjectionError
 from ..gemm.tiles import TileConfig
 from .injector import FaultSites, faulted_site_values, sites_from_flat_specs
 from .model import FaultKind, FaultPath, FaultSpec
+from .options import _UNSET, CampaignOptions, resolve_deprecated, resolve_option
 
 #: One campaign trial's fault set, or a bare spec (normalized to a
 #: 1-tuple) — what ``run``/``run_batch`` accept per trial.
@@ -291,6 +293,12 @@ class FaultCampaign:
         pool sharing this campaign's prepared state via shared memory
         (:mod:`repro.faults.parallel`), record-for-record identical to
         the in-process result for a fixed seed.
+    options:
+        A :class:`~repro.faults.CampaignOptions` carrying any of the
+        knobs above; each may be given either here or as its keyword,
+        not both.  The ``detection=`` / ``cache=`` / ``workers=``
+        keywords are deprecated aliases (one release,
+        :class:`DeprecationWarning`) — new code passes ``options=``.
     """
 
     #: Transient-memory budget the auto-tuned batch size fills.
@@ -305,14 +313,39 @@ class FaultCampaign:
         b: np.ndarray,
         *,
         tile: TileConfig | None = None,
-        detection: DetectionConstants = DEFAULT_DETECTION,
-        significance_factor: float = 4.0,
-        seed: int = 0,
+        detection: DetectionConstants = _UNSET,
+        significance_factor: float | None = None,
+        seed: int | None = None,
         batch_size: int | None = None,
         sparse: bool | None = None,
-        cache: "PreparedCache | None" = None,
-        workers: int | None = None,
+        cache: "PreparedCache | None" = _UNSET,
+        workers: int | None = _UNSET,
+        options: CampaignOptions | None = None,
     ) -> None:
+        # One options object replaces the per-knob keywords; detection/
+        # cache/workers remain as deprecated aliases for one release.
+        detection = resolve_deprecated(
+            options, "FaultCampaign", "detection", detection
+        )
+        cache = resolve_deprecated(options, "FaultCampaign", "cache", cache)
+        workers = resolve_deprecated(
+            options, "FaultCampaign", "workers", workers
+        )
+        significance_factor = resolve_option(
+            options, "FaultCampaign", "significance_factor",
+            significance_factor,
+        )
+        seed = resolve_option(options, "FaultCampaign", "seed", seed)
+        batch_size = resolve_option(
+            options, "FaultCampaign", "batch_size", batch_size
+        )
+        sparse = resolve_option(options, "FaultCampaign", "sparse", sparse)
+        if detection is None:
+            detection = DEFAULT_DETECTION
+        if significance_factor is None:
+            significance_factor = 4.0
+        if seed is None:
+            seed = 0
         if not scheme.protects:
             raise FaultInjectionError(
                 f"scheme {scheme.name!r} performs no checks; a campaign "
@@ -340,7 +373,10 @@ class FaultCampaign:
         self.significance_factor = significance_factor
         self.sparse = sparse
         self.rng = np.random.default_rng(seed)
-        self._scratch: np.ndarray | None = None
+        # Dense-path scratch is reused across runs but never across
+        # threads: concurrent runs of one campaign (session fan-out)
+        # each fill a private buffer.
+        self._tls = threading.local()
 
         # All fault-invariant work happens exactly once — here, or once
         # per sweep inside a shared cache; trials only inject into
@@ -427,7 +463,7 @@ class FaultCampaign:
         self.sparse = use_sparse
         self.workers = None
         self.rng = None
-        self._scratch = None
+        self._tls = threading.local()
         self._prepared = prepared
         self._use_sparse = use_sparse
         self.batch_size = batch_size
@@ -742,11 +778,12 @@ class FaultCampaign:
         scratch = None
         if not self._use_sparse:
             size = min(self.batch_size, len(trials))
-            if size and (self._scratch is None or len(self._scratch) < size):
-                self._scratch = np.empty(
+            scratch = getattr(self._tls, "scratch", None)
+            if size and (scratch is None or len(scratch) < size):
+                scratch = np.empty(
                     (size, *self._prepared.c_clean.shape), dtype=np.float32
                 )
-            scratch = self._scratch
+                self._tls.scratch = scratch
         for start in range(0, len(trials), self.batch_size):
             chunk = list(trials[start:start + self.batch_size])
             sites = None

@@ -52,6 +52,7 @@ from ..errors import ConfigurationError, FaultInjectionError
 from .campaign import FaultCampaign
 from .injector import faulted_site_values
 from .model import FaultSpec
+from .options import _UNSET, CampaignOptions, resolve_deprecated, resolve_option
 from .recovery import RecoveryPolicy, attempt_recovery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
@@ -219,6 +220,14 @@ class PropagationCampaign:
         and downstream replay ops via shared memory
         (:mod:`repro.faults.parallel`), record-for-record identical to
         the in-process result for a fixed seed.
+    options:
+        A :class:`~repro.faults.CampaignOptions`; ``seed`` /
+        ``batch_size`` / ``workers`` apply here (each settable either
+        way, not both), ``significance_factor`` / ``sparse`` forward to
+        the struck layer's GEMM campaign, and ``detection`` / ``cache``
+        must agree with the engine's own (they are engine-derived).
+        The ``workers=`` keyword is a deprecated alias (one release,
+        :class:`DeprecationWarning`).
 
     Examples
     --------
@@ -239,19 +248,46 @@ class PropagationCampaign:
         layer: str,
         x: np.ndarray,
         *,
-        seed: int = 0,
+        seed: int | None = None,
         recovery: RecoveryPolicy | None = None,
         output_rtol: float = 1e-3,
         output_atol: float = 1e-3,
         batch_size: int | None = None,
         verify_recovery: bool = True,
-        workers: int | None = None,
+        workers: int | None = _UNSET,
+        options: CampaignOptions | None = None,
     ) -> None:
         # Runtime import: repro.nn imports repro.abft imports
         # repro.faults, so this module must not import nn at load time.
         from ..abft.base import Scheme
         from ..nn.inference import Conv2d, Linear
 
+        workers = resolve_deprecated(
+            options, "PropagationCampaign", "workers", workers
+        )
+        seed = resolve_option(options, "PropagationCampaign", "seed", seed)
+        batch_size = resolve_option(
+            options, "PropagationCampaign", "batch_size", batch_size
+        )
+        if seed is None:
+            seed = 0
+        if options is not None:
+            # detection and cache are the engine's by construction; an
+            # options object that disagrees is a wiring error, not a
+            # request this campaign can honor.
+            if (
+                options.detection is not None
+                and options.detection != engine.detection
+            ):
+                raise ConfigurationError(
+                    "PropagationCampaign inherits detection constants "
+                    "from its engine; options.detection disagrees"
+                )
+            if options.cache is not None and options.cache is not engine.cache:
+                raise ConfigurationError(
+                    "PropagationCampaign inherits its PreparedCache "
+                    "from its engine; options.cache is a different cache"
+                )
         if engine.cache is None:
             raise ConfigurationError(
                 "PropagationCampaign needs an engine with a shared "
@@ -300,10 +336,16 @@ class PropagationCampaign:
             self._step.a,
             self._step.b,
             tile=self._step.tile,
-            detection=engine.detection,
-            seed=seed,
-            batch_size=batch_size,
-            cache=engine.cache,
+            options=CampaignOptions(
+                detection=engine.detection,
+                seed=seed,
+                batch_size=batch_size,
+                cache=engine.cache,
+                significance_factor=(
+                    options.significance_factor if options else None
+                ),
+                sparse=options.sparse if options else None,
+            ),
         )
         self._prepared = self._gemm.prepared
         self._clean_c16 = self._step.outcome.c  # struck layer's clean FP16

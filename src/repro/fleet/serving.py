@@ -1,0 +1,237 @@
+"""Concurrent serving over a shared protected session.
+
+A deployed :class:`~repro.api.ProtectedSession` is thread-safe: its
+prepared cache, lazy comparison state, synthesized-operand memo, and
+(for numeric sessions) the inference engine's weight cache and operand
+record are all lock-guarded with exactly-once preparation.  This module
+turns that property into a serving layer: :class:`SessionServer` admits
+asyncio request traffic and executes the protected forward passes on a
+thread pool, so N in-flight requests share one session — and therefore
+one copy of every layer's fault-invariant prepared state.
+
+:func:`serve_session` is the synchronous wrapper (benchmarks, examples,
+smoke tests): fire a fixed number of requests at a session under a
+concurrency cap and report throughput and tail latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..api.session import ProtectedSession
+from ..errors import ConfigurationError
+from ..faults.model import FaultSpec
+from ..nn.inference import InferenceResult
+
+
+def _percentile_ms(latencies_s: Sequence[float], q: float) -> float:
+    """The q-th percentile of a latency sample, in milliseconds."""
+    if not latencies_s:
+        raise ConfigurationError("no latencies recorded; serve first")
+    ordered = sorted(latencies_s)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index] * 1e3
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """What one serving run measured.
+
+    Attributes
+    ----------
+    requests:
+        Completed request count.
+    concurrency:
+        Admission cap the run was driven under.
+    total_s:
+        Wall-clock time from first admission to last completion.
+    requests_per_s:
+        ``requests / total_s``.
+    p50_ms, p99_ms:
+        Median and tail per-request latency (admission to result).
+    detected_requests:
+        Requests whose pass flagged at least one layer (``faults=``
+        traffic; 0 for clean serving).
+    """
+
+    requests: int
+    concurrency: int
+    total_s: float
+    requests_per_s: float
+    p50_ms: float
+    p99_ms: float
+    detected_requests: int = 0
+
+    def render(self) -> str:
+        """One-line summary for logs and benchmark output."""
+        return (
+            f"{self.requests} requests @ concurrency {self.concurrency}: "
+            f"{self.requests_per_s:.1f} req/s, "
+            f"p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms"
+            + (
+                f", {self.detected_requests} detected"
+                if self.detected_requests
+                else ""
+            )
+        )
+
+
+class SessionServer:
+    """Serve concurrent requests through one shared protected session.
+
+    Parameters
+    ----------
+    session:
+        The deployed session every request runs through.  Layer-GEMM
+        sessions take ``None`` requests; numeric sessions take input
+        activations.
+    max_workers:
+        Thread-pool width — how many protected passes execute truly
+        concurrently.  The asyncio side may admit more in-flight
+        requests than this; the pool is the execution ceiling.
+
+    Use as a context manager (or call :meth:`close`) so the pool is
+    torn down deterministically.
+
+    Example
+    -------
+    >>> import repro
+    >>> from repro.fleet import SessionServer
+    >>> session = repro.deploy("mlp_bottom", "T4", batch=32)
+    >>> with SessionServer(session, max_workers=2) as server:
+    ...     report = server.serve_blocking(8, concurrency=4)
+    >>> report.requests
+    8
+    """
+
+    def __init__(
+        self, session: ProtectedSession, *, max_workers: int = 4
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.session = session
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._latencies_s: list[float] = []
+        self._detected = 0
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SessionServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- serving --------------------------------------------------------
+    async def handle(
+        self,
+        x: np.ndarray | None = None,
+        *,
+        faults: "Mapping[str, Sequence[FaultSpec]] | None" = None,
+    ) -> InferenceResult:
+        """Serve one request: a protected pass on the shared session."""
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        result = await loop.run_in_executor(
+            self._pool, lambda: self.session.run(x, faults=faults)
+        )
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._latencies_s.append(elapsed)
+            if result.detected:
+                self._detected += 1
+        return result
+
+    async def serve(
+        self,
+        requests: "int | Iterable[np.ndarray | None]",
+        *,
+        concurrency: int = 8,
+    ) -> ServingReport:
+        """Drive a batch of requests under an admission cap.
+
+        ``requests`` is either a count (that many empty requests — the
+        layer-GEMM realization) or an iterable of per-request inputs.
+        At most ``concurrency`` requests are in flight at once; the
+        report covers exactly this batch.
+        """
+        if concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        inputs: list[np.ndarray | None]
+        if isinstance(requests, int):
+            if requests < 1:
+                raise ConfigurationError(
+                    f"request count must be >= 1, got {requests}"
+                )
+            inputs = [None] * requests
+        else:
+            inputs = list(requests)
+            if not inputs:
+                raise ConfigurationError("no requests to serve")
+        gate = asyncio.Semaphore(concurrency)
+
+        async def admit(x: np.ndarray | None) -> InferenceResult:
+            async with gate:
+                return await self.handle(x)
+
+        with self._stats_lock:
+            first = len(self._latencies_s)
+            detected_before = self._detected
+        start = time.perf_counter()
+        await asyncio.gather(*(admit(x) for x in inputs))
+        total_s = time.perf_counter() - start
+        with self._stats_lock:
+            batch = self._latencies_s[first:]
+            detected = self._detected - detected_before
+        return ServingReport(
+            requests=len(inputs),
+            concurrency=concurrency,
+            total_s=total_s,
+            requests_per_s=len(inputs) / total_s if total_s > 0 else 0.0,
+            p50_ms=_percentile_ms(batch, 0.50),
+            p99_ms=_percentile_ms(batch, 0.99),
+            detected_requests=detected,
+        )
+
+    def serve_blocking(
+        self,
+        requests: "int | Iterable[np.ndarray | None]",
+        *,
+        concurrency: int = 8,
+    ) -> ServingReport:
+        """:meth:`serve` from synchronous code (owns the event loop)."""
+        return asyncio.run(self.serve(requests, concurrency=concurrency))
+
+
+def serve_session(
+    session: ProtectedSession,
+    requests: "int | Iterable[np.ndarray | None]" = 100,
+    *,
+    concurrency: int = 8,
+    max_workers: int = 4,
+) -> ServingReport:
+    """Fire a request batch at a session and report the measurements.
+
+    The one-call form of :class:`SessionServer` for benchmarks and
+    smoke tests: builds the server, serves the batch under
+    ``concurrency``, tears the pool down, returns the report.
+    """
+    with SessionServer(session, max_workers=max_workers) as server:
+        return server.serve_blocking(requests, concurrency=concurrency)

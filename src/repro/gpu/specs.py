@@ -51,6 +51,13 @@ class GPUSpec:
         devices without them (P4), redundant MMAs and checksum ops
         compete for the *same* pipe, which changes the thread-level
         ABFT trade-off — exercised in the device-sweep benchmarks.
+    family:
+        Microarchitecture family (``"turing"``, ``"volta"``, ...).
+        Devices in one family share kernel-level behavior — the fleet
+        sweep (:func:`repro.fleet.deploy_fleet`) amortizes profiler and
+        prepared-execution caches at this granularity, since scheme
+        *selection* still differs per device (CMR differs within a
+        family) but fault-free preparation does not.
     """
 
     name: str
@@ -68,6 +75,7 @@ class GPUSpec:
     max_blocks_per_sm: int = 16
     warp_size: int = 32
     has_tensor_cores: bool = True
+    family: str = "unknown"
 
     def __post_init__(self) -> None:
         if self.matmul_flops <= 0 or self.alu_flops <= 0 or self.mem_bandwidth <= 0:
@@ -91,6 +99,7 @@ class GPUSpec:
 # 40 SMs.  FP16 CMR = 65e12 / 320e9 = 203 (paper §3.3).
 T4 = GPUSpec(
     name="T4",
+    family="turing",
     matmul_flops=65.0e12,
     alu_flops=16.2e12,
     mem_bandwidth=320.0e9,
@@ -102,6 +111,7 @@ T4 = GPUSpec(
 # §3.3), 5.5 TFLOPs/s FP32 CUDA core, 192 GB/s.  CMR = 11e12/192e9 = 57.
 P4 = GPUSpec(
     name="P4",
+    family="pascal",
     matmul_flops=11.0e12,
     alu_flops=11.0e12,
     mem_bandwidth=192.0e9,
@@ -118,6 +128,7 @@ P4 = GPUSpec(
 # FP32, 900 GB/s HBM2.  CMR = 139 (paper §3.3).
 V100 = GPUSpec(
     name="V100",
+    family="volta",
     matmul_flops=125.0e12,
     alu_flops=31.4e12,
     mem_bandwidth=900.0e9,
@@ -133,6 +144,7 @@ V100 = GPUSpec(
 # FP32, 1555 GB/s HBM2.  CMR = 201 (paper §3.3).
 A100 = GPUSpec(
     name="A100",
+    family="ampere",
     matmul_flops=312.0e12,
     alu_flops=39.0e12,
     mem_bandwidth=1555.0e9,
@@ -148,6 +160,7 @@ A100 = GPUSpec(
 # Cores, 137 GB/s LPDDR4x.  INT8 CMR = 235 (paper §3.3).
 JETSON_AGX_XAVIER = GPUSpec(
     name="Jetson-AGX-Xavier",
+    family="volta",
     matmul_flops=32.0e12,
     alu_flops=2.8e12,
     mem_bandwidth=137.0e9,

@@ -12,6 +12,7 @@ shape-only benchmarks never execute numerics.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -356,6 +357,13 @@ class ProtectedInference:
         self.recorded_operands: dict[
             str, tuple[np.ndarray, np.ndarray, TileConfig]
         ] = {}
+        # Guards the engine's two pieces of cross-pass mutable state
+        # (the weight cache and the operand record) so concurrent
+        # forward passes through one engine stay safe: weight-side
+        # state is prepared exactly once per layer, and each pass's
+        # record commits as a unit.  Per-pass state (``staged``) is
+        # already pass-local.
+        self._lock = threading.Lock()
 
     def scheme_for(self, layer_name: str) -> Scheme:
         """The scheme protecting the named linear layer."""
@@ -374,8 +382,14 @@ class ProtectedInference:
         """
         prepared = self._weight_cache.get(name)
         if prepared is None:
-            prepared = scheme.prepare_weights(b, m=m)
-            self._weight_cache[name] = prepared
+            # Prepare inside the critical section (mirroring
+            # PreparedCache.get) so racing passes build the state
+            # exactly once — the amortization contracts count on it.
+            with self._lock:
+                prepared = self._weight_cache.get(name)
+                if prepared is None:
+                    prepared = scheme.prepare_weights(b, m=m)
+                    self._weight_cache[name] = prepared
         return prepared
 
     def _run_linear(
@@ -498,7 +512,10 @@ class ProtectedInference:
                 activation = op.forward(activation)
         result.output = activation
         if staged is not None and self._clean_equivalent(result, faults):
-            self.recorded_operands.update(staged)
+            # Commit the whole pass as a unit so a concurrent reader
+            # (or a racing pass) never observes a half-updated record.
+            with self._lock:
+                self.recorded_operands.update(staged)
         return result
 
     def trace(self, x: np.ndarray) -> "InferenceTrace":

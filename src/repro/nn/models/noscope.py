@@ -12,7 +12,7 @@ architectures inside the paper's described envelope, with channel
 counts chosen so each model's aggregate arithmetic intensity matches
 the value the paper prints under each bar of Figs. 8/11
 (15.1 / 37.9 / 51.9 / 52.7).  This is the documented substitution of
-DESIGN.md §5.
+DESIGN.md §6.
 
 All convolutions are 3x3 with unit stride and 'same' padding; 2x2/2 max
 pools follow each conv pair, mirroring the NoScope search space.

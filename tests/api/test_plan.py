@@ -211,3 +211,51 @@ class TestPolicies:
         assert isinstance(as_policy(lambda m, s: {}), CallablePolicy)
         with pytest.raises(ConfigurationError):
             as_policy(42)
+
+
+class TestPlanSchemaVersion:
+    """Plans declare their schema version and reject unknown ones."""
+
+    def test_exported_plans_declare_current_version(self, guided_plan):
+        from repro.api.plan import PLAN_SCHEMA_VERSION
+
+        data = guided_plan.to_dict()
+        assert data["schema_version"] == PLAN_SCHEMA_VERSION
+
+    def test_versioned_payload_round_trips(self, guided_plan):
+        text = guided_plan.to_json()
+        assert json.loads(text)["schema_version"] == 2
+        assert DeploymentPlan.from_json(text) == guided_plan
+
+    def test_legacy_payload_without_version_default_migrates(
+        self, guided_plan
+    ):
+        data = guided_plan.to_dict()
+        del data["schema_version"]
+        assert DeploymentPlan.from_dict(data) == guided_plan
+
+    def test_explicit_version_1_accepted(self, guided_plan):
+        data = guided_plan.to_dict()
+        data["schema_version"] = 1
+        assert DeploymentPlan.from_dict(data) == guided_plan
+
+    def test_unknown_version_raises_plan_error(self, guided_plan):
+        from repro.errors import PlanError
+
+        data = guided_plan.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(PlanError, match="schema_version 99"):
+            DeploymentPlan.from_dict(data)
+
+    def test_non_integer_version_raises_plan_error(self, guided_plan):
+        from repro.errors import PlanError
+
+        data = guided_plan.to_dict()
+        data["schema_version"] = "v2"
+        with pytest.raises(PlanError, match="schema_version"):
+            DeploymentPlan.from_dict(data)
+
+    def test_plan_error_is_configuration_error(self):
+        from repro.errors import PlanError
+
+        assert issubclass(PlanError, ConfigurationError)

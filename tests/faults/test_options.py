@@ -1,0 +1,140 @@
+"""CampaignOptions: one options bundle, deprecated kwargs for one release."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.abft import PreparedCache, get_scheme
+from repro.config import DEFAULT_DETECTION
+from repro.errors import FaultInjectionError
+from repro.faults import CampaignOptions, FaultCampaign
+from repro.faults.options import _UNSET, resolve_deprecated, resolve_option
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(5)
+    a = (rng.standard_normal((48, 32)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((32, 40)) * 0.5).astype(np.float16)
+    return a, b
+
+
+class TestOptionsDataclass:
+    def test_defaults_are_all_unset(self):
+        options = CampaignOptions()
+        assert all(
+            getattr(options, f) is None
+            for f in (
+                "seed", "detection", "significance_factor", "batch_size",
+                "sparse", "cache", "workers",
+            )
+        )
+
+    def test_with_defaults_fills_only_none_fields(self):
+        options = CampaignOptions(seed=7).with_defaults(
+            seed=0, batch_size=256
+        )
+        assert options.seed == 7
+        assert options.batch_size == 256
+
+    def test_with_defaults_rejects_unknown_names(self):
+        with pytest.raises(TypeError, match="trials"):
+            CampaignOptions().with_defaults(trials=9)
+
+    def test_options_are_frozen(self):
+        with pytest.raises(AttributeError):
+            CampaignOptions().seed = 1
+
+
+class TestResolution:
+    def test_resolve_option_passes_through_either_side(self):
+        assert resolve_option(CampaignOptions(seed=3), "X", "seed", None) == 3
+        assert resolve_option(None, "X", "seed", 4) == 4
+        assert resolve_option(None, "X", "seed", None) is None
+
+    def test_resolve_option_rejects_both(self):
+        with pytest.raises(FaultInjectionError, match="both"):
+            resolve_option(CampaignOptions(seed=3), "X", "seed", 4)
+
+    def test_resolve_deprecated_warns_on_kwarg(self):
+        with pytest.warns(DeprecationWarning, match="X\\(workers=\\.\\.\\.\\)"):
+            assert resolve_deprecated(None, "X", "workers", 2) == 2
+
+    def test_resolve_deprecated_silent_without_kwarg(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (
+                resolve_deprecated(
+                    CampaignOptions(workers=2), "X", "workers", _UNSET
+                )
+                == 2
+            )
+
+    def test_resolve_deprecated_rejects_both(self):
+        with pytest.raises(FaultInjectionError, match="both"):
+            with pytest.warns(DeprecationWarning):
+                resolve_deprecated(
+                    CampaignOptions(workers=2), "X", "workers", 3
+                )
+
+
+class TestCampaignIntegration:
+    def _keys(self, result):
+        return [
+            (r.faults, r.detected, r.significant, r.benign_alarm)
+            for r in result.trials
+        ]
+
+    def test_options_path_matches_legacy_kwargs(self, operands):
+        a, b = operands
+        cache = PreparedCache()
+        via_options = FaultCampaign(
+            get_scheme("global"), a, b,
+            options=CampaignOptions(seed=9, cache=cache),
+        ).run_batch(30)
+        with pytest.warns(DeprecationWarning, match="cache"):
+            via_kwargs = FaultCampaign(
+                get_scheme("global"), a, b, seed=9, cache=cache
+            ).run_batch(30)
+        assert self._keys(via_options) == self._keys(via_kwargs)
+
+    def test_deprecated_detection_kwarg_warns(self, operands):
+        a, b = operands
+        with pytest.warns(DeprecationWarning, match="FaultCampaign\\(detection"):
+            FaultCampaign(
+                get_scheme("global"), a, b, detection=DEFAULT_DETECTION
+            )
+
+    def test_options_construction_is_warning_free(self, operands):
+        a, b = operands
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FaultCampaign(
+                get_scheme("global"), a, b,
+                options=CampaignOptions(
+                    seed=1, detection=DEFAULT_DETECTION, workers=None
+                ),
+            )
+
+    def test_session_campaign_rejects_conflicting_seed(self):
+        session = repro.deploy("mlp_bottom", "T4", batch=16)
+        with pytest.raises(FaultInjectionError, match="both"):
+            session.campaign(
+                "fc0", seed=1, options=CampaignOptions(seed=2)
+            )
+
+    def test_session_campaign_deprecated_workers_warns(self):
+        session = repro.deploy("mlp_bottom", "T4", batch=16)
+        with pytest.warns(
+            DeprecationWarning, match="ProtectedSession.campaign\\(workers"
+        ):
+            session.campaign("fc0", workers=None)
+
+    def test_foreign_cache_in_options_rejected(self):
+        session = repro.deploy("mlp_bottom", "T4", batch=16)
+        with pytest.raises(repro.ConfigurationError, match="cache"):
+            session.campaign(
+                "fc0", options=CampaignOptions(cache=PreparedCache())
+            )

@@ -18,6 +18,7 @@ import pytest
 from repro.abft import GlobalABFT, MultiChecksumGlobalABFT
 from repro.errors import CampaignError, FaultInjectionError
 from repro.faults import (
+    CampaignOptions,
     FaultCampaign,
     FaultKind,
     FaultSpec,
@@ -53,7 +54,9 @@ def _same_records(xs, ys):
 
 def _campaign(seed=7, **kwargs):
     a, b = _operands()
-    return FaultCampaign(GlobalABFT(), a, b, seed=seed, **kwargs)
+    return FaultCampaign(
+        GlobalABFT(), a, b, options=CampaignOptions(seed=seed, **kwargs)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -286,7 +289,7 @@ class TestPropagationSharding:
                 recovery=RecoveryPolicy(max_retries=1),
             )
             return session.propagation_campaign(
-                "fc1", x=x, seed=3, workers=workers
+                "fc1", x=x, options=CampaignOptions(seed=3, workers=workers)
             )
 
         return make
@@ -317,7 +320,9 @@ class TestSessionWorkers:
 
         session = repro.deploy("mlp_bottom", "T4", batch=4)
         baseline = session.campaign("fc1", seed=2).run_batch(12)
-        sharded = session.campaign("fc1", seed=2, workers=3).run_batch(12)
+        sharded = session.campaign(
+            "fc1", options=CampaignOptions(seed=2, workers=3)
+        ).run_batch(12)
         assert _same_records(baseline.trials, sharded.trials)
 
     def test_campaign_error_is_exported(self):

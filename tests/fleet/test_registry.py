@@ -1,0 +1,182 @@
+"""PlanRegistry: versioning, persistence round-trips, and plan diffs."""
+
+import json
+
+import pytest
+
+from repro.api import FixedPolicy, IntensityGuidedPolicy
+from repro.errors import ConfigurationError, PlanError
+from repro.fleet import (
+    REGISTRY_SCHEMA,
+    PlanRegistry,
+    RegistryKey,
+    plan_diff,
+)
+from repro.gpu import get_gpu
+from repro.nn import build_model
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return build_model("mlp_bottom", batch=16)
+
+
+@pytest.fixture(scope="module")
+def guided_plan(mlp):
+    return IntensityGuidedPolicy().assign(mlp, get_gpu("T4"))
+
+
+@pytest.fixture(scope="module")
+def fixed_plan(mlp):
+    return FixedPolicy("global").assign(mlp, get_gpu("T4"))
+
+
+class TestVersioning:
+    def test_first_put_is_version_1(self, guided_plan):
+        registry = PlanRegistry()
+        assert registry.put(guided_plan) == 1
+
+    def test_identical_put_is_idempotent(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        assert registry.put(guided_plan) == 1
+        assert len(registry) == 1
+        assert registry.versions("mlp_bottom", "T4") == 1
+
+    def test_changed_plan_appends_a_version(self, guided_plan, mlp):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        changed = IntensityGuidedPolicy().assign(
+            build_model("mlp_bottom", batch=64), get_gpu("T4")
+        )
+        assert changed != guided_plan  # batch differs
+        assert registry.put(changed) == 2
+        assert registry.get("mlp_bottom", "T4") == changed
+        assert registry.get("mlp_bottom", "T4", version=1) == guided_plan
+
+    def test_policies_are_separate_slots(self, guided_plan, fixed_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        registry.put(fixed_plan)
+        assert len(registry.keys()) == 2
+        assert registry.get("mlp_bottom", "T4", "guided") == guided_plan
+        assert registry.get("mlp_bottom", "T4", "fixed:global") == fixed_plan
+
+    def test_ambiguous_policy_lookup_rejected(self, guided_plan, fixed_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        registry.put(fixed_plan)
+        with pytest.raises(ConfigurationError, match="several"):
+            registry.get("mlp_bottom", "T4")
+
+    def test_missing_slot_lists_known(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        with pytest.raises(ConfigurationError, match="no plan registered"):
+            registry.get("mlp_bottom", "V100")
+
+    def test_out_of_range_version_rejected(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        with pytest.raises(ConfigurationError, match="versions 1..1"):
+            registry.get("mlp_bottom", "T4", version=2)
+
+    def test_keys_are_sorted(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan.with_device("V100"))
+        registry.put(guided_plan)
+        assert registry.keys() == [
+            RegistryKey("mlp_bottom", "T4", "guided"),
+            RegistryKey("mlp_bottom", "V100", "guided"),
+        ]
+
+
+class TestPersistence:
+    def test_json_round_trip_is_lossless(self, guided_plan, fixed_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        registry.put(fixed_plan)
+        loaded = PlanRegistry.from_json(registry.to_json())
+        assert loaded.keys() == registry.keys()
+        assert loaded.get("mlp_bottom", "T4", "guided") == guided_plan
+        assert loaded.get("mlp_bottom", "T4", "fixed:global") == fixed_plan
+
+    def test_round_trip_preserves_version_history(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        changed = IntensityGuidedPolicy().assign(
+            build_model("mlp_bottom", batch=64), get_gpu("T4")
+        )
+        registry.put(changed)
+        loaded = PlanRegistry.from_json(registry.to_json())
+        assert loaded.versions("mlp_bottom", "T4") == 2
+        assert loaded.get("mlp_bottom", "T4", version=1) == guided_plan
+        assert loaded.get("mlp_bottom", "T4", version=2) == changed
+
+    def test_save_load_file(self, tmp_path, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        assert PlanRegistry.load(path).get("mlp_bottom", "T4") == guided_plan
+
+    def test_document_declares_schema(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        assert json.loads(registry.to_json())["schema"] == REGISTRY_SCHEMA
+
+    def test_plans_persist_under_versioned_plan_schema(self, guided_plan):
+        registry = PlanRegistry()
+        registry.put(guided_plan)
+        entry = registry.to_dict()["entries"][0]
+        assert entry["plan"]["schema_version"] == 2
+
+    def test_unknown_registry_schema_raises_plan_error(self):
+        with pytest.raises(PlanError, match="schema"):
+            PlanRegistry.from_dict({"schema": "bogus/v9", "entries": []})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            PlanRegistry.from_json("{nope")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            PlanRegistry.load(tmp_path / "absent.json")
+
+
+class TestPlanDiff:
+    def test_identical_plans_diff_empty(self, guided_plan):
+        diff = plan_diff(guided_plan, guided_plan)
+        assert diff.identical
+        assert diff.overhead_delta_percent == 0.0
+        assert "identical" in diff.render()
+
+    def test_scheme_changes_are_listed(self, guided_plan, fixed_plan):
+        diff = plan_diff(guided_plan, fixed_plan)
+        changed = {c.layer: (c.old, c.new) for c in diff.changes}
+        expected = {
+            name: (guided_plan.assignment()[name], "global")
+            for name in guided_plan.layer_names
+            if guided_plan.assignment()[name] != "global"
+        }
+        assert changed == expected
+        assert not diff.identical
+
+    def test_overhead_delta_tracks_predictions(self, guided_plan, fixed_plan):
+        diff = plan_diff(guided_plan, fixed_plan)
+        assert diff.overhead_delta_percent == pytest.approx(
+            fixed_plan.guided_overhead_percent
+            - guided_plan.guided_overhead_percent
+        )
+
+    def test_render_shows_schemes_and_overheads(self, guided_plan, fixed_plan):
+        text = plan_diff(guided_plan, fixed_plan).render()
+        assert "global" in text
+        assert "predicted overhead" in text
+
+    def test_cross_model_diff_rejected(self, guided_plan):
+        other = IntensityGuidedPolicy().assign(
+            build_model("mlp_top", batch=16), get_gpu("T4")
+        )
+        with pytest.raises(ConfigurationError, match="different models"):
+            plan_diff(guided_plan, other)

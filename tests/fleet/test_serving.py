@@ -1,0 +1,117 @@
+"""SessionServer: concurrent traffic through one shared session.
+
+Serving correctness is defined against serial execution: whatever N
+concurrent requests observe must be bit-identical to what one-at-a-time
+requests observe, and the shared session must prepare each layer's
+clean GEMM exactly once no matter how many requests race.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.fleet import ServingReport, SessionServer, serve_session
+from repro.gemm.executor import EXECUTION_STATS
+
+
+@pytest.fixture(scope="module")
+def session():
+    return repro.deploy("mlp_bottom", "T4", batch=16)
+
+
+class TestReports:
+    def test_report_counts_and_latencies(self, session):
+        report = serve_session(session, 12, concurrency=4, max_workers=2)
+        assert report.requests == 12
+        assert report.concurrency == 4
+        assert report.requests_per_s > 0
+        assert 0 < report.p50_ms <= report.p99_ms
+        assert report.detected_requests == 0
+
+    def test_render_mentions_throughput_and_tail(self, session):
+        report = serve_session(session, 4, concurrency=2, max_workers=2)
+        text = report.render()
+        assert "req/s" in text
+        assert "p99" in text
+
+    def test_serving_is_clean_pass_correct(self, session):
+        serial = session.run().output
+        async def gather_all(server):
+            return await asyncio.gather(
+                *(server.handle() for _ in range(8))
+            )
+
+        with SessionServer(session, max_workers=4) as server:
+            results = asyncio.run(gather_all(server))
+        for result in results:
+            np.testing.assert_array_equal(result.output, serial)
+
+    def test_shared_prepared_state_across_requests(self):
+        fresh = repro.deploy("mlp_bottom", "T4", batch=16)
+        before = EXECUTION_STATS.gemms
+        serve_session(fresh, 10, concurrency=5, max_workers=4)
+        clean_gemms = EXECUTION_STATS.gemms - before
+        # One clean GEMM per layer, total — not per request.
+        assert clean_gemms <= len(fresh.plan)
+
+    def test_faulty_traffic_is_counted(self, session):
+        from repro.faults import FaultKind, FaultSpec
+
+        layer = session.plan.layer_names[0]
+        spec = FaultSpec(row=0, col=0, kind=FaultKind.BITFLIP_FP32, bit=24)
+
+        async def drive(server):
+            clean = [server.handle() for _ in range(3)]
+            faulty = [
+                server.handle(faults={layer: [spec]}) for _ in range(2)
+            ]
+            await asyncio.gather(*clean, *faulty)
+            return await server.serve(2, concurrency=2)
+
+        with SessionServer(session, max_workers=2) as server:
+            report = asyncio.run(drive(server))
+        # The batch report covers only its own requests...
+        assert report.requests == 2
+        assert report.detected_requests == 0
+        # ...while the faulty singles were tallied on the server.
+        assert server._detected == 2
+
+    def test_input_iterables_are_served(self):
+        fleet = repro.deploy_fleet(["mlp_bottom"], ["T4"], batch=16)
+        session = fleet.session("mlp_bottom", "T4")
+        report = serve_session(
+            session, [None, None, None], concurrency=2, max_workers=2
+        )
+        assert report.requests == 3
+
+
+class TestValidation:
+    def test_bad_concurrency_rejected(self, session):
+        with SessionServer(session) as server:
+            with pytest.raises(ConfigurationError, match="concurrency"):
+                server.serve_blocking(4, concurrency=0)
+
+    def test_bad_request_count_rejected(self, session):
+        with SessionServer(session) as server:
+            with pytest.raises(ConfigurationError, match="request count"):
+                server.serve_blocking(0)
+
+    def test_empty_iterable_rejected(self, session):
+        with SessionServer(session) as server:
+            with pytest.raises(ConfigurationError, match="no requests"):
+                server.serve_blocking([])
+
+    def test_bad_worker_count_rejected(self, session):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            SessionServer(session, max_workers=0)
+
+    def test_report_is_frozen(self):
+        report = ServingReport(
+            requests=1, concurrency=1, total_s=1.0,
+            requests_per_s=1.0, p50_ms=1.0, p99_ms=1.0,
+        )
+        with pytest.raises(AttributeError):
+            report.requests = 2

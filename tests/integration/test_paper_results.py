@@ -1,5 +1,5 @@
 """Integration tests pinning the paper's headline claims (shape, not
-absolute T4 milliseconds — see DESIGN.md §5 and EXPERIMENTS.md)."""
+absolute T4 milliseconds — see DESIGN.md §6 and EXPERIMENTS.md)."""
 
 import pytest
 

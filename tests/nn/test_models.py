@@ -3,7 +3,7 @@
 Fig. 4 / Figs. 8-11 print the FP16 aggregate arithmetic intensity of
 every evaluated NN.  Eight torchvision CNNs and both DLRM MLPs must
 match to within 1% — they are fully determined by the architectures.
-The four NoScope-style CNNs are synthesized (DESIGN.md §5) and must
+The four NoScope-style CNNs are synthesized (DESIGN.md §6) and must
 match within 5%.
 """
 

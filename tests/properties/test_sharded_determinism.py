@@ -19,7 +19,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.abft import PreparedCache, get_scheme
-from repro.faults import FaultCampaign
+from repro.faults import CampaignOptions, FaultCampaign
 
 _CACHE = PreparedCache()
 _RNG = np.random.default_rng(99)
@@ -29,7 +29,8 @@ _B = (_RNG.standard_normal((32, 40)) * 0.5).astype(np.float16)
 
 def _campaign(scheme_name, seed):
     return FaultCampaign(
-        get_scheme(scheme_name), _A, _B, seed=seed, cache=_CACHE
+        get_scheme(scheme_name), _A, _B,
+        options=CampaignOptions(seed=seed, cache=_CACHE),
     )
 
 

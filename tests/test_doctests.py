@@ -1,38 +1,70 @@
-"""Every docstring example in the public API must execute.
+"""``repro.__all__`` is the supported surface, and its docs must run.
 
-The README points users at the docstrings of ``repro.deploy``,
-:class:`~repro.api.ProtectedSession`, and the campaign classes; their
-``Examples`` sections are executed here as doctests so a drifting API
-breaks the build instead of the documentation.  Modules listed in
-``EXAMPLED`` are additionally required to *have* at least one example —
-deleting the docs is as much a failure as breaking them.
+The package's ``__all__`` is the contract: every name in it must
+resolve, every module defining one of those names has its docstring
+examples executed as doctests, and the workflow entry points users are
+pointed at (deployment, campaigns, recovery, the fleet layer) are
+required to *carry* at least one runnable example — deleting the docs
+is as much a failure as breaking them.
 """
 
 import doctest
+import inspect
 
 import pytest
 
 import repro
-import repro.api
-import repro.api.session
-import repro.faults.campaign
-import repro.faults.propagation
-import repro.faults.recovery
-import repro.utils.tables
 
-#: Modules whose docstring examples are part of the public contract.
-EXAMPLED = [
-    repro.api.session,
-    repro.faults.campaign,
-    repro.faults.propagation,
-    repro.faults.recovery,
+#: Names in ``repro.__all__`` whose objects must carry at least one
+#: runnable docstring example (the workflow entry points the README
+#: and DESIGN.md send users to).
+MUST_HAVE_EXAMPLES = [
+    "deploy",
+    "deploy_fleet",
+    "ProtectedSession",
+    "FaultCampaign",
+    "PropagationCampaign",
+    "RecoveryPolicy",
+    "PreparedCache",
+    "PlanRegistry",
+    "CampaignOptions",
+    "SessionServer",
 ]
 
-#: Modules checked only if they carry examples.
-COLLECTED = EXAMPLED + [repro, repro.api, repro.utils.tables]
+
+def _surface_modules() -> list:
+    """Every module defining a name exported by ``repro.__all__``."""
+    modules = {repro.__name__: repro}
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        module = inspect.getmodule(getattr(repro, name))
+        if module is not None:
+            modules[module.__name__] = module
+    return [modules[name] for name in sorted(modules)]
 
 
-@pytest.mark.parametrize("module", COLLECTED, ids=lambda m: m.__name__)
+SURFACE_MODULES = _surface_modules()
+
+
+def test_supported_surface_resolves():
+    """Every ``__all__`` name is importable — no phantom exports."""
+    for name in repro.__all__:
+        assert hasattr(repro, name), (
+            f"repro.__all__ exports {name!r} but the package does not "
+            f"define it"
+        )
+
+
+def test_must_have_examples_is_part_of_the_surface():
+    missing = [n for n in MUST_HAVE_EXAMPLES if n not in repro.__all__]
+    assert not missing, (
+        f"MUST_HAVE_EXAMPLES names {missing} are not in repro.__all__; "
+        f"the example contract only covers the supported surface"
+    )
+
+
+@pytest.mark.parametrize("module", SURFACE_MODULES, ids=lambda m: m.__name__)
 def test_module_doctests_pass(module):
     result = doctest.testmod(module, verbose=False)
     assert result.failed == 0, (
@@ -40,9 +72,12 @@ def test_module_doctests_pass(module):
     )
 
 
-@pytest.mark.parametrize("module", EXAMPLED, ids=lambda m: m.__name__)
-def test_public_api_module_has_examples(module):
-    result = doctest.testmod(module, verbose=False)
-    assert result.attempted > 0, (
-        f"{module.__name__} lost its runnable docstring examples"
+@pytest.mark.parametrize("name", MUST_HAVE_EXAMPLES)
+def test_public_entry_point_has_examples(name):
+    obj = getattr(repro, name)
+    finder = doctest.DocTestFinder(recurse=True)
+    tests = [t for t in finder.find(obj, name=name) if t.examples]
+    assert tests, (
+        f"repro.{name} lost its runnable docstring examples; the "
+        f"supported surface documents itself"
     )
