@@ -361,13 +361,13 @@ class PreparedExecution:
         batch and cached for the lifetime of the prepared state.
         Thread-safe: racing readers build it exactly once.
         """
-        if self._clean_reductions is None:
+        if self._clean_reductions is None:  # repro: ignore[RL002] double-checked fast path
             with self._lazy_lock:
                 if self._clean_reductions is None:
                     self._clean_reductions = (
                         self.scheme._clean_output_reductions(self)
                     )
-        return self._clean_reductions
+        return self._clean_reductions  # repro: ignore[RL002] GIL-atomic read after publication
 
     def clean_comparison(self, detection: DetectionConstants):
         """Fault-invariant comparison state for sparse verdicts.
@@ -378,7 +378,7 @@ class PreparedExecution:
         sparse batches splice against.  Thread-safe: racing readers
         build each per-constants entry exactly once.
         """
-        cached = self._clean_comparisons.get(detection)
+        cached = self._clean_comparisons.get(detection)  # repro: ignore[RL002] fast path
         if cached is None:
             with self._lazy_lock:
                 cached = self._clean_comparisons.get(detection)

@@ -1,0 +1,52 @@
+"""Static analysis of the repo's own invariants (``repro lint``).
+
+An AST linter whose rules are this codebase's *contracts*, not style:
+seeded-RNG determinism (RL001), lock discipline around shared state
+(RL002), shared-memory segment lifecycle (RL003), read-only prepared
+state (RL004), deterministic record assembly (RL005), and a truthful
+``__all__`` (RL006).  See DESIGN.md §9 for the rule-by-rule table and
+:mod:`repro.analysis.rules` for the implementations.
+
+Programmatic surface::
+
+    from repro.analysis import AnalysisConfig, lint_paths
+    result = lint_paths(["src"], AnalysisConfig.load())
+    assert result.ok, [f.render() for f in result.findings]
+
+Suppression is per line (or per def/class header) with
+``# repro: ignore[RLxxx] reason``; configuration lives in
+``[tool.repro.analysis]`` in ``pyproject.toml``.
+"""
+
+from .config import AnalysisConfig
+from .core import META_CODE, RULES, Finding, Rule, all_codes, register
+from .engine import LintResult, lint_file, lint_paths, lint_source
+from .report import (
+    list_rules,
+    render_json,
+    render_step_summary,
+    render_text,
+    write_step_summary,
+)
+from .suppress import Suppressions, scan
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "LintResult",
+    "META_CODE",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "all_codes",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "list_rules",
+    "register",
+    "render_json",
+    "render_step_summary",
+    "render_text",
+    "scan",
+    "write_step_summary",
+]

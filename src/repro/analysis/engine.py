@@ -1,0 +1,136 @@
+"""Per-file rule dispatch: parse once, run every selected rule.
+
+:func:`lint_paths` is the programmatic entry point the CLI wraps:
+it expands files/directories into sorted ``.py`` files (honoring the
+config's excludes), parses each exactly once, hands the shared
+:class:`~repro.analysis.core.ModuleContext` to every selected rule,
+filters findings through the file's suppression comments, and returns
+one deterministic, sorted result.  :func:`lint_source` is the same
+pipeline over an in-memory string — what the fixture tests drive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from . import rules as _rules  # noqa: F401 - registers every rule
+from .config import AnalysisConfig
+from .core import META_CODE, RULES, Finding, ModuleContext
+from .suppress import scan as scan_suppressions
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: tuple[Finding, ...]
+    n_files: int
+    #: Codes that were run (for the reporters' rule table).
+    codes: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """Findings per rule code (zero-count rules included)."""
+        out = {code: 0 for code in self.codes}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+
+def iter_python_files(
+    paths: Sequence[str | Path], config: AnalysisConfig
+) -> list[Path]:
+    """Sorted ``.py`` files under ``paths``, minus config excludes.
+
+    A path that does not exist raises — a CI invocation naming a
+    missing directory must fail loudly, not pass on an empty file set.
+    """
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        files.extend(
+            candidate
+            for candidate in sorted(path.rglob("*.py"))
+            if not config.excluded(candidate.as_posix())
+        )
+    # De-duplicate while keeping the deterministic order.
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: AnalysisConfig | None = None,
+) -> list[Finding]:
+    """Run the selected rules over one in-memory module."""
+    config = config if config is not None else AnalysisConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=META_CODE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, source=source, tree=tree, config=config)
+    suppressions = scan_suppressions(source, tree)
+
+    findings: list[Finding] = [
+        Finding(path=path, line=line, col=1, rule=META_CODE, message=message)
+        for line, message in suppressions.malformed
+    ]
+    for code in config.enabled():
+        rule = RULES[code]()
+        for finding in rule.check(ctx):
+            if not suppressions.covers(finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(set(findings))
+
+
+def lint_file(path: str | Path, config: AnalysisConfig | None = None) -> list[Finding]:
+    """Run the selected rules over one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from None
+    return lint_source(source, path=path.as_posix(), config=config)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: AnalysisConfig | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths``; one sorted result."""
+    config = config if config is not None else AnalysisConfig()
+    codes = config.enabled()  # validates the selection up front
+    files = iter_python_files(list(paths), config)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, config=config))
+    return LintResult(
+        findings=tuple(sorted(findings)), n_files=len(files), codes=codes
+    )

@@ -1,0 +1,96 @@
+"""Reporters: terminal text, machine JSON, Actions step summary.
+
+Mirrors the conventions of ``benchmarks/check_regression.py``: the
+text reporter prints one conventional ``path:line:col: CODE message``
+line per finding plus a one-line tally; the JSON reporter emits a
+stable document for tooling; and when ``$GITHUB_STEP_SUMMARY`` is set
+the per-rule table is appended there so a failing invariants gate is
+readable from the run's Summary page without digging through logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .core import RULES
+from .engine import LintResult
+
+#: Columns of the step-summary rule table.
+_COLUMNS = ("rule", "contract", "findings")
+
+
+def render_text(result: LintResult) -> str:
+    """The terminal report: findings, then a one-line tally."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts()
+    ran = ", ".join(counts) or "no rules"
+    if result.ok:
+        lines.append(
+            f"repro lint: {result.n_files} file(s) clean under {ran}"
+        )
+    else:
+        per_rule = ", ".join(
+            f"{code}: {n}" for code, n in counts.items() if n
+        )
+        lines.append(
+            f"repro lint: {len(result.findings)} finding(s) in "
+            f"{result.n_files} file(s) ({per_rule})"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document (``repro lint --json``)."""
+    return json.dumps(
+        {
+            "ok": result.ok,
+            "files": result.n_files,
+            "rules": result.counts(),
+            "findings": [f.to_dict() for f in result.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def render_step_summary(result: LintResult) -> str:
+    """Markdown table of the invariants gate for the Actions UI."""
+    lines = [
+        "### Invariant lint (`repro lint`)",
+        "",
+        "| " + " | ".join(_COLUMNS) + " |",
+        "| " + " | ".join("---" for _ in _COLUMNS) + " |",
+    ]
+    counts = result.counts()
+    for code, count in counts.items():
+        rule = RULES.get(code)
+        contract = rule.contract if rule is not None else ""
+        marker = f"**{count}**" if count else "0"
+        lines.append(f"| {code} ({rule.name if rule else '?'}) | {contract} | {marker} |")
+    if result.ok:
+        lines += ["", f"Gate passed: {result.n_files} file(s), no findings."]
+    else:
+        lines += ["", f"Gate failed: {len(result.findings)} finding(s)."]
+        lines += [f"- `{finding.render()}`" for finding in result.findings]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(result: LintResult) -> None:
+    """Append the markdown table to ``$GITHUB_STEP_SUMMARY`` if set."""
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(render_step_summary(result))
+
+
+def list_rules() -> str:
+    """Human-readable registry dump (``repro lint --list-rules``)."""
+    lines = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {rule.name}")
+        lines.append(f"      contract:  {rule.contract}")
+        lines.append(f"      backstops: {rule.backstops}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,21 @@
+"""The repo-specific invariant rules (RL001-RL006).
+
+Importing this package registers every rule with
+:data:`repro.analysis.core.RULES`; the engine imports it for exactly
+that side effect.  Each module holds one rule and documents the
+contract it guards plus the dynamic test suite it backstops — the same
+text DESIGN.md §9 tabulates.
+"""
+
+from __future__ import annotations
+
+from . import determinism, exports, locks, mutation, rng, shm
+
+__all__ = [
+    "determinism",
+    "exports",
+    "locks",
+    "mutation",
+    "rng",
+    "shm",
+]

@@ -1,0 +1,131 @@
+"""RL005 — no nondeterminism in record/verdict assembly paths.
+
+Contract guarded (DESIGN.md §4): campaign records and fault verdicts
+are pure functions of ``(prepared state, seed, trial index)`` — that
+is what makes a record stream comparable across runs, worker counts,
+and machines.  Two easy ways to silently break it:
+
+* **wall-clock reads** (``time.time``, ``datetime.now``) folded into a
+  record or verdict — every run differs by construction
+  (``time.perf_counter`` for throughput *measurement* is fine and not
+  flagged);
+* **bare set iteration** — ``for x in {…}`` / ``for x in set(...)``
+  hashes by object identity for some key types, so iteration order can
+  vary between processes; assemble ordered output via ``sorted(...)``.
+
+The rule applies only to modules under the configured ``rl005-paths``
+fragments (the fault-drawing and verdict-assembly packages) — wall
+clocks are legitimate elsewhere (serving latency, benchmark timing).
+
+Backstops: ``tests/properties`` record-stream equality properties.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ImportMap, ModuleContext, Rule, register
+
+#: Wall-clock calls that make a value run-dependent.
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Wrappers whose first argument's iteration order they preserve.
+_ORDER_PRESERVING = {"enumerate", "list", "tuple", "iter"}
+
+
+@register
+class DeterministicAssembly(Rule):
+    code = "RL005"
+    name = "deterministic-assembly"
+    contract = (
+        "record/verdict assembly reads no wall clock and iterates no "
+        "bare set"
+    )
+    backstops = "tests/properties record-stream equality"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        fragments = ctx.config.rl005_paths
+        posix = ctx.path.replace("\\", "/")
+        if not any(fragment in posix for fragment in fragments):
+            return
+        imports = ImportMap(ctx.tree)
+        set_aliases = self._set_aliases(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = imports.resolve(node.func)
+                if dotted in _WALL_CLOCKS:
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted} makes the assembled value "
+                        f"run-dependent; derive it from the seed or drop "
+                        f"it from the record",
+                    )
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for candidate in iterables:
+                target = self._unwrap(candidate)
+                if self._is_set_expr(target, set_aliases):
+                    yield self.finding(
+                        ctx, candidate,
+                        "iterating a set has no deterministic order; "
+                        "iterate sorted(...) instead",
+                    )
+
+    @staticmethod
+    def _unwrap(node: ast.expr) -> ast.expr:
+        """Peel order-preserving wrappers: ``enumerate(s)`` → ``s``."""
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_PRESERVING
+            and node.args
+        ):
+            node = node.args[0]
+        return node
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, aliases: set[str]) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            # set algebra (a & b, seen - done) stays a set
+            return DeterministicAssembly._is_set_expr(
+                node.left, aliases
+            ) or DeterministicAssembly._is_set_expr(node.right, aliases)
+        return isinstance(node, ast.Name) and node.id in aliases
+
+    @staticmethod
+    def _set_aliases(tree: ast.AST) -> set[str]:
+        """Names bound to set displays / ``set(...)`` calls anywhere."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and DeterministicAssembly._is_set_expr(
+                node.value, aliases
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases

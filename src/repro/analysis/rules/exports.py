@@ -1,0 +1,151 @@
+"""RL006 — ``__all__`` tells the truth.
+
+Contract guarded: ``repro.__all__`` is the supported public surface —
+PR 8 made it the *executable* contract (every entry doctest-verified),
+and downstream ``from repro import *`` consumers see exactly it.  The
+runtime doctest suite catches entries that do not import; this rule
+catches the drift classes that still slip through statically:
+
+* ``__all__`` that is not a static list/tuple of string literals
+  (a computed ``__all__`` cannot be audited or checked at all);
+* duplicate entries;
+* entries that resolve to no top-level binding of the module
+  (typo, or the name was removed but the export list kept it);
+* for modules configured in ``rl006-complete`` (the root package),
+  public top-level bindings *missing* from ``__all__`` — a new
+  re-export that silently never became part of the surface.
+
+Backstops: ``tests/test_doctests.py`` (imports and doctests every
+``repro.__all__`` entry at runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, literal_str_elements, register
+
+
+def _top_level_bindings(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """``(all bindings, public from-import/def bindings)`` of a module.
+
+    Walks one level into ``if``/``try`` so conditionally bound names
+    (version-gated imports) count.  The second set drives the
+    completeness check: plain ``import x`` module bindings are
+    deliberately not required to be exported.
+    """
+    bound: set[str] = set()
+    exportable: set[str] = set()
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    bound.add(name)
+                    exportable.add(name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+                exportable.add(stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            bound.add(node.id)
+                            exportable.add(node.id)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+
+    visit(tree.body)
+    return bound, exportable
+
+
+@register
+class AllDrift(Rule):
+    code = "RL006"
+    name = "all-drift"
+    contract = (
+        "__all__ is static, duplicate-free, resolvable, and (for the "
+        "root package) complete"
+    )
+    backstops = "tests/test_doctests.py runtime import of every entry"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        assignment = next(
+            (
+                stmt
+                for stmt in ctx.tree.body
+                if isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets
+                )
+            ),
+            None,
+        )
+        must_be_complete = ctx.module_name in ctx.config.rl006_complete
+        if assignment is None:
+            if must_be_complete:
+                yield self.finding(
+                    ctx, ctx.tree,
+                    f"module {ctx.module_name!r} must define a static "
+                    f"__all__ (it is a configured public surface)",
+                )
+            return
+
+        elements = literal_str_elements(assignment.value)
+        if elements is None:
+            yield self.finding(
+                ctx, assignment,
+                "__all__ must be a static list/tuple of string literals "
+                "so the surface is auditable",
+            )
+            return
+
+        seen: set[str] = set()
+        for name, node in elements:
+            if name in seen:
+                yield self.finding(
+                    ctx, node, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+
+        bound, exportable = _top_level_bindings(ctx.tree)
+        for name, node in elements:
+            if name not in bound:
+                yield self.finding(
+                    ctx, node,
+                    f"__all__ entry {name!r} does not resolve to any "
+                    f"top-level binding of {ctx.module_name}",
+                )
+
+        if must_be_complete:
+            missing = sorted(
+                name
+                for name in exportable
+                if not name.startswith("_") and name not in seen
+            )
+            for name in missing:
+                yield self.finding(
+                    ctx, assignment,
+                    f"public binding {name!r} is missing from "
+                    f"{ctx.module_name}.__all__ — exported surface drifted",
+                )

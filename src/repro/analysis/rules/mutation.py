@@ -1,0 +1,145 @@
+"""RL004 — prepared state is read-only.
+
+Contract guarded (DESIGN.md §1/§4): a :class:`~repro.abft.base.
+PreparedExecution` is shared — across campaigns through
+:class:`~repro.abft.base.PreparedCache`, and across *processes* as
+read-only zero-copy shared-memory views in sharded runs.  In-place
+mutation of its arrays (``c_clean``, ``a_pad``, ``b_pad``, the cached
+``clean_reductions``) passes single-process tests, silently corrupts
+every other consumer of the cache entry, and hard-crashes sharded
+workers (the views are mapped read-only).
+
+Flagged, for the configured accessor attributes (``rl004-attrs``) and
+any local alias bound from one:
+
+* augmented assignment (``prepared.c_clean += ...``),
+* subscript stores (``prepared.c_clean[i, j] = ...``),
+* in-place mutator calls (``.fill(...)``, ``.sort()``, ``.setflags``,
+  ``.resize``, ``.partial``-style receivers),
+* use as a NumPy ``out=`` target.
+
+Functions named in ``rl004-allow`` (pyproject) are exempt — the one
+place the engine legitimately builds these arrays.  Writes through
+``self`` are construction by the owning class and are not flagged.
+
+Backstops: ``tests/abft`` cache-sharing bit-identity assertions and
+the read-only-view crash tests in ``tests/faults``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, register, walk_functions
+
+#: ndarray methods that mutate in place.
+_ARRAY_MUTATORS = {"fill", "sort", "partition", "put", "itemset", "resize", "setflags"}
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class NoPreparedMutation(Rule):
+    code = "RL004"
+    name = "no-prepared-mutation"
+    contract = (
+        "arrays reached through PreparedExecution/PreparedCache "
+        "accessors are never mutated in place"
+    )
+    backstops = "tests/abft cache bit-identity; sharded read-only view tests"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        attrs = set(ctx.config.rl004_attrs)
+        allow = set(ctx.config.rl004_allow)
+        if not attrs:
+            return
+        for func in walk_functions(ctx.tree):
+            if func.name in allow:
+                continue
+            yield from self._check_function(ctx, func, attrs)
+        # Module-level statements (scripts, examples) get the same scan.
+        module_stmts = [
+            n for n in ctx.tree.body if not isinstance(n, _FUNC_NODES + (ast.ClassDef,))
+        ]
+        fake_module = ast.Module(body=module_stmts, type_ignores=[])
+        yield from self._check_body(ctx, fake_module, attrs)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST, attrs: set[str]
+    ) -> Iterator[Finding]:
+        yield from self._check_body(ctx, func, attrs)
+
+    def _check_body(
+        self, ctx: ModuleContext, scope: ast.AST, attrs: set[str]
+    ) -> Iterator[Finding]:
+        aliases = self._aliases(scope, attrs)
+
+        def protected(node: ast.expr) -> str | None:
+            """The protected attr an expression denotes, if any."""
+            if isinstance(node, ast.Attribute) and node.attr in attrs:
+                if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+                    return node.attr
+            if isinstance(node, ast.Name) and node.id in aliases:
+                return aliases[node.id]
+            return None
+
+        for node in ast.walk(scope):
+            if isinstance(node, ast.AugAssign):
+                attr = protected(node.target)
+                if attr is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"augmented assignment mutates prepared array "
+                        f"{attr!r} in place; copy before writing",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = protected(target.value)
+                        if attr is not None:
+                            yield self.finding(
+                                ctx, target,
+                                f"subscript store mutates prepared array "
+                                f"{attr!r} in place; copy before writing",
+                            )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ARRAY_MUTATORS
+                ):
+                    attr = protected(node.func.value)
+                    if attr is not None:
+                        yield self.finding(
+                            ctx, node,
+                            f".{node.func.attr}() mutates prepared array "
+                            f"{attr!r} in place; copy before writing",
+                        )
+                for kw in node.keywords:
+                    if kw.arg == "out":
+                        attr = protected(kw.value)
+                        if attr is not None:
+                            yield self.finding(
+                                ctx, kw.value,
+                                f"out= targets prepared array {attr!r}; "
+                                f"allocate a private output buffer",
+                            )
+
+    @staticmethod
+    def _aliases(scope: ast.AST, attrs: set[str]) -> dict[str, str]:
+        """Locals bound directly from a protected accessor attribute.
+
+        ``baseline = prepared.c_clean`` makes ``baseline`` carry the
+        protection; rebinding to anything else is not tracked (one
+        level of aliasing catches the idioms this repo uses).
+        """
+        out: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            if isinstance(node.value, ast.Attribute) and node.value.attr in attrs:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = node.value.attr
+        return out

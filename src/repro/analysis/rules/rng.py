@@ -1,0 +1,98 @@
+"""RL001 — no global or unseeded randomness.
+
+Contract guarded (DESIGN.md §4): the sharded campaign path draws the
+*entire* spec stream from one seeded ``np.random.default_rng`` in the
+parent, so records are bit-identical at any worker count.  One call
+into the global NumPy RNG, the stdlib :mod:`random` module, or
+``os.urandom`` anywhere campaigns can reach silently breaks that —
+the run still passes, it is just no longer reproducible.
+
+Flagged:
+
+* ``np.random.<fn>(...)`` module-level calls (``seed``, ``rand``,
+  ``normal``, ``shuffle``, ...) — global hidden state;
+* seedable constructors called without a seed —
+  ``np.random.default_rng()``, ``SeedSequence()``, ``PCG64()``, bare
+  ``RandomState()``;
+* stdlib ``random.*`` calls (``random.random``, ``random.seed``,
+  ``random.SystemRandom()``, ...) — module-global or entropy-backed
+  state; a seeded ``random.Random(seed)`` instance is permitted;
+* ``os.urandom(...)`` — fresh entropy per call by construction.
+
+Backstops: ``tests/properties`` worker-count-invariance properties and
+the determinism assertions in ``tests/faults``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ImportMap, ModuleContext, Rule, register
+
+#: numpy.random constructors that are fine *when given a seed*.
+_SEEDABLE = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register
+class NoGlobalRng(Rule):
+    code = "RL001"
+    name = "no-global-rng"
+    contract = (
+        "all randomness flows from explicitly seeded generators, so "
+        "campaign records are bit-identical at any worker count"
+    )
+    backstops = "tests/properties worker-count invariance"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            if dotted is None:
+                continue
+            message = self._violation(dotted, node)
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    @staticmethod
+    def _violation(dotted: str, call: ast.Call) -> str | None:
+        seeded = bool(call.args or call.keywords)
+        if dotted == "os.urandom":
+            return "os.urandom draws fresh entropy per call; derive bytes from a seeded rng"
+        if dotted.startswith("numpy.random."):
+            tail = dotted[len("numpy.random.") :]
+            if tail in _SEEDABLE:
+                if not seeded:
+                    return (
+                        f"unseeded numpy.random.{tail}(); pass an explicit "
+                        f"seed so runs are reproducible"
+                    )
+                return None
+            if "." in tail:  # e.g. numpy.random.mtrand internals
+                tail = tail.split(".", 1)[0]
+            return (
+                f"numpy.random.{tail} uses the global RNG; use a seeded "
+                f"np.random.default_rng(...) instead"
+            )
+        if dotted.startswith("random."):
+            tail = dotted[len("random.") :]
+            if tail == "Random" and seeded:
+                return None
+            return (
+                f"stdlib random.{tail} is module-global or entropy-backed; "
+                f"use a seeded np.random.default_rng(...) instead"
+            )
+        return None

@@ -1,0 +1,95 @@
+"""``# repro: ignore[RLxxx]`` suppression comments.
+
+A finding is suppressed when its line carries an ignore comment naming
+its rule code::
+
+    cached = self._entries  # repro: ignore[RL002] caller holds the lock
+
+Multiple codes separate with commas (``ignore[RL002,RL005]``); the
+free text after the bracket is the *reason* and is required by review
+convention (the linter does not enforce prose, but it does reject an
+empty code list — a bare ``ignore[]`` suppresses nothing and is
+reported as a malformed comment so it cannot rot silently).
+
+Scope: an ignore comment on a ``def`` or ``class`` header line extends
+to that whole definition body — the idiom for helpers whose contract
+is established by their callers (e.g. "caller holds the lock").
+Everywhere else the comment covers exactly its own line, so deleting a
+guard *inside* an annotated function still trips the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Matches the ignore marker inside a comment token.
+_IGNORE_RE = re.compile(r"repro:\s*ignore\[(?P<codes>[^\]]*)\]")
+#: A marker that looks like an attempt but lacks the bracketed codes.
+_MALFORMED_RE = re.compile(r"repro:\s*ignore(?!\[)")
+#: One well-formed rule code.
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-line suppressed codes plus the malformed comments found."""
+
+    by_line: dict[int, frozenset[str]]
+    #: ``(line, message)`` of every unusable ignore comment.
+    malformed: tuple[tuple[int, str], ...]
+
+    def covers(self, line: int, code: str) -> bool:
+        """Whether a finding of ``code`` at ``line`` is suppressed."""
+        return code in self.by_line.get(line, frozenset())
+
+
+def scan(source: str, tree: ast.Module | None = None) -> Suppressions:
+    """Collect suppression comments (and their def/class scopes)."""
+    by_line: dict[int, set[str]] = {}
+    malformed: list[tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line = token.start[0]
+        match = _IGNORE_RE.search(token.string)
+        if match is None:
+            if _MALFORMED_RE.search(token.string):
+                malformed.append(
+                    (line, "malformed suppression: expected "
+                           "'# repro: ignore[RLxxx] reason'")
+                )
+            continue
+        codes = [c.strip() for c in match.group("codes").split(",") if c.strip()]
+        bad = [c for c in codes if not _CODE_RE.match(c)]
+        if not codes or bad:
+            malformed.append(
+                (line, f"malformed suppression: "
+                       f"{'empty code list' if not codes else f'bad codes {bad}'}")
+            )
+            continue
+        by_line.setdefault(line, set()).update(codes)
+
+    if tree is not None and by_line:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            header_codes = by_line.get(node.lineno)
+            if not header_codes:
+                continue
+            for line in range(node.lineno + 1, (node.end_lineno or node.lineno) + 1):
+                by_line.setdefault(line, set()).update(header_codes)
+
+    return Suppressions(
+        by_line={line: frozenset(codes) for line, codes in by_line.items()},
+        malformed=tuple(malformed),
+    )

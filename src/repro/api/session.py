@@ -159,19 +159,22 @@ class ProtectedSession:
         is what lets the shared cache collapse their clean GEMMs into
         one execution.
         """
-        cached = self._synthesized.get(layer)
-        if cached is not None:
-            return cached
         entry = self.plan.layer(layer)
         index = self.plan.layer_names.index(layer)
-        rng = np.random.default_rng([self.seed, index])
-        a = (rng.standard_normal((entry.m, entry.k)) * 0.5).astype(np.float16)
-        b = (rng.standard_normal((entry.k, entry.n)) * 0.5).astype(np.float16)
         with self._lock:
-            # A racing thread may have synthesized the same arrays
-            # (bit-identical — the rng is seeded per layer); keep the
-            # first so every caller shares one set of buffers.
-            return self._synthesized.setdefault(layer, (a, b))
+            # Synthesis runs inside the critical section so racing
+            # callers share one set of buffers and the memo is only
+            # ever touched under the lock (RL002).  The draw is cheap
+            # relative to the clean GEMM it feeds, so serializing it
+            # costs nothing measurable.
+            cached = self._synthesized.get(layer)
+            if cached is not None:
+                return cached
+            rng = np.random.default_rng([self.seed, index])
+            a = (rng.standard_normal((entry.m, entry.k)) * 0.5).astype(np.float16)
+            b = (rng.standard_normal((entry.k, entry.n)) * 0.5).astype(np.float16)
+            self._synthesized[layer] = (a, b)
+            return a, b
 
     def layer_operands(
         self, layer: str

@@ -20,6 +20,9 @@ Subcommands mirror the deployment workflow:
   plans (scheme and overhead deltas) across devices or versions.
 * ``sweep`` — the Fig. 12 square-GEMM sweep on a device.
 * ``experiments [NAME...]`` — regenerate paper artifacts.
+* ``lint [PATHS...]`` — statically check the repo's own invariants
+  (seeded RNG, lock discipline, shm lifecycle, read-only prepared
+  state, deterministic records, ``__all__`` drift) — the CI gate.
 """
 
 from __future__ import annotations
@@ -366,6 +369,35 @@ def _cmd_fleet_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        AnalysisConfig,
+        lint_paths,
+        list_rules,
+        render_json,
+        render_text,
+        write_step_summary,
+    )
+
+    if args.list_rules:
+        print(list_rules(), end="")
+        return 0
+    # Config discovery starts at the first linted path, so the gate
+    # reads the repo's own [tool.repro.analysis] wherever it runs from.
+    try:
+        config = AnalysisConfig.load(args.paths[0]).with_overrides(
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+        )
+        result = lint_paths(args.paths, config)
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    write_step_summary(result)
+    print(render_json(result) if args.json else render_text(result), end="")
+    return 0 if result.ok else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import fig12_square_sweep
 
@@ -551,6 +583,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fdiff.add_argument("--version-b", type=int, default=None,
                          help="new plan version (default: latest)")
     p_fdiff.set_defaults(fn=_cmd_fleet_diff)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check determinism/lock/shm invariants (RL001-RL006)",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all registered)")
+    p_lint.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print each rule's contract and exit")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 square-GEMM sweep")
     p_sweep.add_argument("--device", default="T4", choices=list_gpus())

@@ -35,6 +35,7 @@ explicit picklable payloads, so the engine also runs under ``spawn``.
 from __future__ import annotations
 
 import io
+import logging
 import multiprocessing
 import os
 import pickle
@@ -67,6 +68,8 @@ __all__ = [
     "run_propagation_sharded",
     "shard_bounds",
 ]
+
+_LOGGER = logging.getLogger(__name__)
 
 #: PID that imported this module — lets workers tell whether they
 #: inherited the parent's resource tracker (fork: module state carried
@@ -198,8 +201,16 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         resource_tracker.unregister(
             getattr(shm, "_name", shm.name), "shared_memory"
         )
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    except (OSError, ValueError, KeyError) as exc:
+        # The tracker process may already be gone (OSError: broken
+        # pipe at interpreter teardown) or the registration cache may
+        # not hold this name (ValueError/KeyError across CPython
+        # versions).  Benign here — but logged, so a real lifecycle
+        # bug (e.g. double-unregistration) is visible under
+        # ``logging.DEBUG`` instead of silently swallowed.
+        _LOGGER.debug(
+            "resource-tracker unregister of %s failed: %s", shm.name, exc
+        )
 
 
 #: Worker-process cache of attached payloads, keyed by segment name —

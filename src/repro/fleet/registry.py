@@ -114,7 +114,7 @@ class PlanRegistry:
             plans.append(plan)
             return len(plans)
 
-    def _plans_for(
+    def _plans_for(  # repro: ignore[RL002] helper runs under the caller's lock
         self, model: str, device: str, policy: str | None
     ) -> tuple[RegistryKey, list[DeploymentPlan]]:
         matches = [

@@ -380,16 +380,16 @@ class ProtectedInference:
         activation row count; later passes at other row counts execute
         with that tile.
         """
-        prepared = self._weight_cache.get(name)
-        if prepared is None:
-            # Prepare inside the critical section (mirroring
-            # PreparedCache.get) so racing passes build the state
-            # exactly once — the amortization contracts count on it.
-            with self._lock:
-                prepared = self._weight_cache.get(name)
-                if prepared is None:
-                    prepared = scheme.prepare_weights(b, m=m)
-                    self._weight_cache[name] = prepared
+        with self._lock:
+            prepared = self._weight_cache.get(name)
+            if prepared is None:
+                # Prepare inside the critical section (mirroring
+                # PreparedCache.get) so racing passes build the state
+                # exactly once — the amortization contracts count on
+                # it — and every cache touch stays under the lock
+                # (RL002).
+                prepared = scheme.prepare_weights(b, m=m)
+                self._weight_cache[name] = prepared
         return prepared
 
     def _run_linear(

@@ -1,0 +1,21 @@
+"""Fixtures for the invariant-linter suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository root, independent of pytest's invocation cwd."""
+    return Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_config(repo_root: Path):
+    """The repo's own [tool.repro.analysis] configuration."""
+    from repro.analysis import AnalysisConfig
+
+    return AnalysisConfig.from_pyproject(repo_root / "pyproject.toml")

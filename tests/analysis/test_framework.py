@@ -1,0 +1,175 @@
+"""Framework pieces: config loading, suppression scope, reporters."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    Finding,
+    all_codes,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_step_summary,
+    render_text,
+)
+from repro.analysis.config import _parse_section_minimal
+from repro.analysis.engine import LintResult, iter_python_files
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_enable_every_rule(self):
+        assert AnalysisConfig().enabled() == all_codes()
+
+    def test_select_and_ignore(self):
+        cfg = AnalysisConfig(select=("RL001", "RL002"), ignore=("RL002",))
+        assert cfg.enabled() == ("RL001",)
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ConfigurationError, match="RL999"):
+            AnalysisConfig(select=("RL999",)).enabled()
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ConfigurationError, match="no option"):
+            AnalysisConfig.from_mapping({"selct": ["RL001"]})
+
+    def test_non_string_array_raises(self):
+        with pytest.raises(ConfigurationError, match="array of strings"):
+            AnalysisConfig.from_mapping({"select": "RL001"})
+
+    def test_hyphen_keys_normalize(self):
+        cfg = AnalysisConfig.from_mapping({"rl004-attrs": ["c_clean"]})
+        assert cfg.rl004_attrs == ("c_clean",)
+
+    def test_load_walks_up_to_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro.analysis]\nselect = ["RL001"]\n'
+        )
+        nested = tmp_path / "pkg" / "sub"
+        nested.mkdir(parents=True)
+        assert AnalysisConfig.load(nested).select == ("RL001",)
+
+    def test_load_without_section_yields_defaults(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text('[tool.other]\nx = "y"\n')
+        assert AnalysisConfig.load(tmp_path) == AnalysisConfig()
+
+    def test_repo_section_parses_identically_without_tomllib(self, repo_root):
+        text = (repo_root / "pyproject.toml").read_text()
+        table = _parse_section_minimal(text)
+        assert table is not None
+        assert AnalysisConfig.from_mapping(table) == AnalysisConfig.from_pyproject(
+            repo_root / "pyproject.toml"
+        )
+
+    def test_fallback_parses_multiline_arrays_and_bools(self):
+        table = _parse_section_minimal(
+            textwrap.dedent("""
+                [tool.ruff]
+                line-length = 100
+
+                [tool.repro.analysis]
+                select = [
+                    "RL001",
+                    "RL002",
+                ]  # trailing comment
+                ignore = ["RL002"]
+
+                [tool.later]
+                x = 1
+            """)
+        )
+        assert table == {"select": ["RL001", "RL002"], "ignore": ["RL002"]}
+
+
+class TestSuppressionScope:
+    def test_suppression_is_rule_specific(self):
+        src = textwrap.dedent("""
+            import os
+            token = os.urandom(16)  # repro: ignore[RL002] wrong code
+        """)
+        assert [f.rule for f in lint_source(src)] == ["RL001"]
+
+    def test_multiple_codes_one_comment(self):
+        src = textwrap.dedent("""
+            import os
+            token = os.urandom(16)  # repro: ignore[RL001,RL005] reason
+        """)
+        assert lint_source(src) == []
+
+    def test_inner_line_not_covered_by_unrelated_line_comment(self):
+        # A line-level ignore above the violation does not leak down.
+        src = textwrap.dedent("""
+            import os
+            x = 1  # repro: ignore[RL001] wrong line
+            token = os.urandom(16)
+        """)
+        assert [f.rule for f in lint_source(src)] == ["RL001"]
+
+
+class TestEngine:
+    def test_missing_path_raises(self):
+        with pytest.raises(ConfigurationError, match="no such file"):
+            lint_paths(["no/such/path"])
+
+    def test_exclude_fragments(self, tmp_path):
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "helper.py").write_text(
+            "import os\nx = os.urandom(4)\n"
+        )
+        (tmp_path / "mod.py").write_text("import os\nx = os.urandom(4)\n")
+        result = lint_paths([tmp_path], AnalysisConfig())
+        assert result.n_files == 1
+        assert [f.rule for f in result.findings] == ["RL001"]
+
+    def test_iter_python_files_deduplicates(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        files = iter_python_files([target, tmp_path], AnalysisConfig())
+        assert files == [target]
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("import os\nx = os.urandom(4)\n")
+        (tmp_path / "a.py").write_text("import os\nx = os.urandom(4)\n")
+        result = lint_paths([tmp_path], AnalysisConfig())
+        paths = [f.path for f in result.findings]
+        assert paths == sorted(paths)
+
+
+class TestReporters:
+    def _result(self) -> LintResult:
+        finding = Finding(
+            path="mod.py", line=2, col=5, rule="RL001", message="boom"
+        )
+        return LintResult(
+            findings=(finding,), n_files=3, codes=all_codes()
+        )
+
+    def test_text_has_conventional_line_and_tally(self):
+        text = render_text(self._result())
+        assert "mod.py:2:5: RL001 boom" in text
+        assert "1 finding(s) in 3 file(s)" in text
+
+    def test_clean_text_tally(self):
+        text = render_text(LintResult(findings=(), n_files=3, codes=all_codes()))
+        assert "3 file(s) clean" in text
+
+    def test_json_document(self):
+        doc = json.loads(render_json(self._result()))
+        assert doc["ok"] is False
+        assert doc["rules"]["RL001"] == 1
+        assert doc["rules"]["RL006"] == 0
+        assert doc["findings"][0]["line"] == 2
+
+    def test_step_summary_table(self):
+        summary = render_step_summary(self._result())
+        assert "| rule | contract | findings |" in summary
+        assert "**1**" in summary and "Gate failed" in summary
+        clean = render_step_summary(
+            LintResult(findings=(), n_files=3, codes=all_codes())
+        )
+        assert "Gate passed" in clean

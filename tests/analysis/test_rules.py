@@ -1,0 +1,436 @@
+"""Per-rule fixture snippets: positive, negative, and suppressed.
+
+Each rule gets at least one snippet that must trip it, one semantically
+adjacent snippet that must not, and one suppressed positive — the
+triple that pins both the detector and the escape hatch.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, lint_source
+
+
+def findings(source: str, path: str = "mod.py", config: AnalysisConfig | None = None):
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+def codes(source: str, path: str = "mod.py", config: AnalysisConfig | None = None):
+    return [f.rule for f in findings(source, path, config)]
+
+
+class TestRL001Rng:
+    def test_global_numpy_call_flagged(self):
+        assert codes("""
+            import numpy as np
+            x = np.random.rand(3)
+        """) == ["RL001"]
+
+    def test_module_seed_flagged(self):
+        assert codes("""
+            import numpy.random
+            numpy.random.seed(0)
+        """) == ["RL001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        assert codes("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """) == ["RL001"]
+
+    def test_seeded_default_rng_ok(self):
+        assert codes("""
+            import numpy as np
+            rng = np.random.default_rng([3, 7])
+            vals = rng.standard_normal(4)
+        """) == []
+
+    def test_stdlib_random_flagged(self):
+        assert codes("""
+            import random
+            x = random.random()
+        """) == ["RL001"]
+
+    def test_seeded_stdlib_random_instance_ok(self):
+        assert codes("""
+            import random
+            r = random.Random(42)
+        """) == []
+
+    def test_os_urandom_flagged(self):
+        assert codes("""
+            import os
+            token = os.urandom(16)
+        """) == ["RL001"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import os
+            token = os.urandom(16)  # repro: ignore[RL001] nonce, not a record input
+        """) == []
+
+    def test_local_function_named_like_rng_ok(self):
+        # Only import-rooted names resolve; a local helper is not flagged.
+        assert codes("""
+            def random():
+                return 4
+            x = random()
+        """) == []
+
+
+_LOCKED_CLASS = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._items = {{}}
+            self._lock = threading.Lock()
+
+        def put(self, key, value):
+            with self._lock:
+                self._items[key] = value
+
+        def get(self, key):
+            {get_body}
+"""
+
+
+class TestRL002Locks:
+    def test_unguarded_read_flagged(self):
+        src = _LOCKED_CLASS.format(get_body="return self._items.get(key)")
+        assert codes(src) == ["RL002"]
+
+    def test_guarded_read_ok(self):
+        src = _LOCKED_CLASS.format(
+            get_body="with self._lock:\n                return self._items.get(key)"
+        )
+        assert codes(src) == []
+
+    def test_deleted_guard_still_flags_the_write(self):
+        # The acceptance property: with no `with` block left anywhere,
+        # the write in an ordinary method itself marks the attribute as
+        # guarded, so the naked write is flagged.
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._items = {}
+                    self._lock = threading.Lock()
+
+                def put(self, key, value):
+                    self._items[key] = value
+        """) == ["RL002"]
+
+    def test_init_writes_exempt(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+        """) == []
+
+    def test_line_suppression(self):
+        src = _LOCKED_CLASS.format(
+            get_body="return self._items.get(key)  # repro: ignore[RL002] GIL-atomic read"
+        )
+        assert codes(src) == []
+
+    def test_def_header_suppression_covers_body(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._items = {}
+                    self._lock = threading.Lock()
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def _get(self, key):  # repro: ignore[RL002] caller holds the lock
+                    return self._items.get(key)
+        """) == []
+
+    def test_mutator_call_is_a_write(self):
+        assert codes("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._items = []
+                    self._lock = threading.Lock()
+
+                def add(self, value):
+                    self._items.append(value)
+        """) == ["RL002"]
+
+    def test_class_without_lock_ignored(self):
+        assert codes("""
+            class Plain:
+                def put(self, key, value):
+                    self._items = {key: value}
+
+                def get(self, key):
+                    return self._items.get(key)
+        """) == []
+
+
+class TestRL003Shm:
+    def test_create_without_cleanup_flagged(self):
+        assert codes("""
+            from multiprocessing import shared_memory
+
+            def leak(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                return shm.name
+        """) == ["RL003"]
+
+    def test_create_with_finally_cleanup_ok(self):
+        assert codes("""
+            from multiprocessing import shared_memory
+
+            def careful(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                try:
+                    return bytes(shm.buf[:4])
+                finally:
+                    shm.close()
+                    shm.unlink()
+        """) == []
+
+    def test_ownership_escape_ok(self):
+        assert codes("""
+            from multiprocessing import shared_memory
+
+            def export(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                return "handle", shm
+        """) == []
+
+    def test_close_without_unlink_in_finally_flagged(self):
+        assert codes("""
+            def gather(pool, shm):
+                try:
+                    return pool.results()
+                finally:
+                    shm.close()
+        """) == ["RL003"]
+
+    def test_attach_side_close_outside_finally_ok(self):
+        # Worker-side attachments close (no unlink) outside a finally.
+        assert codes("""
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                seg = shared_memory.SharedMemory(name=name)
+                data = bytes(seg.buf[:4])
+                seg.close()
+                return data
+        """) == []
+
+    def test_suppressed(self):
+        assert codes("""
+            from multiprocessing import shared_memory
+
+            def leak(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)  # repro: ignore[RL003] test helper
+                return shm.name
+        """) == []
+
+
+class TestRL004Mutation:
+    def test_subscript_store_flagged(self):
+        assert codes("""
+            def corrupt(prepared):
+                prepared.c_clean[0, 0] = 1.0
+        """) == ["RL004"]
+
+    def test_augassign_on_alias_flagged(self):
+        assert codes("""
+            def corrupt(prepared):
+                acc = prepared.c_clean
+                acc += 1.0
+        """) == ["RL004"]
+
+    def test_fill_flagged(self):
+        assert codes("""
+            def corrupt(prepared):
+                prepared.a_pad.fill(0.0)
+        """) == ["RL004"]
+
+    def test_out_kwarg_flagged(self):
+        assert codes("""
+            import numpy as np
+
+            def corrupt(prepared, x):
+                np.add(x, x, out=prepared.c_clean)
+        """) == ["RL004"]
+
+    def test_read_and_copy_ok(self):
+        assert codes("""
+            def consume(prepared):
+                baseline = prepared.c_clean
+                private = baseline.copy()
+                private += 1.0
+                return private.sum() + prepared.a_pad.shape[0]
+        """) == []
+
+    def test_self_write_is_construction(self):
+        assert codes("""
+            class Prepared:
+                def _rebuild(self, c):
+                    self.c_clean[...] = c
+        """) == []
+
+    def test_allowlist(self):
+        cfg = AnalysisConfig(rl004_allow=("corrupt",))
+        assert codes("""
+            def corrupt(prepared):
+                prepared.c_clean[0, 0] = 1.0
+        """, config=cfg) == []
+
+    def test_suppressed(self):
+        assert codes("""
+            def corrupt(prepared):
+                prepared.c_clean[0, 0] = 1.0  # repro: ignore[RL004] test injects through the front door
+        """) == []
+
+
+class TestRL005Determinism:
+    PATH = "src/repro/faults/assemble.py"
+
+    def test_wall_clock_flagged_in_scope(self):
+        assert codes("""
+            import time
+
+            def stamp(record):
+                return (record, time.time())
+        """, path=self.PATH) == ["RL005"]
+
+    def test_wall_clock_ok_outside_scope(self):
+        assert codes("""
+            import time
+
+            def stamp(record):
+                return (record, time.time())
+        """, path="src/repro/fleet/serving.py") == []
+
+    def test_perf_counter_ok(self):
+        assert codes("""
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """, path=self.PATH) == []
+
+    def test_set_iteration_flagged(self):
+        assert codes("""
+            def verdicts(layers):
+                struck = set(layers)
+                return [v for v in struck]
+        """, path=self.PATH) == ["RL005"]
+
+    def test_sorted_set_ok(self):
+        assert codes("""
+            def verdicts(layers):
+                struck = set(layers)
+                return [v for v in sorted(struck)]
+        """, path=self.PATH) == []
+
+    def test_set_membership_ok(self):
+        assert codes("""
+            def verdicts(layers, struck):
+                seen = set(struck)
+                return [layer for layer in layers if layer in seen]
+        """, path=self.PATH) == []
+
+    def test_suppressed(self):
+        assert codes("""
+            def verdicts(layers):
+                return [v for v in set(layers)]  # repro: ignore[RL005] order dropped by caller
+        """, path=self.PATH) == []
+
+
+class TestRL006Exports:
+    def test_unresolvable_entry_flagged(self):
+        assert codes("""
+            __all__ = ["exists", "ghost"]
+
+            def exists():
+                return 1
+        """) == ["RL006"]
+
+    def test_duplicate_flagged(self):
+        assert codes("""
+            __all__ = ["exists", "exists"]
+
+            def exists():
+                return 1
+        """) == ["RL006"]
+
+    def test_dynamic_all_flagged(self):
+        assert codes("""
+            _names = ["a"]
+            __all__ = sorted(_names)
+        """) == ["RL006"]
+
+    def test_resolvable_static_all_ok(self):
+        assert codes("""
+            from os.path import join
+
+            __all__ = ["join", "helper"]
+
+            def helper():
+                return join("a", "b")
+        """) == []
+
+    def test_completeness_enforced_for_configured_module(self):
+        cfg = AnalysisConfig(rl006_complete=("repro",))
+        result = findings("""
+            from .config import Constants
+            from .errors import ReproError
+
+            __all__ = ["Constants"]
+        """, path="src/repro/__init__.py", config=cfg)
+        assert [f.rule for f in result] == ["RL006"]
+        assert "ReproError" in result[0].message
+
+    def test_conditional_binding_resolves(self):
+        assert codes("""
+            try:
+                import tomllib
+            except ImportError:
+                tomllib = None
+
+            __all__ = ["tomllib"]
+        """) == []
+
+
+class TestMetaRL000:
+    def test_syntax_error_reported(self):
+        assert codes("def broken(:\n    pass") == ["RL000"]
+
+    def test_malformed_suppression_reported(self):
+        assert codes("""
+            x = 1  # repro: ignore[] forgot the code
+        """) == ["RL000"]
+
+    def test_bad_code_in_suppression_reported(self):
+        assert codes("""
+            x = 1  # repro: ignore[RL9999]
+        """) == ["RL000"]
+
+
+@pytest.mark.parametrize("code", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"])
+def test_every_rule_registered_with_contract(code):
+    from repro.analysis import RULES
+
+    rule = RULES[code]
+    assert rule.contract and rule.backstops and rule.name
