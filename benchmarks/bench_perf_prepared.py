@@ -102,6 +102,19 @@ MULTI_FAULT_KEY = "global_multi_r2_4f"
 MULTI_FAULT_CHECKSUMS = 2
 MULTI_FAULTS_PER_TRIAL = 4
 
+#: Transformer-shaped INT8 rows: one attention-score GEMM (seq x kv x
+#: head_dim) and one FFN projection (seq x d_ff x d_model) from the
+#: transformer zoo's decoder preset at batch 24, campaigned through the
+#: quantized executor under the scheme class intensity-guided selection
+#: deploys on each shape at production size (thread-level on the
+#: bandwidth-bound attention product, global on the FFN projection).
+#: Gated like every other campaign row, so the INT8 prepare/inject
+#: paths cannot regress silently.
+TRANSFORMER_INT8_ROWS: dict[str, tuple[str, tuple[int, int, int]]] = {
+    "attention_int8": ("thread_onesided@int8", (192, 192, 32)),
+    "ffn_int8": ("global@int8", (192, 512, 128)),
+}
+
 #: Sharded-campaign row: the multiprocess engine (DESIGN.md §4) at its
 #: reference worker count, against single-process sparse on the same
 #: specs.  Aggregate speedup scales with physical cores, so the
@@ -183,16 +196,21 @@ def bench_campaign(
     seed: int,
     repeats: int,
     faults_per_trial: int = 1,
+    shape: tuple[int, int, int] = (DEFAULT_M, DEFAULT_N, DEFAULT_K),
 ) -> dict:
     """Direct-execute vs dense vs sparse prepared campaigns, same specs.
 
     ``faults_per_trial > 1`` benches the multi-fault campaign mode:
     every trial injects that many simultaneous faults, so the direct
     baseline pays the same per-trial fault work as the batched paths.
+    ``scheme_name`` takes any deployment token (``@int8`` included —
+    quantized schemes accept the same FP16 operands and quantize at
+    ``prepare`` time); ``shape`` overrides the default (M, N, K).
     """
+    m, n, k = shape
     rng = np.random.default_rng(seed)
-    a = (rng.standard_normal((DEFAULT_M, DEFAULT_K)) * 0.5).astype(np.float16)
-    b = (rng.standard_normal((DEFAULT_K, DEFAULT_N)) * 0.5).astype(np.float16)
+    a = (rng.standard_normal((m, k)) * 0.5).astype(np.float16)
+    b = (rng.standard_normal((k, n)) * 0.5).astype(np.float16)
 
     campaign = FaultCampaign(_make_scheme(scheme_name), a, b, seed=seed)
     drawn = campaign.draw_faults(trials, faults_per_trial=faults_per_trial)
@@ -245,6 +263,7 @@ def bench_campaign(
     return {
         "trials": trials,
         "faults_per_trial": faults_per_trial,
+        "problem": {"m": m, "n": n, "k": k},
         "repeats": repeats,
         "direct_s": direct_s,
         "direct_trials_per_s": trials / direct_s,
@@ -608,6 +627,18 @@ def main() -> None:
               f"({row['paths']['sparse']['speedup']:.1f}x, "
               f"{row['paths']['sparse']['speedup'] / row['paths']['dense']['speedup']:.1f}x "
               f"over dense)")
+
+    for key, (token, shape) in TRANSFORMER_INT8_ROWS.items():
+        report["campaign"][key] = bench_campaign(
+            token, trials=trials, seed=17, repeats=repeats, shape=shape
+        )
+        report["campaign"][key]["scheme"] = token
+        row = report["campaign"][key]
+        print(f"campaign[{key}]: {token} on "
+              f"{shape[0]}x{shape[1]}x{shape[2]}: direct "
+              f"{row['direct_trials_per_s']:8.1f} trials/s -> sparse "
+              f"{row['paths']['sparse']['trials_per_s']:8.1f} "
+              f"({row['paths']['sparse']['speedup']:.1f}x)")
 
     report["campaign"][SHARDED_KEY] = bench_sharded_campaign(
         trials=SHARDED_TRIALS_QUICK if args.quick else SHARDED_TRIALS,

@@ -47,6 +47,7 @@ from .abft import (
     list_schemes,
     scheme_from_token,
     scheme_token,
+    split_dtype_token,
 )
 from .faults import (
     CampaignOptions,
@@ -60,7 +61,17 @@ from .faults import (
     RecoveryPolicy,
 )
 from .roofline import aggregate_intensity, classify_problem, cmr_table, layer_intensities
-from .nn import ModelGraph, ProtectedInference, SequentialModel, build_model, list_models
+from .nn import (
+    ModelGraph,
+    ProtectedInference,
+    SequentialModel,
+    TransformerBlockSpec,
+    build_model,
+    build_transformer_graph,
+    build_transformer_runnable,
+    list_models,
+    transformer_models,
+)
 from .core import (
     IntensityGuidedABFT,
     ModelSelection,
@@ -139,6 +150,7 @@ __all__ = [
     "list_schemes",
     "scheme_from_token",
     "scheme_token",
+    "split_dtype_token",
     # faults
     "FaultSpec",
     "FaultKind",
@@ -160,6 +172,10 @@ __all__ = [
     "list_models",
     "SequentialModel",
     "ProtectedInference",
+    "TransformerBlockSpec",
+    "build_transformer_graph",
+    "build_transformer_runnable",
+    "transformer_models",
     # core
     "IntensityGuidedABFT",
     "PredeploymentProfiler",

@@ -44,17 +44,46 @@ _SCHEME_CLASSES = (
 )
 
 
-def get_scheme(name: str) -> Scheme:
-    """Instantiate a scheme by its registry name."""
+def get_scheme(name: str, *, dtype: str = "fp16") -> Scheme:
+    """Instantiate a scheme by its registry name (on either pipeline)."""
     from ..errors import ConfigurationError
 
     table = {cls.name: cls for cls in _SCHEME_CLASSES}
     try:
-        return table[name]()
+        cls = table[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown ABFT scheme {name!r}; known: {sorted(table)}"
         ) from None
+    return cls(dtype=dtype)
+
+
+def split_dtype_token(token: str) -> tuple[str, str]:
+    """Split a deployment token into ``(scheme_part, dtype)``.
+
+    The ``@dtype`` suffix selects the numeric pipeline:
+    ``"global@int8"`` is global ABFT over the INT8 quantized executor;
+    no suffix means FP16.
+
+    Examples
+    --------
+    >>> from repro.abft import split_dtype_token
+    >>> split_dtype_token("global_multi:2@int8")
+    ('global_multi:2', 'int8')
+    >>> split_dtype_token("thread_onesided")
+    ('thread_onesided', 'fp16')
+    """
+    from ..errors import ConfigurationError
+
+    base, sep, dtype = token.partition("@")
+    if not sep:
+        return token, "fp16"
+    if dtype not in ("fp16", "int8"):
+        raise ConfigurationError(
+            f"malformed scheme token {token!r}: unknown dtype {dtype!r} "
+            f"(expected fp16|int8)"
+        )
+    return base, dtype
 
 
 def list_schemes() -> list[str]:
@@ -66,18 +95,28 @@ def scheme_from_token(token: str) -> Scheme:
     """Instantiate a scheme from its deployment token.
 
     A token is the registry name, optionally followed by ``:`` and the
-    scheme's constructor argument — the serialized form deployment
-    plans and the CLI use, e.g. ``"global"``, ``"thread_onesided"``,
+    scheme's constructor argument, optionally followed by ``@`` and the
+    pipeline dtype — the serialized form deployment plans and the CLI
+    use, e.g. ``"global"``, ``"thread_onesided@int8"``,
     ``"global_multi:4"`` (four independent checksums).  The single
     place that turns scheme *names* into scheme *instances*: the policy
     layer, the CLI, and the experiment drivers all route through it.
+
+    Examples
+    --------
+    >>> from repro.abft import scheme_from_token
+    >>> scheme_from_token("global@int8").dtype
+    'int8'
+    >>> scheme_from_token("global_multi:3").num_checksums
+    3
     """
     from ..errors import ConfigurationError
 
-    name, sep, arg = token.partition(":")
+    base, dtype = split_dtype_token(token)
+    name, sep, arg = base.partition(":")
     if name == MultiChecksumGlobalABFT.name:
         if not sep:
-            return MultiChecksumGlobalABFT()
+            return MultiChecksumGlobalABFT(dtype=dtype)
         try:
             checksums = int(arg)
         except ValueError:
@@ -85,7 +124,7 @@ def scheme_from_token(token: str) -> Scheme:
                 f"malformed scheme token {token!r}: {name!r} takes an "
                 f"integer checksum count, e.g. '{name}:2'"
             ) from None
-        return MultiChecksumGlobalABFT(checksums)
+        return MultiChecksumGlobalABFT(checksums, dtype=dtype)
     if name not in set(list_schemes()):
         # The token namespace is the registry plus global_multi;
         # get_scheme's error would omit the latter and steer a typo'd
@@ -99,7 +138,7 @@ def scheme_from_token(token: str) -> Scheme:
             f"malformed scheme token {token!r}: scheme {name!r} takes no "
             f"constructor argument"
         )
-    return get_scheme(name)
+    return get_scheme(name, dtype=dtype)
 
 
 def scheme_token(scheme: Scheme) -> str:
@@ -107,11 +146,16 @@ def scheme_token(scheme: Scheme) -> str:
 
     Inverse of :func:`scheme_from_token`: folds constructor arguments
     that change the scheme's prepared state (the same ones
-    :attr:`Scheme.cache_token` commits to) into the serialized name.
+    :attr:`Scheme.cache_token` commits to) into the serialized name,
+    including the ``@int8`` pipeline suffix.
     """
     if isinstance(scheme, MultiChecksumGlobalABFT):
-        return f"{scheme.name}:{scheme.num_checksums}"
-    return scheme.name
+        base = f"{scheme.name}:{scheme.num_checksums}"
+    else:
+        base = scheme.name
+    if scheme.dtype != "fp16":
+        return f"{base}@{scheme.dtype}"
+    return base
 
 
 __all__ = [
@@ -136,4 +180,5 @@ __all__ = [
     "list_schemes",
     "scheme_from_token",
     "scheme_token",
+    "split_dtype_token",
 ]

@@ -62,6 +62,7 @@ import numpy as np
 from ..config import (
     DEFAULT_CONSTANTS,
     DEFAULT_DETECTION,
+    INT8_DETECTION,
     DetectionConstants,
     ModelConstants,
 )
@@ -73,7 +74,7 @@ from ..faults.injector import (
     subset_sites,
 )
 from ..faults.model import FaultPath, FaultSpec
-from ..gemm.executor import TiledGemm
+from ..gemm.executor import TiledGemm, executor_for
 from ..gemm.problem import GemmProblem
 from ..gemm.tiles import TileConfig, select_tile
 from ..gpu.specs import GPUSpec
@@ -154,12 +155,15 @@ class ExecutionOutcome:
     scheme:
         Scheme registry name.
     c:
-        Logical ``M x N`` output quantized to FP16 (what the next layer
-        consumes).  Computed lazily from the accumulator on first
+        Logical ``M x N`` output in the FP16 domain (what the next layer
+        consumes), lowered by the executor's epilogue — a plain FP16
+        downcast on the FP16 pipeline, the dequantizing rescale on the
+        INT8 one.  Computed lazily from the accumulator on first
         access: fault campaigns read only verdicts and accumulators, so
-        batched trials skip the epilogue quantization entirely.
+        batched trials skip the epilogue entirely.
     c_accumulator:
-        Padded FP32 accumulator grid after fault application.  Sparse
+        Padded accumulator grid after fault application (FP32 on the
+        FP16 pipeline, INT32 on the quantized one).  Sparse
         re-reduction never materializes per-trial accumulators, so
         outcomes it produces build this lazily on first access (clean
         copy plus the scalar fault applications — bit-identical to the
@@ -179,6 +183,7 @@ class ExecutionOutcome:
         "_c",
         "_acc",
         "_acc_factory",
+        "_epilogue",
     )
 
     def __init__(
@@ -190,6 +195,7 @@ class ExecutionOutcome:
         *,
         crop: tuple[int, int] | None = None,
         acc_factory: Callable[[], np.ndarray] | None = None,
+        epilogue: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         if c_accumulator is None and acc_factory is None:
             raise ConfigurationError(
@@ -204,6 +210,7 @@ class ExecutionOutcome:
         # lazy producers always pass an explicit crop.
         self._crop = crop if crop is not None else self.c_accumulator.shape
         self._c: np.ndarray | None = None
+        self._epilogue = epilogue
 
     @property
     def c_accumulator(self) -> np.ndarray:
@@ -215,7 +222,8 @@ class ExecutionOutcome:
     def c(self) -> np.ndarray:
         m, n = self._crop
         if self._c is None:
-            self._c = Scheme._to_fp16(self.c_accumulator[:m, :n])
+            lower = self._epilogue if self._epilogue is not None else Scheme._to_fp16
+            self._c = lower(self.c_accumulator[:m, :n])
         return self._c
 
     @property
@@ -262,11 +270,20 @@ class PreparedWeights:
     tile:
         The tile configuration the padding and reductions commit to.
     b_pad:
-        Zero-padded FP16 weight matrix.
+        Zero-padded weight matrix in the pipeline's storage dtype (FP16,
+        or quantized INT8 for int8 schemes).
     weight_state:
         Scheme-specific checksum arrays (e.g.
         :class:`~repro.abft.checksums.GlobalWeightChecksums`), or None
         for schemes without weight-side reductions.
+    b_scale:
+        Per-tensor quantization scale of ``b_pad`` (int8 pipelines
+        only) — the executor consuming the state needs it to dequantize
+        the epilogue, since ``b`` itself is never re-read.
+    dtype:
+        Pipeline dtype the state was built under; consuming it from a
+        scheme of a different dtype is a configuration error (the
+        padded bytes are not interchangeable).
     """
 
     scheme: str
@@ -275,6 +292,8 @@ class PreparedWeights:
     tile: TileConfig
     b_pad: np.ndarray
     weight_state: Any = None
+    b_scale: float | None = None
+    dtype: str = "fp16"
 
 
 class PreparedExecution:
@@ -369,15 +388,19 @@ class PreparedExecution:
                     )
         return self._clean_reductions  # repro: ignore[RL002] GIL-atomic read after publication
 
-    def clean_comparison(self, detection: DetectionConstants):
+    def clean_comparison(self, detection: "DetectionConstants | None"):
         """Fault-invariant comparison state for sparse verdicts.
 
         The scheme's clean checksum-vs-output comparison
         (:class:`repro.abft.detection.CleanComparison`), built once per
         detection-constants value and cached — the other half of what
-        sparse batches splice against.  Thread-safe: racing readers
-        build each per-constants entry exactly once.
+        sparse batches splice against.  ``None`` resolves to the
+        scheme's pipeline default, the same rule ``inject`` applies.
+        Thread-safe: racing readers build each per-constants entry
+        exactly once.
         """
+        if detection is None:
+            detection = self.scheme.default_detection
         cached = self._clean_comparisons.get(detection)  # repro: ignore[RL002] fast path
         if cached is None:
             with self._lazy_lock:
@@ -397,13 +420,16 @@ class PreparedExecution:
         self,
         faults: Sequence[FaultSpec] = (),
         *,
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        detection: DetectionConstants | None = None,
     ) -> ExecutionOutcome:
         """One fault trial against the prepared state.
 
         Bit-identical to ``scheme.execute(a, b, faults=...)`` with the
         same tile, at a fraction of the cost.  Repeated calls are
-        independent: each gets a fresh accumulator copy.
+        independent: each gets a fresh accumulator copy.  ``detection``
+        defaults (``None``) to the scheme's
+        :attr:`~Scheme.default_detection` — the FP16 rounding-noise
+        tolerance or the INT8 exact half-ULP policy.
         """
         return self.inject_batch((faults,), detection=detection)[0]
 
@@ -411,7 +437,7 @@ class PreparedExecution:
         self,
         specs_batch: Sequence[Sequence[FaultSpec]],
         *,
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        detection: DetectionConstants | None = None,
         out: np.ndarray | None = None,
         sparse: bool | None = None,
         sites: FaultSites | None = None,
@@ -459,6 +485,8 @@ class PreparedExecution:
         faults_batch = [tuple(faults) for faults in specs_batch]
         if not faults_batch:
             return []
+        if detection is None:
+            detection = self.scheme.default_detection
         use_sparse = self.scheme.supports_sparse if sparse is None else sparse
         if use_sparse:
             if not self.scheme.supports_sparse:
@@ -631,7 +659,17 @@ class PreparedCache:
 
 
 class Scheme(abc.ABC):
-    """Abstract redundant-execution scheme."""
+    """Abstract redundant-execution scheme.
+
+    Every scheme executes on one of two numeric pipelines, chosen by the
+    ``dtype`` constructor keyword: ``"fp16"`` (FP16 operands, FP32
+    accumulation — the paper's configuration) or ``"int8"`` (per-tensor
+    symmetric quantization, INT8 operands, exact INT32 accumulation,
+    checksum reductions over the quantized domain).  All prepared
+    /batched/sparse machinery is dtype-generic; the pipeline only
+    changes the executor, the accumulator dtype, and the default
+    detection constants.
+    """
 
     #: Registry name; subclasses override.
     name: str = "abstract"
@@ -646,6 +684,27 @@ class Scheme(abc.ABC):
     #: nonexistent (none) leave this False and always run dense.
     supports_sparse: bool = False
 
+    def __init__(self, *, dtype: str = "fp16") -> None:
+        if dtype not in ("fp16", "int8"):
+            raise ConfigurationError(
+                f"unknown scheme dtype {dtype!r} (expected fp16|int8)"
+            )
+        self.dtype = dtype
+
+    @property
+    def default_detection(self) -> DetectionConstants:
+        """Detection constants matched to the scheme's numeric pipeline.
+
+        The FP16 pipeline budgets for FP32 accumulation noise
+        (:data:`~repro.config.DEFAULT_DETECTION`); the INT8 pipeline is
+        exact, so its tolerance is the half-ULP
+        :data:`~repro.config.INT8_DETECTION` — applying the FP16
+        constants to integer magnitudes would silently inflate the
+        tolerance by orders of magnitude, which is why every engine
+        layer defaults to this property rather than a global constant.
+        """
+        return INT8_DETECTION if self.dtype == "int8" else DEFAULT_DETECTION
+
     @property
     def cache_token(self) -> Any:
         """Hashable identity under which prepared state may be shared.
@@ -653,11 +712,12 @@ class Scheme(abc.ABC):
         Two scheme instances with equal tokens must produce
         bit-identical prepared state for identical operands —
         :class:`PreparedCache` relies on this.  The registry name
-        suffices for parameterless schemes; schemes whose constructor
-        arguments change the prepared state (e.g. ``global_multi``'s
-        checksum count) must fold them in.
+        suffices for parameterless FP16 schemes; schemes whose
+        constructor arguments change the prepared state (e.g.
+        ``global_multi``'s checksum count, or the int8 pipeline's
+        quantized operands) must fold them in.
         """
-        return self.name
+        return self.name if self.dtype == "fp16" else (self.name, self.dtype)
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -728,7 +788,9 @@ class Scheme(abc.ABC):
             tile = select_tile(GemmProblem(m, n, k))
         # The executor is only used for geometry; any m works, so use a
         # minimal reference problem when no row count was given.
-        executor = TiledGemm(GemmProblem(m if m is not None else tile.mt, n, k), tile)
+        executor = executor_for(
+            GemmProblem(m if m is not None else tile.mt, n, k), tile, self.dtype
+        )
         b_pad = executor.pad_b(b)
         return PreparedWeights(
             scheme=self.name,
@@ -737,6 +799,8 @@ class Scheme(abc.ABC):
             tile=tile,
             b_pad=b_pad,
             weight_state=self._prepare_weight_state(executor, b_pad),
+            b_scale=executor.b_scale if self.dtype == "int8" else None,
+            dtype=self.dtype,
         )
 
     def execute(
@@ -746,7 +810,7 @@ class Scheme(abc.ABC):
         *,
         tile: TileConfig | None = None,
         faults: Sequence[FaultSpec] = (),
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        detection: DetectionConstants | None = None,
         weights: PreparedWeights | None = None,
     ) -> ExecutionOutcome:
         """Numerically execute the protected GEMM with optional faults."""
@@ -870,6 +934,59 @@ class Scheme(abc.ABC):
             f"scheme {self.name!r} has no batched verdict renderer"
         )
 
+    def _walk_verdicts(
+        self,
+        prepared: PreparedExecution,
+        output_side: np.ndarray,
+        faults_batch: Sequence[tuple[FaultSpec, ...]],
+        detection: DetectionConstants,
+    ) -> list[CheckVerdict]:
+        """Dense verdict rendering through the ``CleanComparison`` walk.
+
+        A single-site fault perturbs a handful of checks, so a dense
+        trial's re-reduced check array differs from the clean one in
+        only a few entries: one elementwise comparison finds them, and
+        :func:`~repro.abft.detection.compare_checksums_sparse` renders
+        each verdict from those entries plus the cached clean
+        comparison — bit-identical, field for field, to the full
+        batched comparison (pinned by the dense-walk equivalence test).
+        Trials with checksum-path faults have no clean checksum side to
+        reuse; they take the full comparison.
+        """
+        n = len(faults_batch)
+        corrupted = [
+            i for i, faults in enumerate(faults_batch)
+            if self._checksum_faults(faults)
+        ]
+        clean = prepared.clean_comparison(detection)
+        clean_out = np.asarray(
+            self._clean_comparison_inputs(prepared)[1]
+        ).reshape(1, -1)
+        out = np.asarray(output_side)
+        flat = out.reshape(n, -1)
+        # NaN output entries always register as changed (NaN != NaN);
+        # their residuals are re-rendered fresh, matching the dense
+        # comparison's non-finite handling.
+        with np.errstate(invalid="ignore"):
+            trials_idx, checks_idx = np.nonzero(flat != clean_out)
+        verdicts = compare_checksums_sparse(
+            clean,
+            trials_idx,
+            checks_idx,
+            flat[trials_idx, checks_idx],
+            n_trials=n,
+            skip=corrupted,
+        )
+        if corrupted:
+            sub_faults = [faults_batch[i] for i in corrupted]
+            references = self._references_batch(prepared, sub_faults)
+            dense = self._verdicts(
+                prepared, references, out[corrupted], detection
+            )
+            for i, verdict in zip(corrupted, dense):
+                verdicts[i] = verdict
+        return verdicts
+
     def _finish_batch_sparse(
         self,
         prepared: PreparedExecution,
@@ -935,6 +1052,11 @@ class Scheme(abc.ABC):
                     f"prepared weights were built for scheme "
                     f"{weights.scheme!r}, not {self.name!r}"
                 )
+            if weights.dtype != self.dtype:
+                raise ConfigurationError(
+                    f"prepared weights were built for dtype "
+                    f"{weights.dtype!r}, not {self.dtype!r}"
+                )
             if (weights.k, weights.n) != (problem.k, problem.n):
                 raise ShapeError(
                     f"prepared weights commit to a {weights.k}x{weights.n} "
@@ -946,11 +1068,15 @@ class Scheme(abc.ABC):
                     f"got tile override {tile}"
                 )
             chosen = weights.tile
-            executor = TiledGemm(problem, chosen)
+            executor = executor_for(problem, chosen, self.dtype)
+            if weights.b_scale is not None:
+                # b is never re-read through prepared weights, so the
+                # quantization scale must travel with the padded bytes.
+                executor.b_scale = weights.b_scale
             b_pad = weights.b_pad
         else:
             chosen = tile if tile is not None else select_tile(problem)
-            executor = TiledGemm(problem, chosen)
+            executor = executor_for(problem, chosen, self.dtype)
             b_pad = executor.pad_b(b)
         a_pad = executor.pad_a(a)
         c_clean = executor.multiply(a_pad, b_pad)
@@ -977,6 +1103,7 @@ class Scheme(abc.ABC):
                 verdict=verdicts[i],
                 injected=faults_batch[i],
                 crop=crop,
+                epilogue=prepared.executor.epilogue,
             )
             for i in range(len(faults_batch))
         ]
@@ -1005,6 +1132,7 @@ class Scheme(abc.ABC):
                 injected=faults_batch[i],
                 crop=crop,
                 acc_factory=_accumulator_factory(c_clean, faults_batch[i]),
+                epilogue=prepared.executor.epilogue,
             )
             for i in range(len(faults_batch))
         ]

@@ -56,8 +56,25 @@ from ..faults.injector import FaultSites
 from ..gemm.executor import EXECUTION_STATS, TiledGemm
 
 
-def _as_f32(x: np.ndarray) -> np.ndarray:
+def _as_working(x: np.ndarray) -> np.ndarray:
+    """Lift an operand to its checksum *working dtype*.
+
+    Float operands (the FP16 pipeline) reduce in float32 — the precision
+    of the CUDA-core registers the modeled checks run on, and what the
+    rounding-noise tolerance budgets for.  Integer operands (the INT8
+    pipeline's INT8 inputs and INT32 accumulators) reduce in float64,
+    where every reachable value is an exact integer (< 2**53) — so every
+    reduction is exact, order-independent, and the sparse/dense
+    bit-identity contract holds with no tolerance at all.
+    """
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.integer):
+        return x.astype(np.float64)
     return np.asarray(x, dtype=np.float32)
+
+
+def _working_scalar_dtype(arr: np.ndarray) -> type:
+    return np.float64 if np.issubdtype(arr.dtype, np.integer) else np.float32
 
 
 # ----------------------------------------------------------------------
@@ -91,7 +108,7 @@ def global_weight_checksums(b_pad: np.ndarray) -> GlobalWeightChecksums:
     if b_pad.ndim != 2:
         raise ShapeError(f"B must be a 2-D matrix, got {b_pad.ndim}-D")
     EXECUTION_STATS.weight_reductions += 1
-    b32 = _as_f32(b_pad)
+    b32 = _as_working(b_pad)
     return GlobalWeightChecksums(
         row_sums=b32.sum(axis=1), abs_row_sums=np.abs(b32).sum(axis=1)
     )
@@ -112,7 +129,7 @@ def global_checksums(
     if weights is None:
         weights = global_weight_checksums(b_pad)
     EXECUTION_STATS.activation_reductions += 1
-    a32 = _as_f32(a_pad)
+    a32 = _as_working(a_pad)
     col_a = a32.sum(axis=0)  # (K,)
     row_b = weights.row_sums  # (K,)
     reference = float(col_a @ row_b)
@@ -125,22 +142,24 @@ def global_checksums(
     )
 
 
-def _slice_sum_f32(arr: np.ndarray, axis: int) -> np.ndarray:
-    """Left-to-right float32 accumulation of ``arr`` along ``axis``.
+def _slice_sum(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Left-to-right working-dtype accumulation of ``arr`` along ``axis``.
 
     A fixed sequential order over the (short) tile axis, realized as
-    ``len - 1`` whole-array adds.  FP32 accumulation mirrors the
-    hardware check these reducers model — the per-thread row/tile sums
-    run on FP32 CUDA-core registers — and the detection tolerance
+    ``len - 1`` whole-array adds, in the working dtype of
+    :func:`_as_working`: FP32 accumulation mirrors the hardware check
+    these reducers model — the per-thread row/tile sums run on FP32
+    CUDA-core registers — and the detection tolerance
     (:mod:`repro.abft.detection`) is built from the FP32 unit roundoff,
-    so it is the precision the comparison already budgets for.
+    so it is the precision the comparison already budgets for; integer
+    accumulators reduce exactly in float64.
     Streaming slice adds are several times faster than NumPy's generic
     pairwise reduction when the reduced axis is a handful of elements,
     and the order is independent of every other axis, which keeps
     batched reductions bit-identical per trial slice.
     """
     view = np.moveaxis(arr, axis, -1)
-    acc = view[..., 0].astype(np.float32)
+    acc = view[..., 0].astype(_working_scalar_dtype(view))
     for j in range(1, view.shape[-1]):
         acc += view[..., j]
     return acc
@@ -160,7 +179,7 @@ def output_row_sums(c_pad: np.ndarray) -> np.ndarray:
     """
     if c_pad.ndim != 2:
         raise ShapeError(f"C must be a 2-D accumulator, got {c_pad.ndim}-D")
-    return _as_f32(c_pad).sum(axis=1, dtype=np.float64)
+    return _as_working(c_pad).sum(axis=1, dtype=np.float64)
 
 
 def output_summation_batch(c_batch: np.ndarray) -> np.ndarray:
@@ -175,7 +194,7 @@ def output_summation_batch(c_batch: np.ndarray) -> np.ndarray:
     """
     if c_batch.ndim != 3:
         raise ShapeError(f"stacked C must be 3-D, got {c_batch.ndim}-D")
-    rows = _as_f32(c_batch).sum(axis=2, dtype=np.float64)
+    rows = _as_working(c_batch).sum(axis=2, dtype=np.float64)
     return rows.sum(axis=1)
 
 
@@ -200,7 +219,7 @@ def struck_output_summations(
     keys = sites.trials * m_full + sites.rows
     uniq, inverse = np.unique(keys, return_inverse=True)
     u_trials, u_rows = np.divmod(uniq, m_full)
-    struck = c_clean[u_rows].astype(np.float32, copy=True)
+    struck = c_clean[u_rows].astype(_working_scalar_dtype(c_clean), copy=True)
     struck[inverse, sites.cols] = sites.values
     new_rows = struck.sum(axis=1, dtype=np.float64)
 
@@ -265,7 +284,7 @@ def tile_weight_checksums(
 ) -> TileWeightChecksums:
     """Weight-side reductions of thread-level ABFT for one padded ``B``."""
     nt = executor.tile.nt
-    b32 = _as_f32(b_pad)
+    b32 = _as_working(b_pad)
     if b32.shape != (executor.k_full, executor.n_full):
         raise ShapeError(f"padded B must be {executor.k_full}x{executor.n_full}")
     EXECUTION_STATS.weight_reductions += 1
@@ -291,7 +310,7 @@ def one_sided_checksums(
     if weights is None:
         weights = tile_weight_checksums(executor, b_pad)
     EXECUTION_STATS.activation_reductions += 1
-    a32 = _as_f32(a_pad)
+    a32 = _as_working(a_pad)
     w = weights.row_sums
     reference = a32 @ w
     magnitude = np.abs(a32) @ weights.abs_row_sums
@@ -308,7 +327,7 @@ def one_sided_output_rowsums_batch(
 ) -> np.ndarray:
     """Per-trial thread-tile row-sums: ``(N, m_full, n_tiles)``."""
     view = executor.thread_tile_view_batch(c_batch)
-    sums = _slice_sum_f32(view, 4)  # (N, m_tiles, mt, n_tiles)
+    sums = _slice_sum(view, 4)  # (N, m_tiles, mt, n_tiles)
     return sums.reshape(len(c_batch), executor.m_full, executor.n_tiles)
 
 
@@ -344,7 +363,7 @@ def one_sided_struck_rowsums(
         u_rows[:, None], (u_tile_cols * nt)[:, None] + np.arange(nt)
     ]  # (S, nt) — fresh contiguous copies of the struck slices
     struck[inverse, sites.cols % nt] = sites.values
-    return u_trials, u_checks, _slice_sum_f32(struck, 1)
+    return u_trials, u_checks, _slice_sum(struck, 1)
 
 
 def splice_one_sided_rowsums(
@@ -387,7 +406,7 @@ def two_sided_checksums(
         weights = tile_weight_checksums(executor, b_pad)
     EXECUTION_STATS.activation_reductions += 1
     mt = executor.tile.mt
-    a32 = _as_f32(a_pad)
+    a32 = _as_working(a_pad)
     # Column checksum of each thread's At: (m_tiles, K).
     col_a = a32.reshape(executor.m_tiles, mt, executor.k_full).sum(axis=1)
     # Row checksum of each thread's Bt: (K, n_tiles).
@@ -407,8 +426,8 @@ def thread_tile_sums(executor: TiledGemm, c_pad: np.ndarray) -> np.ndarray:
 def thread_tile_sums_batch(executor: TiledGemm, c_batch: np.ndarray) -> np.ndarray:
     """Per-trial thread-fragment sums: ``(N, m_tiles, n_tiles)``."""
     view = executor.thread_tile_view_batch(c_batch)
-    rows = _slice_sum_f32(view, 4)  # (N, m_tiles, mt, n_tiles)
-    return _slice_sum_f32(rows, 2)
+    rows = _slice_sum(view, 4)  # (N, m_tiles, mt, n_tiles)
+    return _slice_sum(rows, 2)
 
 
 def thread_tile_struck_sums(
@@ -444,8 +463,8 @@ def thread_tile_struck_sums(
         (u_tile_cols * nt)[:, None, None] + np.arange(nt)[None, None, :],
     ]  # (S, mt, nt) — fresh contiguous copies of the struck tiles
     struck[inverse, sites.rows % mt, sites.cols % nt] = sites.values
-    rows = _slice_sum_f32(struck, 2)  # (S, mt)
-    return u_trials, u_checks, _slice_sum_f32(rows, 1)
+    rows = _slice_sum(struck, 2)  # (S, mt)
+    return u_trials, u_checks, _slice_sum(rows, 1)
 
 
 def splice_thread_tile_sums(
@@ -496,6 +515,30 @@ def vandermonde_weights(length: int, count: int) -> np.ndarray:
     return (rows / rows.max(axis=1, keepdims=True)).astype(np.float32)
 
 
+def integer_checksum_weights(length: int, count: int) -> np.ndarray:
+    """``count`` independent *integer* checksum weight vectors.
+
+    Row ``s`` holds the classic integer powers ``(j+1)**s`` for
+    positions ``j = 0 .. length-1`` — a true Vandermonde system, so any
+    ``count`` rows are linearly independent.  Used by the INT8 pipeline,
+    where weights must be exactly representable so weighted checks stay
+    exact integers in float64; the fractional
+    :func:`vandermonde_weights` rows would reintroduce rounding noise
+    and break the zero-tolerance detection contract.  Every weight is
+    >= 1, so any integer corruption of magnitude >= 1 moves each check
+    by >= 1 — detectable at the half-ULP tolerance.  The flip side is
+    growth: magnitudes scale like ``length**(count - 1)``, which is why
+    the int8 ``global_multi`` scheme guards its magnitude bound against
+    the float64 exact-integer range at prepare time.
+    """
+    if length <= 0 or count <= 0:
+        raise ShapeError(
+            "integer_checksum_weights needs positive length and count"
+        )
+    positions = np.arange(1, length + 1, dtype=np.float64)
+    return np.stack([positions**s for s in range(count)])
+
+
 @dataclass(frozen=True)
 class MultiWeightChecksums:
     """Weight-side half of multi-checksum global ABFT.
@@ -510,13 +553,23 @@ class MultiWeightChecksums:
     abs_combos: np.ndarray  # (count, K)
 
 
-def multi_weight_checksums(b_pad: np.ndarray, count: int) -> MultiWeightChecksums:
-    """Weighted ``B``-side combinations for ``count`` independent checks."""
+def multi_weight_checksums(
+    b_pad: np.ndarray, count: int, *, integer: bool = False
+) -> MultiWeightChecksums:
+    """Weighted ``B``-side combinations for ``count`` independent checks.
+
+    ``integer`` selects :func:`integer_checksum_weights` (the INT8
+    pipeline's exact weights) over the FP16 pipeline's normalized
+    :func:`vandermonde_weights`.
+    """
     if b_pad.ndim != 2:
         raise ShapeError(f"B must be a 2-D matrix, got {b_pad.ndim}-D")
     EXECUTION_STATS.weight_reductions += 1
-    b32 = _as_f32(b_pad)
-    w_n = vandermonde_weights(b_pad.shape[1], count)
+    b32 = _as_working(b_pad)
+    if integer:
+        w_n = integer_checksum_weights(b_pad.shape[1], count)
+    else:
+        w_n = vandermonde_weights(b_pad.shape[1], count)
     combos = w_n @ b32.T  # (count, K) in one matmul
     abs_combos = np.abs(w_n) @ np.abs(b32).T
     return MultiWeightChecksums(weights_n=w_n, combos=combos, abs_combos=abs_combos)
@@ -609,7 +662,7 @@ def struck_multi_weighted_sums(
     keys = sites.trials * m_full + sites.rows
     uniq, inverse = np.unique(keys, return_inverse=True)
     u_trials, u_rows = np.divmod(uniq, m_full)
-    struck = c_clean[u_rows].astype(np.float32, copy=True)
+    struck = c_clean[u_rows].astype(_working_scalar_dtype(c_clean), copy=True)
     struck[inverse, sites.cols] = sites.values
     struck64 = struck.astype(np.float64)
     new_partials = struck64[:, None, :] @ _weights_n_t(weights_n)

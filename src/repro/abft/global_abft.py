@@ -186,9 +186,8 @@ class GlobalABFT(Scheme):
         faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
-        references = self._references_batch(prepared, faults_batch)
         out_sums = output_summation_batch(c_batch)
-        verdicts = self._verdicts(prepared, references, out_sums, detection)
+        verdicts = self._walk_verdicts(prepared, out_sums, faults_batch, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
     # -- sparse re-reduction hooks -------------------------------------

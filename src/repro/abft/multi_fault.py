@@ -35,6 +35,7 @@ from .base import (
 from .checksums import (
     MultiWeightChecksums,
     _multi_combine_row_partials,
+    integer_checksum_weights,
     multi_row_partials,
     multi_weight_checksums,
     multi_weighted_output_sums,
@@ -61,7 +62,8 @@ class MultiChecksumGlobalABFT(Scheme):
     name = "global_multi"
     supports_sparse = True
 
-    def __init__(self, num_checksums: int = 2) -> None:
+    def __init__(self, num_checksums: int = 2, *, dtype: str = "fp16") -> None:
+        super().__init__(dtype=dtype)
         if num_checksums < 1:
             raise ConfigurationError(
                 f"num_checksums must be >= 1, got {num_checksums}"
@@ -70,8 +72,16 @@ class MultiChecksumGlobalABFT(Scheme):
 
     @property
     def cache_token(self):
-        """Prepared state depends on ``r``: one cache identity per count."""
-        return (self.name, self.num_checksums)
+        """Prepared state depends on ``r`` (and pipeline dtype)."""
+        if self.dtype == "fp16":
+            return (self.name, self.num_checksums)
+        return (self.name, self.num_checksums, self.dtype)
+
+    def _position_weights(self, length: int) -> np.ndarray:
+        """Row weights matched to the pipeline: exact integers under int8."""
+        if self.dtype == "int8":
+            return integer_checksum_weights(length, self.num_checksums)
+        return vandermonde_weights(length, self.num_checksums)
 
     def plan(
         self,
@@ -129,7 +139,9 @@ class MultiChecksumGlobalABFT(Scheme):
     def _prepare_weight_state(
         self, executor: TiledGemm, b_pad: np.ndarray
     ) -> MultiWeightChecksums:
-        return multi_weight_checksums(b_pad, self.num_checksums)
+        return multi_weight_checksums(
+            b_pad, self.num_checksums, integer=self.dtype == "int8"
+        )
 
     def _prepare_state(
         self,
@@ -145,12 +157,14 @@ class MultiChecksumGlobalABFT(Scheme):
                 f"combinations, this scheme needs {self.num_checksums}"
             )
         if weight_state is None:
-            weight_state = multi_weight_checksums(b_pad, self.num_checksums)
+            weight_state = multi_weight_checksums(
+                b_pad, self.num_checksums, integer=self.dtype == "int8"
+            )
         EXECUTION_STATS.activation_reductions += 1
-        a32 = a_pad.astype(np.float32)
+        a32 = a_pad.astype(np.float64 if self.dtype == "int8" else np.float32)
         # Row weights act on A's rows (length M); column weights on B's
         # columns (length N).  Check s: (w_m^s A) (B w_n^s) == w_m^s C w_n^s.
-        w_m = vandermonde_weights(executor.m_full, self.num_checksums)
+        w_m = self._position_weights(executor.m_full)
         w_n = weight_state.weights_n
 
         references = np.empty(self.num_checksums, dtype=np.float64)
@@ -161,6 +175,14 @@ class MultiChecksumGlobalABFT(Scheme):
             references[s] = float(col_a @ weight_state.combos[s])
             magnitudes[s] = float(
                 (np.abs(w_m[s]) @ abs_a) @ weight_state.abs_combos[s]
+            )
+        if self.dtype == "int8" and magnitudes.max(initial=0.0) >= 2.0**52:
+            # The integer-weighted checks are exact only while every
+            # intermediate fits float64's exact-integer range.
+            raise ConfigurationError(
+                f"int8 global_multi with r={self.num_checksums} exceeds the "
+                f"exact-integer range for this problem size; reduce the "
+                f"checksum count or the GEMM extents"
             )
         return _MultiState(
             weights_m=w_m, weights_n=w_n,
@@ -213,8 +235,7 @@ class MultiChecksumGlobalABFT(Scheme):
         out_sums = multi_weighted_output_sums(
             c_batch, state.weights_m, state.weights_n
         )  # (N, r)
-        references = self._references_batch(prepared, faults_batch)
-        verdicts = self._verdicts(prepared, references, out_sums, detection)
+        verdicts = self._walk_verdicts(prepared, out_sums, faults_batch, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
     # -- sparse re-reduction hooks -------------------------------------

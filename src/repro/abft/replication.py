@@ -214,9 +214,10 @@ class ReplicationSingleAccumulator(Scheme):
         faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
-        replica_sums = self._references_batch(prepared, faults_batch)
         original_sums = thread_tile_sums_batch(prepared.executor, c_batch)
-        verdicts = self._verdicts(prepared, replica_sums, original_sums, detection)
+        verdicts = self._walk_verdicts(
+            prepared, original_sums, faults_batch, detection
+        )
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
     # -- sparse re-reduction hooks -------------------------------------

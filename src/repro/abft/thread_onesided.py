@@ -170,9 +170,8 @@ class ThreadLevelOneSided(Scheme):
         faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
-        references = self._references_batch(prepared, faults_batch)
         rowsums = one_sided_output_rowsums_batch(prepared.executor, c_batch)
-        verdicts = self._verdicts(prepared, references, rowsums, detection)
+        verdicts = self._walk_verdicts(prepared, rowsums, faults_batch, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
     # -- sparse re-reduction hooks -------------------------------------

@@ -160,9 +160,8 @@ class ThreadLevelTwoSided(Scheme):
         faults_batch: Sequence[tuple[FaultSpec, ...]],
         detection: DetectionConstants,
     ) -> list[ExecutionOutcome]:
-        references = self._references_batch(prepared, faults_batch)
         tile_sums = thread_tile_sums_batch(prepared.executor, c_batch)
-        verdicts = self._verdicts(prepared, references, tile_sums, detection)
+        verdicts = self._walk_verdicts(prepared, tile_sums, faults_batch, detection)
         return self._outcome_batch(prepared, c_batch, verdicts, faults_batch)
 
     # -- sparse re-reduction hooks -------------------------------------

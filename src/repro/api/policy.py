@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Protocol, Sequence, runtime_checkable
 
-from ..abft import scheme_from_token
+from ..abft import scheme_from_token, split_dtype_token
 from ..config import DEFAULT_CONSTANTS, ModelConstants
 from ..core.intensity_guided import (
     DEFAULT_CANDIDATES,
@@ -60,6 +60,11 @@ class IntensityGuidedPolicy:
     freezes both the winning token per layer and every candidate's
     modeled time, so uniform-baseline overheads stay reportable from
     the serialized plan alone.
+
+    ``dtype="int8"`` arbitrates over the quantized pipeline instead:
+    candidates are profiled on the device's INT8 throughput with
+    one-byte operands, and the winning tokens carry ``@int8`` so the
+    plan deploys quantized executors.
     """
 
     name = "guided"
@@ -69,9 +74,13 @@ class IntensityGuidedPolicy:
         *,
         candidates: Sequence[str] = DEFAULT_CANDIDATES,
         constants: ModelConstants = DEFAULT_CONSTANTS,
+        dtype: str = "fp16",
     ) -> None:
         self.candidates = tuple(candidates)
         self.constants = constants
+        self.dtype = dtype
+        if dtype != "fp16":
+            self.name = f"guided@{dtype}"
         # One IntensityGuidedABFT (hence one profiler cache) per device:
         # assigning many models through one policy dedupes identical
         # layer shapes across all of them, like the drivers always did.
@@ -81,7 +90,10 @@ class IntensityGuidedPolicy:
         guided = self._guided.get(spec)
         if guided is None:
             guided = IntensityGuidedABFT(
-                spec, candidates=self.candidates, constants=self.constants
+                spec,
+                candidates=self.candidates,
+                constants=self.constants,
+                dtype=self.dtype,
             )
             self._guided[spec] = guided
         return guided
@@ -115,15 +127,21 @@ class FixedPolicy:
         self.name = f"fixed:{token}"
         # Fail on a bad token at policy construction, not at assign time.
         scheme_from_token(token)
+        self._dtype = split_dtype_token(token)[1]
         self._profilers: dict[GPUSpec, PredeploymentProfiler] = {}
 
     def _profiler_for(self, spec: GPUSpec) -> PredeploymentProfiler:
         profiler = self._profilers.get(spec)
         if profiler is None:
+            # An ``@int8`` token prices against the device's INT8 pipe
+            # with one-byte operands, mirroring IntensityGuidedABFT.
+            constants = self.constants
+            if self._dtype == "int8":
+                constants = constants.with_overrides(fp16_bytes=1)
             profiler = PredeploymentProfiler(
-                spec,
+                spec.for_dtype(self._dtype),
                 schemes=[scheme_from_token(self.token)],
-                constants=self.constants,
+                constants=constants,
             )
             self._profilers[spec] = profiler
         return profiler
@@ -222,13 +240,14 @@ def as_policy(policy: "SchemePolicy | str | Callable") -> SchemePolicy:
     """Normalize a policy argument into a :class:`SchemePolicy`.
 
     * a policy object (anything with ``assign``) passes through;
-    * ``"guided"`` → :class:`IntensityGuidedPolicy`;
+    * ``"guided"`` (or ``"guided@int8"``) → :class:`IntensityGuidedPolicy`;
     * ``"fixed:TOKEN"`` or a bare scheme token → :class:`FixedPolicy`;
     * any other callable → :class:`CallablePolicy`.
     """
     if isinstance(policy, str):
-        if policy == IntensityGuidedPolicy.name:
-            return IntensityGuidedPolicy()
+        base, dtype = split_dtype_token(policy)
+        if base == IntensityGuidedPolicy.name:
+            return IntensityGuidedPolicy(dtype=dtype)
         token = policy.removeprefix("fixed:")
         return FixedPolicy(token)
     if hasattr(policy, "assign"):

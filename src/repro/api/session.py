@@ -36,16 +36,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..abft.base import PreparedCache
-from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..config import DetectionConstants
 from ..errors import ConfigurationError
 from ..faults.campaign import FaultCampaign
 from ..faults.model import FaultSpec
-from ..faults.options import (
-    _UNSET,
-    CampaignOptions,
-    resolve_deprecated,
-    resolve_option,
-)
+from ..faults.options import CampaignOptions, resolve_option
 from ..faults.propagation import PropagationCampaign
 from ..faults.recovery import RecoveryPolicy, attempt_recovery
 from ..gemm.tiles import TileConfig
@@ -87,7 +82,11 @@ class ProtectedSession:
         instead of growing without bound.  Pass an unbounded
         ``PreparedCache()`` explicitly to pin everything.
     detection:
-        Detection constants for forward passes and campaign defaults.
+        Detection constants for forward passes and campaign defaults;
+        ``None`` (default) resolves per layer to the deployed scheme's
+        :attr:`~repro.abft.Scheme.default_detection` — FP16 layers get
+        the rounding-noise tolerance, INT8 layers the exact-integer
+        half-ULP threshold.
     recovery:
         Optional :class:`~repro.faults.RecoveryPolicy` applied by
         default to every :meth:`run` (both realizations) and inherited
@@ -104,7 +103,7 @@ class ProtectedSession:
         model: SequentialModel | None = None,
         seed: int = 0,
         cache: PreparedCache | None = None,
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        detection: DetectionConstants | None = None,
         recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.plan = plan
@@ -274,8 +273,6 @@ class ProtectedSession:
         significance_factor: float | None = None,
         batch_size: int | None = None,
         sparse: bool | None = None,
-        detection: DetectionConstants | None = _UNSET,
-        workers: int | None = _UNSET,
         options: CampaignOptions | None = None,
     ) -> FaultCampaign:
         """A prepared :class:`~repro.faults.FaultCampaign` on one layer.
@@ -287,12 +284,12 @@ class ProtectedSession:
         ``layer`` may be omitted for single-layer plans; campaign
         parameters — individually, or bundled in ``options=``
         (:class:`~repro.faults.CampaignOptions`) — are forwarded to
-        :class:`~repro.faults.FaultCampaign` (``workers=N`` makes every
-        run of the returned campaign shard across ``N`` worker
-        processes by default).  The ``detection=`` / ``workers=``
-        keywords are deprecated aliases for the ``options`` fields (one
-        release, :class:`DeprecationWarning`); the campaign always uses
-        the session's shared cache.
+        :class:`~repro.faults.FaultCampaign`
+        (``options=CampaignOptions(workers=N)`` makes every run of the
+        returned campaign shard across ``N`` worker processes by
+        default).  ``detection`` / ``workers`` are options-only fields
+        (their keyword aliases were removed after one deprecated
+        release); the campaign always uses the session's shared cache.
 
         Example
         -------
@@ -306,8 +303,8 @@ class ProtectedSession:
         True
         """
         owner = "ProtectedSession.campaign"
-        detection = resolve_deprecated(options, owner, "detection", detection)
-        workers = resolve_deprecated(options, owner, "workers", workers)
+        detection = options.detection if options is not None else None
+        workers = options.workers if options is not None else None
         seed = resolve_option(options, owner, "seed", seed)
         significance_factor = resolve_option(
             options, owner, "significance_factor", significance_factor
@@ -360,7 +357,6 @@ class ProtectedSession:
         output_atol: float | None = None,
         batch_size: int | None = None,
         verify_recovery: bool = True,
-        workers: int | None = _UNSET,
         options: CampaignOptions | None = None,
     ) -> PropagationCampaign:
         """An end-to-end :class:`~repro.faults.PropagationCampaign`.
@@ -376,15 +372,16 @@ class ProtectedSession:
         replays all draw from the session's shared cache.
 
         ``layer`` may be omitted for single-layer plans; ``x`` is the
-        model input the campaign propagates over; ``workers=N`` makes
-        every run of the returned campaign shard across ``N`` worker
-        processes by default (:mod:`repro.faults.parallel`).  Campaign
-        knobs may be bundled in ``options=`` (:class:`~repro.faults.
-        CampaignOptions`); the ``workers=`` keyword is a deprecated
-        alias for its field (one release, :class:`DeprecationWarning`).
+        model input the campaign propagates over;
+        ``options=CampaignOptions(workers=N)`` makes every run of the
+        returned campaign shard across ``N`` worker processes by
+        default (:mod:`repro.faults.parallel`).  Campaign knobs are
+        bundled in ``options=`` (:class:`~repro.faults.
+        CampaignOptions`); ``workers`` is options-only (its keyword
+        alias was removed after one deprecated release).
         """
         owner = "ProtectedSession.propagation_campaign"
-        workers = resolve_deprecated(options, owner, "workers", workers)
+        workers = options.workers if options is not None else None
         seed = resolve_option(options, owner, "seed", seed)
         batch_size = resolve_option(options, owner, "batch_size", batch_size)
         if self.engine is None:
@@ -437,7 +434,7 @@ def deploy(
     runnable: SequentialModel | None = None,
     seed: int = 0,
     cache: PreparedCache | None = None,
-    detection: DetectionConstants = DEFAULT_DETECTION,
+    detection: DetectionConstants | None = None,
     recovery: RecoveryPolicy | None = None,
 ) -> ProtectedSession:
     """Model + device + policy → a running protected session.

@@ -105,10 +105,29 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_token(args: argparse.Namespace) -> str:
+    """Combine ``--policy`` and ``--dtype`` into one policy string.
+
+    ``--dtype int8`` suffixes the policy with ``@int8`` — ``guided`` →
+    ``guided@int8``, ``fixed:global`` → ``fixed:global@int8`` — so the
+    flag is sugar over the token grammar, not a second mechanism.
+    """
+    token = args.policy or "guided"
+    dtype = getattr(args, "dtype", None)
+    if dtype is not None and dtype != "fp16":
+        if "@" in token:
+            raise ConfigurationError(
+                f"--dtype {dtype} conflicts with the explicit @dtype in "
+                f"--policy {token!r}; pass one or the other"
+            )
+        token = f"{token}@{dtype}"
+    return token
+
+
 def _build_plan(args: argparse.Namespace) -> DeploymentPlan:
     """Policy → plan for the subcommand's model/device arguments."""
     spec = get_gpu(args.device or "T4")
-    return as_policy(args.policy or "guided").assign(_build_graph(args), spec)
+    return as_policy(_policy_token(args)).assign(_build_graph(args), spec)
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
@@ -172,6 +191,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--height", args.height),
                 ("--width", args.width),
                 ("--policy", args.policy),
+                ("--dtype", args.dtype),
             )
             if given is not None
         ]
@@ -248,6 +268,7 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
                 ("--height", args.height),
                 ("--width", args.width),
                 ("--policy", args.policy),
+                ("--dtype", args.dtype),
             )
             if given is not None
         ]
@@ -260,7 +281,7 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
     else:
         spec = get_gpu(args.device or "T4")
         graph = build_model(args.model, batch=batch)
-        plan = as_policy(args.policy or "guided").assign(graph, spec)
+        plan = as_policy(_policy_token(args)).assign(graph, spec)
     recovery = None
     if not args.no_recovery:
         recovery = RecoveryPolicy(
@@ -317,7 +338,7 @@ def _cmd_fleet_deploy(args: argparse.Namespace) -> int:
     fleet = deploy_fleet(
         args.models,
         args.devices,
-        policy=args.policy or "guided",
+        policy=_policy_token(args),
         registry=registry,
         batch=args.batch,
         h=args.height if args.height is not None else 1080,
@@ -458,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--policy", default=None,
                        help="'guided' (default), 'fixed:TOKEN', or a bare "
                             "scheme token, e.g. fixed:global_multi:2")
+        p.add_argument("--dtype", default=None, choices=["fp16", "int8"],
+                       help="numeric pipeline to deploy (default fp16); "
+                            "int8 prices the quantized executor and "
+                            "suffixes the policy token with @int8")
 
     p_int = sub.add_parser("intensity", help="per-layer arithmetic intensity")
     _model_args(p_int)
@@ -548,6 +573,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fdep.add_argument("--policy", default=None,
                         help="'guided' (default), 'fixed:TOKEN', or a bare "
                              "scheme token")
+    p_fdep.add_argument("--dtype", default=None, choices=["fp16", "int8"],
+                        help="numeric pipeline to deploy (default fp16)")
     p_fdep.add_argument("--batch", type=int, default=None,
                         help="batch size (model-specific default)")
     p_fdep.add_argument("--height", type=int, default=None,

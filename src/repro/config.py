@@ -142,6 +142,12 @@ class ModelConstants:
 
 DEFAULT_CONSTANTS = ModelConstants()
 
+#: Latency-model constants for the INT8 quantized pipeline.  Operands
+#: are one byte wide, which doubles every GEMM's arithmetic intensity
+#: at fixed shape; ``fp16_bytes`` names the operand width throughout
+#: the cost model, so only its value changes.
+INT8_CONSTANTS = DEFAULT_CONSTANTS.with_overrides(fp16_bytes=1)
+
 
 @dataclass(frozen=True)
 class DetectionConstants:
@@ -190,3 +196,17 @@ class DetectionConstants:
 
 
 DEFAULT_DETECTION = DetectionConstants()
+
+#: Detection policy for the INT8 quantized pipeline.  Quantized GEMMs
+#: accumulate exactly (INT8 products in INT32, checksum reductions in
+#: float64 where every reachable value is an exact integer), so there is
+#: no rounding noise to budget for: the roundoff terms vanish and the
+#: tolerance collapses to the half-ULP floor 0.5 — any fault that moves
+#: an integer sum by one or more counts is detected, and a clean check
+#: never alarms.
+INT8_DETECTION = DetectionConstants(
+    fp32_unit_roundoff=0.0,
+    fp16_unit_roundoff=0.0,
+    rtol_slack=0.0,
+    atol_floor=0.5,
+)

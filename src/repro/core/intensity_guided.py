@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..abft import get_scheme
 from ..config import DEFAULT_CONSTANTS, ModelConstants
 from ..errors import ProfilingError
 from ..gemm.problem import GemmProblem
@@ -117,9 +118,16 @@ class IntensityGuidedABFT:
         Scheme registry names to arbitrate between; defaults to the
         paper's pair (global, one-sided thread-level).
     constants:
-        Latency-model constants.
+        Latency-model constants.  Under ``dtype="int8"`` the operand
+        width is forced to one byte regardless of what is passed.
     profiler:
         Optionally inject a pre-built profiler (shares its cache).
+    dtype:
+        Numeric pipeline to price and deploy: ``"fp16"`` (default) or
+        ``"int8"``.  INT8 selection profiles the quantized schemes on
+        :meth:`GPUSpec.for_dtype`'s INT8 throughput with one-byte
+        operands, and the chosen tokens carry the ``@int8`` suffix so
+        deployment plans build quantized executors.
     """
 
     def __init__(
@@ -129,21 +137,31 @@ class IntensityGuidedABFT:
         candidates: Sequence[str] = DEFAULT_CANDIDATES,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         profiler: PredeploymentProfiler | None = None,
+        dtype: str = "fp16",
     ) -> None:
         if not candidates:
             raise ProfilingError("intensity-guided ABFT needs candidate schemes")
-        self.spec = spec
+        self.dtype = dtype
+        self.spec = spec.for_dtype(dtype)  # validates dtype, too
+        if dtype == "int8":
+            constants = constants.with_overrides(fp16_bytes=1)
         self.candidates = tuple(candidates)
         self.constants = constants
         self.profiler = profiler or PredeploymentProfiler(
-            spec, schemes=self.candidates, constants=constants
+            self.spec,
+            schemes=[get_scheme(name, dtype=dtype) for name in self.candidates],
+            constants=constants,
         )
 
     # ------------------------------------------------------------------
+    def _token(self, candidate: str) -> str:
+        """The deployment token for one candidate on this pipeline."""
+        return candidate if self.dtype == "fp16" else f"{candidate}@{self.dtype}"
+
     def select_for_problem(self, problem: GemmProblem, *, name: str = "") -> LayerSelection:
         """Profile one layer and choose its cheapest protection."""
         entries = self.profiler.profile(problem)
-        times = {s: entries[s].time_s for s in self.candidates}
+        times = {self._token(s): entries[s].time_s for s in self.candidates}
         chosen = min(times, key=lambda s: times[s])
         return LayerSelection(
             layer_name=name or problem.label or str(problem),

@@ -25,6 +25,7 @@ from .ablations import (
 )
 from .agreement import agreement_fraction, agreement_study
 from .sdc_propagation import sdc_propagation_experiment
+from .transformer_abft import transformer_abft
 from .runner import run_all
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "agreement_study",
     "agreement_fraction",
     "sdc_propagation_experiment",
+    "transformer_abft",
     "run_all",
 ]

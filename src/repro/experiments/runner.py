@@ -24,6 +24,7 @@ from .fig12_square import fig12_square_sweep
 from .sdc_propagation import sdc_propagation_experiment
 from .sec33_cmr import sec33_cmr_table
 from .table1_ops import table1_op_counts
+from .transformer_abft import transformer_abft
 
 #: Every experiment keyed by its paper artifact, in paper order.
 EXPERIMENTS: dict[str, Callable[[], Table]] = {
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[[], Table]] = {
     "ablation_tile": ablation_thread_tile,
     "ablation_devices": ablation_device_sweep,
     "sec72_agreement": agreement_study,
+    "transformer_abft": transformer_abft,
 }
 
 

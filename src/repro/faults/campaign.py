@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..config import DetectionConstants
 
 if TYPE_CHECKING:  # avoid the faults <-> abft import cycle at runtime
     from ..abft.base import PreparedCache, PreparedExecution, Scheme
@@ -50,7 +50,7 @@ from ..errors import FaultInjectionError
 from ..gemm.tiles import TileConfig
 from .injector import FaultSites, faulted_site_values, sites_from_flat_specs
 from .model import FaultKind, FaultPath, FaultSpec
-from .options import _UNSET, CampaignOptions, resolve_deprecated, resolve_option
+from .options import CampaignOptions, resolve_option
 
 #: One campaign trial's fault set, or a bare spec (normalized to a
 #: 1-tuple) — what ``run``/``run_batch`` accept per trial.
@@ -295,10 +295,11 @@ class FaultCampaign:
         the in-process result for a fixed seed.
     options:
         A :class:`~repro.faults.CampaignOptions` carrying any of the
-        knobs above; each may be given either here or as its keyword,
-        not both.  The ``detection=`` / ``cache=`` / ``workers=``
-        keywords are deprecated aliases (one release,
-        :class:`DeprecationWarning`) — new code passes ``options=``.
+        knobs above; ``seed`` / ``significance_factor`` / ``batch_size``
+        / ``sparse`` may be given either here or as their keyword, not
+        both.  ``detection`` / ``cache`` / ``workers`` are options-only
+        (their keyword aliases were removed after one deprecated
+        release).
     """
 
     #: Transient-memory budget the auto-tuned batch size fills.
@@ -313,24 +314,16 @@ class FaultCampaign:
         b: np.ndarray,
         *,
         tile: TileConfig | None = None,
-        detection: DetectionConstants = _UNSET,
         significance_factor: float | None = None,
         seed: int | None = None,
         batch_size: int | None = None,
         sparse: bool | None = None,
-        cache: "PreparedCache | None" = _UNSET,
-        workers: int | None = _UNSET,
         options: CampaignOptions | None = None,
     ) -> None:
-        # One options object replaces the per-knob keywords; detection/
-        # cache/workers remain as deprecated aliases for one release.
-        detection = resolve_deprecated(
-            options, "FaultCampaign", "detection", detection
-        )
-        cache = resolve_deprecated(options, "FaultCampaign", "cache", cache)
-        workers = resolve_deprecated(
-            options, "FaultCampaign", "workers", workers
-        )
+        # detection / cache / workers travel only on the options object.
+        detection = options.detection if options is not None else None
+        cache = options.cache if options is not None else None
+        workers = options.workers if options is not None else None
         significance_factor = resolve_option(
             options, "FaultCampaign", "significance_factor",
             significance_factor,
@@ -341,7 +334,9 @@ class FaultCampaign:
         )
         sparse = resolve_option(options, "FaultCampaign", "sparse", sparse)
         if detection is None:
-            detection = DEFAULT_DETECTION
+            # Scheme-matched default: the INT8 pipeline's exact-integer
+            # checks need the half-ULP tolerance, not FP32 roundoff.
+            detection = scheme.default_detection
         if significance_factor is None:
             significance_factor = 4.0
         if seed is None:
@@ -781,7 +776,8 @@ class FaultCampaign:
             scratch = getattr(self._tls, "scratch", None)
             if size and (scratch is None or len(scratch) < size):
                 scratch = np.empty(
-                    (size, *self._prepared.c_clean.shape), dtype=np.float32
+                    (size, *self._prepared.c_clean.shape),
+                    dtype=self._prepared.c_clean.dtype,
                 )
                 self._tls.scratch = scratch
         for start in range(0, len(trials), self.batch_size):

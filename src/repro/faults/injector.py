@@ -41,6 +41,37 @@ def corrupted_value(original: float, spec: FaultSpec) -> float:
     raise FaultInjectionError(f"unhandled fault kind {spec.kind!r}")
 
 
+_INT32_WRAP = 1 << 32
+_INT32_MIN = -(1 << 31)
+
+
+def _wrap_int32(value: int) -> int:
+    """Wrap an arbitrary integer into INT32 two's-complement range."""
+    return (value - _INT32_MIN) % _INT32_WRAP + _INT32_MIN
+
+
+def corrupted_int32_value(original: int, spec: FaultSpec) -> int:
+    """INT32-domain reference semantics of one fault on one element.
+
+    Bit flips XOR the requested bit of the 32-bit word (an FP16-domain
+    flip strikes the low half-word — same storage-level event, no
+    float interpretation); additive and set faults round the spec value
+    to the nearest integer and wrap in two's complement like a hardware
+    integer datapath would.
+    """
+    if spec.kind in (FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16):
+        return _wrap_int32(_wrap_int32(original) ^ (1 << spec.bit))
+    if not np.isfinite(spec.value):
+        raise FaultInjectionError(
+            f"non-finite fault value {spec.value!r} on an integer accumulator"
+        )
+    if spec.kind is FaultKind.ADD:
+        return _wrap_int32(original + int(np.rint(spec.value)))
+    if spec.kind is FaultKind.SET:
+        return _wrap_int32(int(np.rint(spec.value)))
+    raise FaultInjectionError(f"unhandled fault kind {spec.kind!r}")
+
+
 def apply_fault_to_accumulator(c_pad: np.ndarray, spec: FaultSpec) -> float:
     """Corrupt one element of the padded FP32 accumulator in place.
 
@@ -54,14 +85,20 @@ def apply_fault_to_accumulator(c_pad: np.ndarray, spec: FaultSpec) -> float:
             f"fault site ({spec.row}, {spec.col}) outside accumulator "
             f"{rows}x{cols}"
         )
+    if np.issubdtype(c_pad.dtype, np.integer):
+        old_int = int(c_pad[spec.row, spec.col])
+        new_int = corrupted_int32_value(old_int, spec)
+        c_pad[spec.row, spec.col] = np.int32(new_int)
+        return float(new_int - old_int)
     old = float(c_pad[spec.row, spec.col])
     new = corrupted_value(old, spec)
     if not np.isfinite(new):
         # A flip of the exponent MSB can produce inf/NaN; keep it — ABFT
         # comparisons naturally flag non-finite mismatches.
         pass
-    c_pad[spec.row, spec.col] = np.float32(new)
-    return float(np.float32(new)) - old
+    stored = c_pad.dtype.type(new)
+    c_pad[spec.row, spec.col] = stored
+    return float(stored) - old
 
 
 def corrupted_values_batch(
@@ -81,6 +118,8 @@ def corrupted_values_batch(
         raise FaultInjectionError(
             f"{values.shape} corruption values for {len(specs)} fault specs"
         )
+    if np.issubdtype(values.dtype, np.integer):
+        return _corrupted_int32_values_batch(values, specs)
     out = np.ascontiguousarray(values, dtype=np.float32)
     if out is values:
         out = values.copy()
@@ -119,6 +158,52 @@ def corrupted_values_batch(
             flipped = (halves.view(np.uint16) ^ masks).view(np.float16)
             with np.errstate(invalid="ignore"):
                 out[sel] = flipped.astype(np.float64).astype(np.float32)
+        else:
+            raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+    return out
+
+
+def _corrupted_int32_values_batch(
+    values: np.ndarray, specs: Sequence[FaultSpec]
+) -> np.ndarray:
+    """INT32 corruption core: vectorized :func:`corrupted_int32_value`.
+
+    Both bit-flip kinds XOR the 32-bit word (an FP16 flip is a low
+    half-word strike, ``bit < 16`` by :class:`FaultSpec` contract);
+    ADD/SET round the float spec value to the nearest integer and wrap
+    in two's complement — element-identical to the scalar reference.
+    """
+    out = np.ascontiguousarray(values, dtype=np.int32)
+    if out is values:
+        out = values.copy()
+    groups: dict[FaultKind, list[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(spec.kind, []).append(i)
+    for kind, members in groups.items():
+        sel = np.asarray(members, dtype=np.intp)
+        if kind in (FaultKind.BITFLIP_FP32, FaultKind.BITFLIP_FP16):
+            masks = np.fromiter(
+                (1 << specs[i].bit for i in members), dtype=np.uint32,
+                count=len(members),
+            )
+            out[sel] = (out[sel].view(np.uint32) ^ masks).view(np.int32)
+        elif kind in (FaultKind.ADD, FaultKind.SET):
+            raw = [float(specs[i].value) for i in members]
+            if not np.all(np.isfinite(raw)):
+                raise FaultInjectionError(
+                    "non-finite fault value on an integer accumulator"
+                )
+            ints = np.fromiter(
+                (_wrap_int32(int(np.rint(v))) for v in raw),
+                dtype=np.int64, count=len(members),
+            )
+            if kind is FaultKind.ADD:
+                summed = out[sel].astype(np.int64) + ints
+                out[sel] = (summed & np.int64(_INT32_WRAP - 1)).astype(
+                    np.uint32
+                ).view(np.int32)
+            else:
+                out[sel] = ints.astype(np.uint32).view(np.int32)
         else:
             raise FaultInjectionError(f"unhandled fault kind {kind!r}")
     return out
@@ -184,7 +269,7 @@ class FaultSites:
     trials: np.ndarray  # (S,) intp — trial index per site
     rows: np.ndarray  # (S,) intp — padded accumulator row
     cols: np.ndarray  # (S,) intp — padded accumulator column
-    values: np.ndarray  # (S,) float32 — final post-fault element value
+    values: np.ndarray  # (S,) accumulator dtype — final post-fault value
     n_trials: int
 
     def __len__(self) -> int:
@@ -248,7 +333,10 @@ def faulted_site_values(
     if len(trials):
         all_specs = [spec for entries in steps for _, spec in entries]
         _validated_coords(all_specs, rows_total, cols_total)
-    values = c_clean[rows, cols].astype(np.float32, copy=True)
+    site_dtype = (
+        np.int32 if np.issubdtype(c_clean.dtype, np.integer) else np.float32
+    )
+    values = c_clean[rows, cols].astype(site_dtype, copy=True)
     for entries in steps:
         sel = np.asarray([idx for idx, _ in entries], dtype=np.intp)
         values[sel] = corrupted_values_batch(

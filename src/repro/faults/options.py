@@ -8,16 +8,16 @@ frozen dataclass accepted everywhere as ``options=``.
 
 Every field defaults to ``None``, meaning "the consumer's own default",
 so a partially filled options object composes with per-consumer
-defaults exactly like the individual kwargs did.  A knob may be given
-either through ``options=`` or through the corresponding keyword, never
-both; the ``detection=`` / ``cache=`` / ``workers=`` keywords are
-deprecated aliases that additionally emit a :class:`DeprecationWarning`
-(kept for one release).
+defaults exactly like the individual kwargs did.  The trial-shaping
+knobs (``seed`` / ``significance_factor`` / ``batch_size`` /
+``sparse``) may be given either through ``options=`` or through the
+corresponding keyword, never both; ``detection`` / ``cache`` /
+``workers`` travel only on the options object (their keyword aliases
+were removed after one deprecated release).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Any
 
@@ -26,10 +26,6 @@ from ..errors import FaultInjectionError
 if TYPE_CHECKING:  # pragma: no cover
     from ..abft.base import PreparedCache
     from ..config import DetectionConstants
-
-#: Sentinel distinguishing "keyword not passed" from an explicit value,
-#: on the deprecated aliases.
-_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -41,10 +37,11 @@ class CampaignOptions:
     seed:
         Fault-draw RNG seed (effective default ``0``).
     detection:
-        Detection constants.  GEMM-level campaigns default to
-        :data:`~repro.config.DEFAULT_DETECTION` (sessions to their own
-        constants); a :class:`~repro.faults.PropagationCampaign`
-        inherits its engine's constants and rejects a conflicting value.
+        Detection constants.  GEMM-level campaigns default to the
+        scheme's own :attr:`~repro.abft.Scheme.default_detection`
+        (sessions to their own constants); a
+        :class:`~repro.faults.PropagationCampaign` inherits its
+        engine's constants and rejects a conflicting value.
     significance_factor:
         Significance threshold multiplier (effective default ``4.0``).
     batch_size:
@@ -89,31 +86,6 @@ batch_size=64, sparse=None, cache=None, workers=2)
             if getattr(self, name) is None
         }
         return replace(self, **updates) if updates else self
-
-
-def resolve_deprecated(
-    options: CampaignOptions | None, owner: str, name: str, value: Any
-) -> Any:
-    """Fold one deprecated keyword alias into the effective value.
-
-    Returns the options field when the keyword was not passed, else the
-    keyword's value after emitting a :class:`DeprecationWarning`.
-    Setting both is ambiguous and raises.
-    """
-    from_options = getattr(options, name) if options is not None else None
-    if value is _UNSET:
-        return from_options
-    warnings.warn(
-        f"{owner}({name}=...) is deprecated; pass "
-        f"options=CampaignOptions({name}=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    if from_options is not None:
-        raise FaultInjectionError(
-            f"{owner}: {name!r} given both directly and via options="
-        )
-    return value
 
 
 def resolve_option(

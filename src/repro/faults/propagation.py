@@ -52,7 +52,7 @@ from ..errors import ConfigurationError, FaultInjectionError
 from .campaign import FaultCampaign
 from .injector import faulted_site_values
 from .model import FaultSpec
-from .options import _UNSET, CampaignOptions, resolve_deprecated, resolve_option
+from .options import CampaignOptions, resolve_option
 from .recovery import RecoveryPolicy, attempt_recovery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
@@ -226,8 +226,8 @@ class PropagationCampaign:
         way, not both), ``significance_factor`` / ``sparse`` forward to
         the struck layer's GEMM campaign, and ``detection`` / ``cache``
         must agree with the engine's own (they are engine-derived).
-        The ``workers=`` keyword is a deprecated alias (one release,
-        :class:`DeprecationWarning`).
+        ``workers`` is options-only (its keyword alias was removed
+        after one deprecated release).
 
     Examples
     --------
@@ -254,17 +254,10 @@ class PropagationCampaign:
         output_atol: float = 1e-3,
         batch_size: int | None = None,
         verify_recovery: bool = True,
-        workers: int | None = _UNSET,
         options: CampaignOptions | None = None,
     ) -> None:
-        # Runtime import: repro.nn imports repro.abft imports
-        # repro.faults, so this module must not import nn at load time.
-        from ..abft.base import Scheme
-        from ..nn.inference import Conv2d, Linear
-
-        workers = resolve_deprecated(
-            options, "PropagationCampaign", "workers", workers
-        )
+        # workers travels only on the options object.
+        workers = options.workers if options is not None else None
         seed = resolve_option(options, "PropagationCampaign", "seed", seed)
         batch_size = resolve_option(
             options, "PropagationCampaign", "batch_size", batch_size
@@ -308,7 +301,6 @@ class PropagationCampaign:
         # Shard workers rebuild the campaign without the engine; keep
         # everything the trial loop touches on the campaign itself.
         self._detection = engine.detection
-        self._to_fp16 = Scheme._to_fp16
 
         # One clean traced pass pins the baseline: per-layer operands,
         # tiles, clean outcomes, and the clean model output.
@@ -348,6 +340,11 @@ class PropagationCampaign:
             ),
         )
         self._prepared = self._gemm.prepared
+        # The struck layer's accumulator→output lowering (FP16 downcast
+        # on the float pipeline, dequantize on INT8) comes from its
+        # prepared executor, so replayed site values match the scheme's
+        # own epilogue bit-for-bit.
+        self._epilogue = self._prepared.executor.epilogue
         self._clean_c16 = self._step.outcome.c  # struck layer's clean FP16
         self._clean_output = trace.output
         self._clean_top1 = self._top1(trace.output)
@@ -360,7 +357,7 @@ class PropagationCampaign:
         self._struck_op = engine.model.ops[idx]
         self._downstream: list = []
         for op in engine.model.ops[idx + 1:]:
-            if isinstance(op, (Conv2d, Linear)):
+            if op.is_linear:
                 st = trace.step(op.name)
                 prepared = engine.cache.get(
                     engine.scheme_for(op.name), st.a, st.b, tile=st.tile
@@ -406,8 +403,6 @@ class PropagationCampaign:
         :meth:`_replay`, and the recovery checks touch.  Workers never
         draw randomness or aggregate results; the parent owns both.
         """
-        from ..abft.base import Scheme
-
         self = object.__new__(cls)
         self.engine = None
         self.trace = None
@@ -420,8 +415,8 @@ class PropagationCampaign:
         self.output_atol = state["output_atol"]
         self.verify_recovery = state["verify_recovery"]
         self._detection = state["detection"]
-        self._to_fp16 = Scheme._to_fp16
         self._prepared = state["prepared"]
+        self._epilogue = state["prepared"].executor.epilogue
         self._clean_c16 = state["clean_c16"]
         self._clean_output = state["clean_output"]
         self._clean_top1 = state["clean_top1"]
@@ -452,30 +447,21 @@ class PropagationCampaign:
 
         Downstream linear layers run the raw tiled GEMM against their
         clean prepared state's executor and padded weights — the
-        protected path's epilogue (FP32 accumulate, crop, FP16
-        quantize) with zero checksum work, which is sound because a
-        consistent GEMM over corrupted inputs is exactly what the
-        protected pass computes and cannot flag.
+        protected path's epilogue (accumulate, crop, lower to FP16)
+        with zero checksum work, which is sound because a consistent
+        GEMM over corrupted inputs is exactly what the protected pass
+        computes and cannot flag.
         """
-        from ..nn.inference import Conv2d
-
-        activation = (
-            self._struck_op.reshape_output(c16, self._step_dims)
-            if self._step_dims is not None
-            else c16
-        )
+        activation = self._struck_op.reshape_output(c16, self._step_dims)
         for op, prepared in self._downstream:
             if prepared is None:
                 activation = op.forward(activation)
                 continue
-            if isinstance(op, Conv2d):
-                a, _, dims = op.lower(activation)
-            else:
-                a, dims = activation.astype(np.float16), None
+            a, _, dims = op.lower(activation)
             executor = prepared.executor
             acc = executor.multiply(executor.pad_a(a), prepared.b_pad)
-            c = self._to_fp16(executor.crop(acc))
-            activation = op.reshape_output(c, dims) if dims is not None else c
+            c = executor.epilogue(executor.crop(acc))
+            activation = op.reshape_output(c, dims)
         return activation
 
     def _classify_output(self, final: np.ndarray) -> tuple[bool, bool, float]:
@@ -595,7 +581,7 @@ class PropagationCampaign:
         changed = np.zeros(len(sites), dtype=bool)
         if in_crop.any():
             sel = np.flatnonzero(in_crop)
-            new16 = self._to_fp16(sites.values[sel])
+            new16 = self._epilogue(sites.values[sel])
             old16 = self._clean_c16[sites.rows[sel], sites.cols[sel]]
             changed[sel] = new16 != old16
         per_trial: list[list[int]] = [[] for _ in range(len(chunk))]
@@ -612,7 +598,7 @@ class PropagationCampaign:
                 c16 = self._clean_c16.copy()
                 rows = sites.rows[live]
                 cols = sites.cols[live]
-                c16[rows, cols] = self._to_fp16(sites.values[live])
+                c16[rows, cols] = self._epilogue(sites.values[live])
                 corrupted, top1_flip, divergence = self._classify_output(
                     self._replay(c16)
                 )

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from ..abft.base import PreparedCache
 from ..api.policy import SchemePolicy, as_policy
 from ..api.session import ProtectedSession
-from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..config import DetectionConstants
 from ..errors import ConfigurationError
 from ..gpu.specs import GPUSpec, get_gpu
 from ..nn.graph import ModelGraph
@@ -145,7 +145,7 @@ def deploy_fleet(
     h: int = 1080,
     w: int = 1920,
     seed: int = 0,
-    detection: DetectionConstants = DEFAULT_DETECTION,
+    detection: DetectionConstants | None = None,
     recovery: "RecoveryPolicy | None" = None,
 ) -> FleetDeployment:
     """Deploy every model on every device, amortizing per device family.

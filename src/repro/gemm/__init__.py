@@ -18,7 +18,13 @@ from .problem import GemmProblem
 from .tiles import TileConfig, DEFAULT_TILE_CONFIGS, enumerate_tiles, select_tile
 from .counters import MainloopCost, mainloop_cost
 from .reference import reference_gemm
-from .executor import EXECUTION_STATS, ExecutionStats, TiledGemm
+from .executor import (
+    EXECUTION_STATS,
+    ExecutionStats,
+    Int8TiledGemm,
+    TiledGemm,
+    executor_for,
+)
 from .im2col import conv_output_shape, conv_gemm_shape, im2col
 
 __all__ = [
@@ -33,6 +39,8 @@ __all__ = [
     "mainloop_cost",
     "reference_gemm",
     "TiledGemm",
+    "Int8TiledGemm",
+    "executor_for",
     "conv_output_shape",
     "conv_gemm_shape",
     "im2col",

@@ -127,7 +127,9 @@ def mainloop_cost(
         * constants.alu_ops_per_kstep_base
     )
 
-    dram_bytes = problem.bytes_moved(padded=True)
+    # Operand width comes from the constants so the INT8 pipeline
+    # (fp16_bytes=1) prices its halved DRAM traffic.
+    dram_bytes = problem.bytes_moved(padded=True, dtype_bytes=constants.fp16_bytes)
 
     mma_instrs = tc_flops / FLOPS_PER_MMA
     alu_instrs = alu_lane_ops / LANES_PER_ALU_INSTR

@@ -76,6 +76,10 @@ class TiledGemm:
         K-extent (8) for Tensor-Core-faithful accumulation ordering.
     """
 
+    #: Operand dtype token: ``"fp16"`` here, ``"int8"`` on the quantized
+    #: subclass.  Schemes key caches and pick detection constants by it.
+    dtype = "fp16"
+
     def __init__(
         self,
         problem: GemmProblem,
@@ -146,6 +150,16 @@ class TiledGemm:
         """Pad, execute, and return the padded FP32 accumulator grid."""
         return self.multiply(self.pad_a(a), self.pad_b(b))
 
+    def epilogue(self, values: np.ndarray) -> np.ndarray:
+        """Lower accumulator values to the logical FP16 output domain.
+
+        The FP16 pipeline's epilogue is the plain FP32 -> FP16 downcast
+        (overflow saturates to ``inf`` exactly as a GPU store would); the
+        INT8 pipeline overrides this with the dequantizing rescale.
+        """
+        with np.errstate(over="ignore"):
+            return values.astype(np.float16)
+
     def crop(self, c_pad: np.ndarray) -> np.ndarray:
         """Slice the logical ``M x N`` output out of the padded grid."""
         return c_pad[: self.problem.m, : self.problem.n]
@@ -183,3 +197,118 @@ class TiledGemm:
                 f"{self.m_full}x{self.n_full}"
             )
         return row // self.tile.mt, col // self.tile.nt
+
+
+class Int8TiledGemm(TiledGemm):
+    """INT8 quantized executor: INT8 operands, INT32 accumulation.
+
+    Quantization is symmetric per-tensor (scale = max|x| / 127, no zero
+    point — a zero point would break the linearity the checksum
+    invariants rely on).  ``pad_a`` / ``pad_b`` quantize and record the
+    operand scale; ``multiply`` accumulates the quantized product
+    exactly in INT32; ``epilogue`` dequantizes by ``a_scale * b_scale``
+    back to the FP16 output domain.
+
+    Exactness: every INT32 partial product is ``<= k * 127 * 127``,
+    far inside the INT32 range for the shapes this repo models, so the
+    quantized accumulator is *exact* integer arithmetic — which is what
+    lets the INT8 detection tolerance collapse to a half-ULP constant.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.gemm import GemmProblem, Int8TiledGemm, select_tile
+    >>> problem = GemmProblem(m=8, n=8, k=8)
+    >>> gemm = Int8TiledGemm(problem, select_tile(problem))
+    >>> a = np.full((8, 8), 0.5, dtype=np.float16)
+    >>> acc = gemm.run(a, a)
+    >>> acc.dtype
+    dtype('int32')
+    >>> float(gemm.epilogue(gemm.crop(acc))[0, 0])
+    2.0
+    """
+
+    dtype = "int8"
+
+    def __init__(
+        self,
+        problem: GemmProblem,
+        tile: TileConfig,
+        *,
+        k_chunk: int = MMA_K,
+    ) -> None:
+        super().__init__(problem, tile, k_chunk=k_chunk)
+        self.a_scale = 1.0
+        self.b_scale = 1.0
+
+    @staticmethod
+    def scale_for(x: np.ndarray) -> float:
+        """Symmetric per-tensor scale: ``max|x| / 127`` (1.0 if all-zero)."""
+        peak = float(np.max(np.abs(np.asarray(x, dtype=np.float32))))
+        return peak / 127.0 if peak > 0.0 else 1.0
+
+    def _quantize(self, x: np.ndarray, scale: float) -> np.ndarray:
+        scaled = np.asarray(x, dtype=np.float32) / np.float32(scale)
+        return np.clip(np.rint(scaled), -127, 127).astype(np.int8)
+
+    def pad_a(self, a: np.ndarray) -> np.ndarray:
+        """Zero-pad ``A`` to ``(m_full, k_full)`` and quantize to INT8."""
+        if a.shape != (self.problem.m, self.problem.k):
+            raise ShapeError(
+                f"A must be {self.problem.m}x{self.problem.k}, got {a.shape}"
+            )
+        self.a_scale = self.scale_for(a)
+        out = np.zeros((self.m_full, self.k_full), dtype=np.int8)
+        out[: a.shape[0], : a.shape[1]] = self._quantize(a, self.a_scale)
+        return out
+
+    def pad_b(self, b: np.ndarray) -> np.ndarray:
+        """Zero-pad ``B`` to ``(k_full, n_full)`` and quantize to INT8."""
+        if b.shape != (self.problem.k, self.problem.n):
+            raise ShapeError(
+                f"B must be {self.problem.k}x{self.problem.n}, got {b.shape}"
+            )
+        self.b_scale = self.scale_for(b)
+        out = np.zeros((self.k_full, self.n_full), dtype=np.int8)
+        out[: b.shape[0], : b.shape[1]] = self._quantize(b, self.b_scale)
+        return out
+
+    def multiply(self, a_pad: np.ndarray, b_pad: np.ndarray) -> np.ndarray:
+        """Exact INT32-accumulated product of padded INT8 operands."""
+        if a_pad.shape != (self.m_full, self.k_full):
+            raise ShapeError(f"padded A must be {self.m_full}x{self.k_full}")
+        if b_pad.shape != (self.k_full, self.n_full):
+            raise ShapeError(f"padded B must be {self.k_full}x{self.n_full}")
+        EXECUTION_STATS.gemms += 1
+        a32 = a_pad.astype(np.int32)
+        b32 = b_pad.astype(np.int32)
+        acc = np.zeros((self.m_full, self.n_full), dtype=np.int32)
+        for k0 in range(0, self.k_full, self.k_chunk):
+            k1 = min(k0 + self.k_chunk, self.k_full)
+            acc += a32[:, k0:k1] @ b32[k0:k1, :]
+        return acc
+
+    def epilogue(self, values: np.ndarray) -> np.ndarray:
+        """Dequantize INT32 accumulator values to the FP16 output domain."""
+        scale = np.float32(self.a_scale * self.b_scale)
+        with np.errstate(over="ignore"):
+            return (values.astype(np.float32) * scale).astype(np.float16)
+
+
+def executor_for(
+    problem: GemmProblem, tile: TileConfig, dtype: str = "fp16"
+) -> TiledGemm:
+    """Executor for ``dtype``: :class:`TiledGemm` or :class:`Int8TiledGemm`.
+
+    Examples
+    --------
+    >>> from repro.gemm import GemmProblem, executor_for, select_tile
+    >>> problem = GemmProblem(m=8, n=8, k=8)
+    >>> executor_for(problem, select_tile(problem), "int8").dtype
+    'int8'
+    """
+    if dtype == "fp16":
+        return TiledGemm(problem, tile)
+    if dtype == "int8":
+        return Int8TiledGemm(problem, tile)
+    raise ShapeError(f"unknown executor dtype {dtype!r} (expected fp16|int8)")

@@ -9,7 +9,7 @@ Xavier = 235 — fall directly out of these numbers (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
 
@@ -51,6 +51,11 @@ class GPUSpec:
         devices without them (P4), redundant MMAs and checksum ops
         compete for the *same* pipe, which changes the thread-level
         ABFT trade-off — exercised in the device-sweep benchmarks.
+    int8_matmul_flops:
+        Peak ops/s of the INT8 matrix-math pipe, or ``None`` on devices
+        without one (P4 predates DP4A-rate tensor math in this model;
+        V100's Tensor Cores are FP16-only).  Consumed through
+        :meth:`for_dtype` by the quantized-execution pricing path.
     family:
         Microarchitecture family (``"turing"``, ``"volta"``, ...).
         Devices in one family share kernel-level behavior — the fleet
@@ -76,17 +81,45 @@ class GPUSpec:
     warp_size: int = 32
     has_tensor_cores: bool = True
     family: str = "unknown"
+    int8_matmul_flops: float | None = None
 
     def __post_init__(self) -> None:
         if self.matmul_flops <= 0 or self.alu_flops <= 0 or self.mem_bandwidth <= 0:
             raise ConfigurationError(f"{self.name}: throughputs must be positive")
         if self.num_sms <= 0:
             raise ConfigurationError(f"{self.name}: num_sms must be positive")
+        if self.int8_matmul_flops is not None and self.int8_matmul_flops <= 0:
+            raise ConfigurationError(
+                f"{self.name}: int8_matmul_flops must be positive when set"
+            )
 
     @property
     def cmr(self) -> float:
         """Compute-to-memory-bandwidth ratio (FLOPs per byte), Eq. 1 RHS."""
         return self.matmul_flops / self.mem_bandwidth
+
+    def for_dtype(self, dtype: str) -> "GPUSpec":
+        """The spec priced for one numeric pipeline.
+
+        ``"fp16"`` returns the spec unchanged; ``"int8"`` swaps the
+        matrix-math throughput for the INT8 pipe, so every downstream
+        quantity — CMR, roofline classification, modeled kernel times —
+        prices the quantized executor.  Devices without an INT8 pipe
+        (:attr:`int8_matmul_flops` is ``None``) raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if dtype == "fp16":
+            return self
+        if dtype != "int8":
+            raise ConfigurationError(
+                f"unknown pipeline dtype {dtype!r} (expected fp16|int8)"
+            )
+        if self.int8_matmul_flops is None:
+            raise ConfigurationError(
+                f"{self.name} has no modeled INT8 matrix pipe; devices "
+                f"with one: T4, A100, Jetson-AGX-Xavier"
+            )
+        return replace(self, matmul_flops=self.int8_matmul_flops)
 
     @property
     def issue_slots_per_s(self) -> float:
@@ -96,7 +129,8 @@ class GPUSpec:
 
 # NVIDIA T4 (Turing TU104, inference-optimized): 65 TFLOPs/s FP16 Tensor
 # Core, 8.1 TFLOPs/s FP32 CUDA core (=> 16.2 FP16x2), 320 GB/s GDDR6,
-# 40 SMs.  FP16 CMR = 65e12 / 320e9 = 203 (paper §3.3).
+# 40 SMs.  FP16 CMR = 65e12 / 320e9 = 203 (paper §3.3); the datasheet's
+# 130 INT8 TOPs/s doubles that to 406 for the quantized pipeline.
 T4 = GPUSpec(
     name="T4",
     family="turing",
@@ -105,6 +139,7 @@ T4 = GPUSpec(
     mem_bandwidth=320.0e9,
     num_sms=40,
     clock_hz=1.59e9,
+    int8_matmul_flops=130.0e12,
 )
 
 # NVIDIA P4 (Pascal GP104): no Tensor Cores; 11 TFLOPs/s FP16 (paper
@@ -141,7 +176,7 @@ V100 = GPUSpec(
 )
 
 # NVIDIA A100 (Ampere GA100): 312 TFLOPs/s FP16 Tensor Core, 19.5 TFLOPs/s
-# FP32, 1555 GB/s HBM2.  CMR = 201 (paper §3.3).
+# FP32, 1555 GB/s HBM2.  CMR = 201 (paper §3.3); 624 INT8 TOPs/s (dense).
 A100 = GPUSpec(
     name="A100",
     family="ampere",
@@ -154,10 +189,13 @@ A100 = GPUSpec(
     max_warps_per_sm=64,
     max_blocks_per_sm=32,
     smem_per_sm=164 * 1024,
+    int8_matmul_flops=624.0e12,
 )
 
 # NVIDIA Jetson AGX Xavier (Volta, edge): 32 INT8 TOPs/s via Tensor
-# Cores, 137 GB/s LPDDR4x.  INT8 CMR = 235 (paper §3.3).
+# Cores, 137 GB/s LPDDR4x.  INT8 CMR = 235 (paper §3.3).  The paper
+# evaluates this device in INT8, so ``matmul_flops`` *is* the INT8 pipe
+# and ``for_dtype("int8")`` is the identity in throughput terms.
 JETSON_AGX_XAVIER = GPUSpec(
     name="Jetson-AGX-Xavier",
     family="volta",
@@ -169,6 +207,7 @@ JETSON_AGX_XAVIER = GPUSpec(
     max_threads_per_sm=2048,
     max_warps_per_sm=64,
     max_blocks_per_sm=32,
+    int8_matmul_flops=32.0e12,
 )
 
 _REGISTRY: dict[str, GPUSpec] = {

@@ -10,6 +10,12 @@ those GEMM shapes from the architectures by shape propagation;
 from .layers import Conv2dSpec, LinearSpec, pool_output_shape
 from .graph import LinearLayer, ModelGraph
 from .inference import ProtectedInference, SequentialModel
+from .transformer import (
+    TransformerBlockSpec,
+    build_transformer_graph,
+    build_transformer_runnable,
+    transformer_models,
+)
 from .models import (
     build_model,
     build_runnable,
@@ -26,6 +32,10 @@ __all__ = [
     "ModelGraph",
     "ProtectedInference",
     "SequentialModel",
+    "TransformerBlockSpec",
+    "build_transformer_graph",
+    "build_transformer_runnable",
+    "transformer_models",
     "build_model",
     "list_models",
     "build_runnable",

@@ -21,12 +21,14 @@ class LinearLayer:
     """One linear layer of a model, lowered to its GEMM."""
 
     name: str
-    kind: str  # "conv" or "linear"
+    kind: str  # "conv", "linear" or "attention"
     problem: GemmProblem
 
     def __post_init__(self) -> None:
-        if self.kind not in ("conv", "linear"):
-            raise ModelZooError(f"layer kind must be conv|linear, got {self.kind!r}")
+        if self.kind not in ("conv", "linear", "attention"):
+            raise ModelZooError(
+                f"layer kind must be conv|linear|attention, got {self.kind!r}"
+            )
 
 
 @dataclass(frozen=True)

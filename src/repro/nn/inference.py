@@ -20,7 +20,7 @@ import numpy as np
 
 from ..abft.base import ExecutionOutcome, PreparedCache, PreparedWeights, Scheme
 from ..abft.none import NoProtection
-from ..config import DEFAULT_DETECTION, DetectionConstants
+from ..config import DetectionConstants
 from ..gemm.tiles import TileConfig
 from ..errors import ModelZooError, ShapeError
 from ..faults.model import FaultSpec
@@ -136,6 +136,19 @@ class Linear(_Op):
         self.name = name
         self.weights = weights.astype(np.float16)
 
+    def lower(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, None]:
+        """The GEMM view of this layer: ``(activations, weights, None)``.
+
+        Every linear op exposes the same ``lower``/``reshape_output``
+        pair so the inference and replay loops dispatch uniformly; a
+        plain FC layer has no reshape context.
+        """
+        return x.astype(np.float16), self.weights, None
+
+    def reshape_output(self, c: np.ndarray, ctx: None) -> np.ndarray:
+        """GEMM output is already the layer output."""
+        return c
+
 
 @dataclass
 class LayerOutcome:
@@ -202,7 +215,9 @@ class TraceStep:
     tile:
         The tile configuration the layer's prepared state is pinned to.
     dims:
-        Conv reshape dims ``(batch, Ho, Wo)``; None for Linear layers.
+        The op's ``lower`` reshape context — conv dims ``(batch, Ho,
+        Wo)``, an attention op's carried columns — fed back to its
+        ``reshape_output``; None for plain Linear layers.
     outcome:
         The clean protected execution outcome.
     """
@@ -212,7 +227,7 @@ class TraceStep:
     a: np.ndarray
     b: np.ndarray
     tile: TileConfig
-    dims: tuple[int, int, int] | None
+    dims: object | None
     outcome: ExecutionOutcome
 
 
@@ -300,7 +315,10 @@ class ProtectedInference:
         the very entries the forward passes built.
     detection:
         Detection constants every layer's consistency check is
-        evaluated under.
+        evaluated under; ``None`` (default) resolves per layer to the
+        layer scheme's :attr:`~repro.abft.Scheme.default_detection`,
+        so FP16 and INT8 layers each get the tolerance matched to
+        their pipeline.
     record_operands:
         Record each linear layer's lowered GEMM operands ``(a, b,
         tile)`` from the most recent *clean-equivalent* forward pass
@@ -331,7 +349,7 @@ class ProtectedInference:
         default_scheme: Scheme | None = None,
         cache: PreparedCache | None = None,
         record_operands: bool = False,
-        detection: DetectionConstants = DEFAULT_DETECTION,
+        detection: DetectionConstants | None = None,
     ) -> None:
         self.model = model
         if isinstance(schemes, Scheme):
@@ -493,21 +511,13 @@ class ProtectedInference:
         result = InferenceResult(output=np.asarray(x, dtype=np.float16))
         activation = result.output
         for op in self.model.ops:
-            if isinstance(op, Conv2d):
+            if op.is_linear:
                 a, b, dims = op.lower(activation)
                 rec = self._run_linear(
                     op.name, a, b, faults.get(op.name, ()), recovery, staged
                 )
                 result.layer_outcomes.append(rec)
                 activation = op.reshape_output(rec.outcome.c, dims)
-            elif isinstance(op, Linear):
-                a = activation.astype(np.float16)
-                rec = self._run_linear(
-                    op.name, a, op.weights, faults.get(op.name, ()),
-                    recovery, staged,
-                )
-                result.layer_outcomes.append(rec)
-                activation = rec.outcome.c
             else:
                 activation = op.forward(activation)
         result.output = activation
@@ -534,13 +544,10 @@ class ProtectedInference:
         steps: list[TraceStep] = []
         staged: dict[str, tuple[np.ndarray, np.ndarray, TileConfig]] = {}
         for idx, op in enumerate(self.model.ops):
-            if isinstance(op, Conv2d):
-                a, b, dims = op.lower(activation)
-            elif isinstance(op, Linear):
-                a, b, dims = activation.astype(np.float16), op.weights, None
-            else:
+            if not op.is_linear:
                 activation = op.forward(activation)
                 continue
+            a, b, dims = op.lower(activation)
             rec = self._run_linear(op.name, a, b, (), None, staged)
             result.layer_outcomes.append(rec)
             steps.append(
@@ -554,11 +561,7 @@ class ProtectedInference:
                     outcome=rec.outcome,
                 )
             )
-            activation = (
-                op.reshape_output(rec.outcome.c, dims)
-                if dims is not None
-                else rec.outcome.c
-            )
+            activation = op.reshape_output(rec.outcome.c, dims)
         result.output = activation
         return InferenceTrace(
             x=np.asarray(x, dtype=np.float16),

@@ -1,9 +1,10 @@
-"""Model registry: uniform construction of all fourteen evaluation NNs.
+"""Model registry: uniform construction of all evaluation NNs.
 
 ``build_model(name, batch=..., h=..., w=...)`` dispatches to the
 architecture modules.  CNN defaults follow the paper (HD 1080x1920,
 batch 1); DLRM MLPs ignore the resolution; specialized CNNs have fixed
-50x50 inputs and default to batch 64 (§6.2).
+50x50 inputs and default to batch 64 (§6.2); the transformer-block
+presets extend the zoo beyond the paper's fourteen networks.
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from typing import Callable
 
 from ...errors import ModelZooError
 from ..graph import ModelGraph
+from ..transformer import TRANSFORMER_PRESETS, build_transformer_graph
 from . import noscope
 from .alexnet import alexnet
 from .densenet import densenet161
@@ -39,6 +41,9 @@ DLRM_MLPS: tuple[str, ...] = ("mlp_bottom", "mlp_top")
 #: The four specialized CNNs of Fig. 11.
 SPECIALIZED_CNNS: tuple[str, ...] = ("coral", "roundabout", "taipei", "amsterdam")
 
+#: The two transformer-block presets (beyond the paper's evaluation).
+TRANSFORMERS: tuple[str, ...] = tuple(TRANSFORMER_PRESETS)
+
 _CNN_BUILDERS: dict[str, Callable[..., ModelGraph]] = {
     "resnet50": resnet50,
     "wide_resnet50_2": wide_resnet50_2,
@@ -52,8 +57,14 @@ _CNN_BUILDERS: dict[str, Callable[..., ModelGraph]] = {
 
 
 def list_models() -> list[str]:
-    """All fourteen model names, grouped in the paper's Fig. 8 order."""
-    return list(DLRM_MLPS) + list(SPECIALIZED_CNNS) + list(GENERAL_CNNS)
+    """All model names: the paper's fourteen (Fig. 8 order), then the
+    transformer-block presets."""
+    return (
+        list(DLRM_MLPS)
+        + list(SPECIALIZED_CNNS)
+        + list(GENERAL_CNNS)
+        + list(TRANSFORMERS)
+    )
 
 
 def build_model(
@@ -87,4 +98,6 @@ def build_model(
         return noscope.build_noscope(
             key, batch=batch if batch is not None else noscope.DEFAULT_BATCH
         )
+    if key in TRANSFORMERS:
+        return build_transformer_graph(key, batch=batch)
     raise ModelZooError(f"unknown model {name!r}; known: {list_models()}")

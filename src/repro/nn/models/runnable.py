@@ -41,6 +41,11 @@ from ..inference import (
     _Op,
 )
 from ..layers import pool_output_shape
+from ..transformer import (
+    TRANSFORMER_PRESETS,
+    build_transformer_runnable,
+    transformer_input_shape,
+)
 from . import noscope
 from .dlrm import (
     MLP_BOTTOM_HIDDEN,
@@ -55,7 +60,11 @@ DEFAULT_BATCH = 1
 
 def runnable_models() -> list[str]:
     """Zoo models with a numeric sequential realization, in zoo order."""
-    return ["mlp_bottom", "mlp_top"] + [cfg.name for cfg in noscope.CONFIGS]
+    return (
+        ["mlp_bottom", "mlp_top"]
+        + [cfg.name for cfg in noscope.CONFIGS]
+        + list(TRANSFORMER_PRESETS)
+    )
 
 
 def runnable_input_shape(
@@ -70,6 +79,8 @@ def runnable_input_shape(
         return (b, MLP_TOP_INPUT)
     if key in {cfg.name for cfg in noscope.CONFIGS}:
         return (b, 3, noscope.INPUT_HW, noscope.INPUT_HW)
+    if key in TRANSFORMER_PRESETS:
+        return transformer_input_shape(key, batch=batch)
     raise ModelZooError(
         f"no runnable realization for model {name!r}; runnable models "
         f"are {runnable_models()}"
@@ -174,6 +185,8 @@ def build_runnable(
             return _runnable_noscope(
                 cfg, DEFAULT_BATCH if batch is None else batch, rng
             )
+    if key in TRANSFORMER_PRESETS:
+        return build_transformer_runnable(key, batch=batch, seed=seed)
     raise ModelZooError(
         f"no runnable realization for model {name!r}; runnable models "
         f"are {runnable_models()}"

@@ -18,7 +18,13 @@ from repro.abft import (
     list_schemes,
 )
 from repro.errors import ConfigurationError, FaultInjectionError, ShapeError
-from repro.faults import FaultCampaign, FaultKind, FaultPath, FaultSpec
+from repro.faults import (
+    CampaignOptions,
+    FaultCampaign,
+    FaultKind,
+    FaultPath,
+    FaultSpec,
+)
 from repro.gemm import EXECUTION_STATS, TileConfig
 
 ALL_SCHEMES = list_schemes() + ["global_multi"]
@@ -278,7 +284,8 @@ class TestPreparedCache:
         for significance in (2.0, 4.0, 8.0):
             campaign = FaultCampaign(
                 get_scheme("global"), a, b,
-                significance_factor=significance, cache=cache,
+                significance_factor=significance,
+                options=CampaignOptions(cache=cache),
             )
             result = campaign.run_batch(10)
             assert result.n_trials == 10
@@ -299,9 +306,13 @@ class TestPreparedCache:
             0, specs=specs
         )
         cache = PreparedCache()
-        FaultCampaign(get_scheme("thread_onesided"), a, b, cache=cache)
+        FaultCampaign(
+            get_scheme("thread_onesided"), a, b,
+            options=CampaignOptions(cache=cache),
+        )
         cached = FaultCampaign(
-            get_scheme("thread_onesided"), a, b, cache=cache
+            get_scheme("thread_onesided"), a, b,
+            options=CampaignOptions(cache=cache),
         ).run(0, specs=specs)
         assert cache.hits == 1
         assert private.trials == cached.trials

@@ -136,6 +136,7 @@ class TestRunner:
             "fig09_224", "fig10", "fig11", "fig12", "fault_coverage",
             "multi_fault_coverage", "ablation_overlap", "ablation_tile",
             "ablation_devices", "sec72_agreement", "sdc_propagation",
+            "transformer_abft",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,4 +1,4 @@
-"""CampaignOptions: one options bundle, deprecated kwargs for one release."""
+"""CampaignOptions: the only spelling of campaign execution knobs."""
 
 import warnings
 
@@ -10,7 +10,7 @@ from repro.abft import PreparedCache, get_scheme
 from repro.config import DEFAULT_DETECTION
 from repro.errors import FaultInjectionError
 from repro.faults import CampaignOptions, FaultCampaign
-from repro.faults.options import _UNSET, resolve_deprecated, resolve_option
+from repro.faults.options import resolve_option
 
 
 @pytest.fixture(scope="module")
@@ -58,27 +58,6 @@ class TestResolution:
         with pytest.raises(FaultInjectionError, match="both"):
             resolve_option(CampaignOptions(seed=3), "X", "seed", 4)
 
-    def test_resolve_deprecated_warns_on_kwarg(self):
-        with pytest.warns(DeprecationWarning, match="X\\(workers=\\.\\.\\.\\)"):
-            assert resolve_deprecated(None, "X", "workers", 2) == 2
-
-    def test_resolve_deprecated_silent_without_kwarg(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert (
-                resolve_deprecated(
-                    CampaignOptions(workers=2), "X", "workers", _UNSET
-                )
-                == 2
-            )
-
-    def test_resolve_deprecated_rejects_both(self):
-        with pytest.raises(FaultInjectionError, match="both"):
-            with pytest.warns(DeprecationWarning):
-                resolve_deprecated(
-                    CampaignOptions(workers=2), "X", "workers", 3
-                )
-
 
 class TestCampaignIntegration:
     def _keys(self, result):
@@ -87,25 +66,28 @@ class TestCampaignIntegration:
             for r in result.trials
         ]
 
-    def test_options_path_matches_legacy_kwargs(self, operands):
+    def test_options_path_matches_seed_kwarg(self, operands):
         a, b = operands
         cache = PreparedCache()
         via_options = FaultCampaign(
             get_scheme("global"), a, b,
             options=CampaignOptions(seed=9, cache=cache),
         ).run_batch(30)
-        with pytest.warns(DeprecationWarning, match="cache"):
-            via_kwargs = FaultCampaign(
-                get_scheme("global"), a, b, seed=9, cache=cache
-            ).run_batch(30)
-        assert self._keys(via_options) == self._keys(via_kwargs)
+        via_kwarg = FaultCampaign(
+            get_scheme("global"), a, b, seed=9,
+            options=CampaignOptions(cache=cache),
+        ).run_batch(30)
+        assert self._keys(via_options) == self._keys(via_kwarg)
 
-    def test_deprecated_detection_kwarg_warns(self, operands):
+    def test_removed_kwargs_are_rejected(self, operands):
         a, b = operands
-        with pytest.warns(DeprecationWarning, match="FaultCampaign\\(detection"):
-            FaultCampaign(
-                get_scheme("global"), a, b, detection=DEFAULT_DETECTION
-            )
+        for kwarg in (
+            {"detection": DEFAULT_DETECTION},
+            {"cache": PreparedCache()},
+            {"workers": 2},
+        ):
+            with pytest.raises(TypeError):
+                FaultCampaign(get_scheme("global"), a, b, **kwarg)
 
     def test_options_construction_is_warning_free(self, operands):
         a, b = operands
@@ -125,12 +107,10 @@ class TestCampaignIntegration:
                 "fc0", seed=1, options=CampaignOptions(seed=2)
             )
 
-    def test_session_campaign_deprecated_workers_warns(self):
+    def test_session_campaign_rejects_removed_workers_kwarg(self):
         session = repro.deploy("mlp_bottom", "T4", batch=16)
-        with pytest.warns(
-            DeprecationWarning, match="ProtectedSession.campaign\\(workers"
-        ):
-            session.campaign("fc0", workers=None)
+        with pytest.raises(TypeError):
+            session.campaign("fc0", workers=2)
 
     def test_foreign_cache_in_options_rejected(self):
         session = repro.deploy("mlp_bottom", "T4", batch=16)

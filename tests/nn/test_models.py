@@ -87,8 +87,12 @@ class TestFig5PerLayerRange:
 
 
 class TestStructure:
-    def test_list_models_has_fourteen(self):
-        assert len(list_models()) == 14
+    def test_list_models_has_paper_fourteen_plus_transformers(self):
+        names = list_models()
+        # The paper's fourteen evaluation networks lead the zoo...
+        assert len(names) == 16
+        # ...followed by the two transformer-block presets.
+        assert names[-2:] == ["transformer_encoder", "transformer_decoder"]
 
     def test_unknown_model_raises(self):
         with pytest.raises(ModelZooError):

@@ -41,7 +41,10 @@ class TestRegistry:
         assert runnable_input_shape("mlp_bottom", batch=8)[0] == 8
         for name in runnable_models():
             shape = runnable_input_shape(name, batch=2)
-            assert shape[0] == 2 and len(shape) in (2, 4)
+            # MLPs/CNNs lead with the batch; transformer rows are
+            # batch * seq_len (the GEMM row count).
+            rows = build_model(name, batch=2).layers[0].problem.m
+            assert shape[0] in (2, rows) and len(shape) in (2, 4)
 
 
 class TestDeterminism:

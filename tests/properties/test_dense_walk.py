@@ -1,0 +1,76 @@
+"""Property tests: dense order-walk verdicts equal the full comparison.
+
+The dense path renders verdicts through the ``CleanComparison`` order
+walk (``Scheme._walk_verdicts``): one elementwise diff against the
+clean check arrays plus :func:`compare_checksums_sparse`, instead of
+the full batched comparison over every trial's whole check array.  The
+contract pinned here is field-for-field bit-identity with the direct
+rendering (``_references_batch`` + ``_verdicts``) it replaced, for
+every sparse-capable scheme, both pipelines, every fault kind, and
+both fault paths.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.abft import list_schemes, scheme_from_token
+from repro.abft.base import Scheme
+
+from test_batch_equivalence import (
+    TILE,
+    _draw_spec,
+    _operands,
+    assert_outcomes_identical,
+    make_scheme,
+)
+
+WALK_SCHEMES = [
+    name for name in list_schemes() if make_scheme(name).supports_sparse
+] + ["global_multi"]
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def _direct_walk_verdicts(self, prepared, output_side, faults_batch, detection):
+    """The pre-walk dense rendering: full batched comparison."""
+    references = self._references_batch(prepared, faults_batch)
+    return self._verdicts(prepared, references, output_side, detection)
+
+
+def _scheme_for(name, dtype):
+    if dtype == "fp16":
+        return make_scheme(name)
+    return scheme_from_token(f"{name}:2@int8" if name == "global_multi" else f"{name}@int8")
+
+
+class TestDenseWalkEquivalence:
+    @given(
+        name=st.sampled_from(WALK_SCHEMES),
+        dtype=st.sampled_from(["fp16", "int8"]),
+        seed=seeds,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_walk_matches_direct_comparison(self, name, dtype, seed, data):
+        """Dense inject_batch through the walk == through the full
+        comparison, outcome for outcome."""
+        a, b = _operands(seed)
+        scheme = _scheme_for(name, dtype)
+        prepared = scheme.prepare(a, b, tile=TILE)
+        rows, cols = prepared.c_clean.shape
+        trials = [
+            tuple(
+                _draw_spec(data, rows, cols)
+                for _ in range(data.draw(st.integers(0, 2)))
+            )
+            for _ in range(data.draw(st.integers(1, 5)))
+        ]
+        walked = prepared.inject_batch(trials, sparse=False)
+        original = Scheme._walk_verdicts
+        Scheme._walk_verdicts = _direct_walk_verdicts
+        try:
+            direct = prepared.inject_batch(trials, sparse=False)
+        finally:
+            Scheme._walk_verdicts = original
+        for w, d in zip(walked, direct):
+            assert_outcomes_identical(d, w)
